@@ -1,0 +1,68 @@
+"""Component microbenchmarks: throughput of the pipeline stages.
+
+These time the substrate pieces in isolation — compiler, simulator, cache
+model, pattern analysis, classifier — so performance regressions in any
+stage are visible independently of the table experiments.
+"""
+
+import pytest
+
+from repro.cache.config import BASELINE_CONFIG
+from repro.cache.model import simulate_trace
+from repro.compiler.driver import compile_source
+from repro.heuristic.classifier import DelinquencyClassifier
+from repro.machine.simulator import Machine
+from repro.patterns.builder import build_load_infos
+from repro.workloads.registry import get
+
+WORKLOAD = "129.compress"
+SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def source():
+    return get(WORKLOAD).generate("input1", scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def program(source):
+    return compile_source(source)
+
+
+@pytest.fixture(scope="module")
+def trace(program):
+    return Machine(program).run().trace
+
+
+def test_compile_throughput(benchmark, source):
+    program = benchmark(compile_source, source)
+    assert program.num_loads() > 0
+
+
+def test_simulator_throughput(benchmark, program):
+    def run():
+        return Machine(program, trace_memory=False).run()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    benchmark.extra_info["instructions"] = result.steps
+    assert result.exit_code == 0
+
+
+def test_cache_simulation_throughput(benchmark, trace):
+    stats = benchmark.pedantic(simulate_trace,
+                               args=(trace, BASELINE_CONFIG),
+                               iterations=1, rounds=3)
+    benchmark.extra_info["accesses"] = len(trace)
+    assert stats.total_load_misses > 0
+
+
+def test_pattern_analysis_throughput(benchmark, program):
+    infos = benchmark(build_load_infos, program)
+    assert len(infos) == program.num_loads()
+
+
+def test_classifier_throughput(benchmark, program):
+    infos = build_load_infos(program)
+    classifier = DelinquencyClassifier(use_frequency=False)
+    result = benchmark(classifier.classify, infos)
+    assert result.delinquent_set

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 01 (see repro.experiments.table01)."""
+
+from repro.experiments import table01
+
+
+def test_table01(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table01.run, args=(session,), iterations=1, rounds=1)
+    record_table(1, table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 03 (see repro.experiments.table03)."""
+
+from repro.experiments import table03
+
+
+def test_table03(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table03.run, args=(session,), iterations=1, rounds=1)
+    record_table(3, table)
+    assert table.rows

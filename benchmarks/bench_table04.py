@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 04 (see repro.experiments.table04)."""
+
+from repro.experiments import table04
+
+
+def test_table04(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table04.run, args=(session,), iterations=1, rounds=1)
+    record_table(4, table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 06 (see repro.experiments.table06)."""
+
+from repro.experiments import table06
+
+
+def test_table06(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table06.run, args=(session,), iterations=1, rounds=1)
+    record_table(6, table)
+    assert table.rows

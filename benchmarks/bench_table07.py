@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 07 (see repro.experiments.table07)."""
+
+from repro.experiments import table07
+
+
+def test_table07(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table07.run, args=(session,), iterations=1, rounds=1)
+    record_table(7, table)
+    assert table.rows

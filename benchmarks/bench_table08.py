@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 08 (see repro.experiments.table08)."""
+
+from repro.experiments import table08
+
+
+def test_table08(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table08.run, args=(session,), iterations=1, rounds=1)
+    record_table(8, table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 09 (see repro.experiments.table09)."""
+
+from repro.experiments import table09
+
+
+def test_table09(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table09.run, args=(session,), iterations=1, rounds=1)
+    record_table(9, table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 10 (see repro.experiments.table10)."""
+
+from repro.experiments import table10
+
+
+def test_table10(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table10.run, args=(session,), iterations=1, rounds=1)
+    record_table(10, table)
+    assert table.rows

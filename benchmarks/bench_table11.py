@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 11 (see repro.experiments.table11)."""
+
+from repro.experiments import table11
+
+
+def test_table11(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table11.run, args=(session,), iterations=1, rounds=1)
+    record_table(11, table)
+    assert table.rows

@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 12 (see repro.experiments.table12)."""
+
+from repro.experiments import table12
+
+
+def test_table12(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table12.run, args=(session,), iterations=1, rounds=1)
+    record_table(12, table)
+    assert table.rows

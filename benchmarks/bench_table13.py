@@ -1,0 +1,10 @@
+"""Bench: regenerate paper Table 13 (see repro.experiments.table13)."""
+
+from repro.experiments import table13
+
+
+def test_table13(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table13.run, args=(session,), iterations=1, rounds=1)
+    record_table(13, table)
+    assert table.rows

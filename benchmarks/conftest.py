@@ -1,0 +1,76 @@
+"""Benchmark harness configuration.
+
+One bench per paper table (bench = regenerate the exhibit end to end) plus
+component microbenchmarks.  A module-shared :class:`Session` with the
+on-disk result cache makes repeated runs cheap; the first run simulates
+every workload.
+
+Environment knobs:
+
+* ``REPRO_SCALE``  — workload size multiplier (default 0.25; use 1.0 for
+  the full-size runs recorded in EXPERIMENTS.md),
+* ``REPRO_NO_DISK_CACHE=1`` — force re-simulation.
+
+After the run, every produced table is written to
+``benchmarks/results/`` and a consolidated paper-vs-measured report to
+``EXPERIMENTS.md`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import Table
+from repro.pipeline.session import Session
+
+SCALE = float(os.environ.get("REPRO_SCALE", "0.25"))
+RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_collected: dict[int, Table] = {}
+
+
+@pytest.fixture(scope="session")
+def session() -> Session:
+    return Session(
+        scale=SCALE,
+        use_disk_cache=os.environ.get("REPRO_NO_DISK_CACHE") != "1",
+    )
+
+
+@pytest.fixture(scope="session")
+def record_table():
+    """Returns a callable that persists a produced table."""
+
+    def _record(number: int, table: Table) -> Table:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"table{number:02d}.txt"
+        path.write_text(table.render() + "\n")
+        _collected[number] = table
+        return table
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the consolidated report once benches ran.
+
+    The root EXPERIMENTS.md is only (re)written when every main table
+    (1-14) was produced in this run; partial runs (a single bench, the
+    ablations alone) go to benchmarks/results/REPORT.md instead so they
+    never clobber the canonical full report.
+    """
+    if not _collected:
+        return
+    from repro.experiments.report import write_report
+    complete = set(range(1, 15)) <= set(_collected)
+    target = (REPO_ROOT / "EXPERIMENTS.md") if complete \
+        else (RESULTS_DIR / "REPORT.md")
+    try:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        write_report(dict(_collected), str(target), scale=SCALE)
+    except OSError:
+        pass

@@ -1,0 +1,89 @@
+"""Inspect the post-compilation analysis the heuristic is built on.
+
+Shows the full static pipeline for one function: the objdump-style
+disassembly, and for every load the reconstructed address patterns in the
+paper's notation with their classification features — useful when adding
+new heuristics or debugging why a load scores the way it does.
+
+Run:  python examples/inspect_patterns.py [--optimize]
+"""
+
+import sys
+
+from repro import build_load_infos, compile_source, disassemble
+from repro.heuristic.classifier import DelinquencyClassifier
+
+SOURCE = r"""
+struct particle { float x; float v; struct particle *partner; };
+
+float field[512];
+struct particle *swarm;
+
+void step(int n) {
+    int i;
+    struct particle *p;
+    for (i = 0; i < n; i = i + 1) {
+        p = swarm + i;
+        p->v = p->v + field[(int)(p->x) & 511];
+        if (p->partner != NULL)
+            p->v = p->v + p->partner->v * 0.5;
+        p->x = p->x + p->v;
+    }
+}
+
+int main() {
+    int i;
+    swarm = (struct particle*) calloc(2048, sizeof(struct particle));
+    for (i = 0; i < 512; i = i + 1)
+        field[i] = (float) i / 512.0;
+    for (i = 0; i < 20; i = i + 1)
+        step(2048);
+    print_int(1);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    optimize = "--optimize" in sys.argv
+    program = compile_source(SOURCE, optimize=optimize)
+    infos = build_load_infos(program)
+    classifier = DelinquencyClassifier(use_frequency=False)
+    scored = classifier.classify(infos)
+
+    info = program.symtab.functions["step"]
+    print(f"=== disassembly of step() "
+          f"({'-O' if optimize else 'unoptimized'}) ===")
+    listing = disassemble(program, with_encoding=False)
+    for line in listing.splitlines():
+        address = int(line.split(":")[0].split()[0], 16) \
+            if ":" in line or "<" in line else None
+        if address is not None and info.start <= address < info.end:
+            print(line)
+
+    print("\n=== address patterns of step()'s loads ===")
+    for address in sorted(infos):
+        load = infos[address]
+        if load.function != "step":
+            continue
+        verdict = scored.loads[address]
+        flag = "DELINQUENT" if verdict.is_delinquent else "-"
+        print(f"\n{address:#x}  {load.instruction.text():28s} "
+              f"phi={verdict.score:+.2f}  {flag}")
+        for pattern, feats in zip(load.patterns, load.features):
+            notes = []
+            if feats.sp_count:
+                notes.append(f"sp x{feats.sp_count}")
+            if feats.gp_count:
+                notes.append(f"gp x{feats.gp_count}")
+            if feats.deref_depth:
+                notes.append(f"deref {feats.deref_depth}")
+            if feats.has_mul or feats.has_shift:
+                notes.append("mul/shift")
+            if feats.has_recurrence:
+                notes.append("recurrent")
+            print(f"    {str(pattern):52s} [{', '.join(notes) or '-'}]")
+
+
+if __name__ == "__main__":
+    main()

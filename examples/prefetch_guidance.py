@@ -1,0 +1,120 @@
+"""Use delinquent-load identification to drive software prefetching.
+
+The paper's motivation: "Performing a prefetch for every load instruction
+... will be too costly"; identification lets you prefetch only where it
+pays.  This example models an ideal next-access prefetcher: for each
+*selected* static load, the block of its next dynamic access is touched
+``DISTANCE`` accesses ahead of time.  It then compares three policies:
+
+* prefetch nothing (baseline miss count),
+* prefetch only the heuristic's Delta (few prefetch ops, most misses
+  removed),
+* prefetch every load (all misses removed — at many times the overhead).
+
+Run:  python examples/prefetch_guidance.py
+"""
+
+from collections import defaultdict
+
+from repro import (
+    BASELINE_CONFIG, DelinquencyClassifier, Machine, build_load_infos,
+    compile_source,
+)
+from repro.cache.model import Cache
+from repro.machine.trace import LOAD
+from repro.profiling.profile import BlockProfile
+
+DISTANCE = 16      # prefetch lead, in memory accesses
+
+SOURCE = r"""
+struct node { int value; int pad0; int pad1; int pad2;
+              int pad3; int pad4; int pad5; struct node *next; };
+struct node *head;
+int total;
+
+int main() {
+    struct node *p;
+    int i;
+    struct node *n;
+    head = NULL;
+    srand(3);
+    for (i = 0; i < 6000; i = i + 1) {
+        n = (struct node*) malloc(sizeof(struct node));
+        n->value = rand();
+        n->next = head;
+        head = n;
+    }
+    total = 0;
+    for (i = 0; i < 12; i = i + 1) {
+        p = head;
+        while (p != NULL) {
+            total = total + p->value;
+            p = p->next;
+        }
+    }
+    print_int(total & 65535);
+    return 0;
+}
+"""
+
+
+def simulate_with_prefetch(trace, prefetch_pcs):
+    """Replay with an ideal lookahead prefetcher for selected PCs."""
+    cache = Cache(BASELINE_CONFIG)
+    pcs, addrs, kinds = trace.pcs, trace.addresses, trace.kinds
+    n = len(pcs)
+    misses = 0
+    load_count = 0
+    prefetches = 0
+    for i in range(n):
+        # issue prefetches for selected loads DISTANCE ahead
+        j = i + DISTANCE
+        if j < n and pcs[j] in prefetch_pcs and kinds[j] == LOAD:
+            cache.access(addrs[j])
+            prefetches += 1
+        if kinds[i] == LOAD:
+            load_count += 1
+            if not cache.access(addrs[i]):
+                misses += 1
+        else:
+            cache.access(addrs[i])
+    return misses, prefetches, load_count
+
+
+def main() -> None:
+    print("compiling and running the list-walking workload ...")
+    program = compile_source(SOURCE)
+    machine = Machine(program)
+    result = machine.run()
+    profile = BlockProfile.from_execution(program, result)
+
+    infos = build_load_infos(program)
+    heuristic = DelinquencyClassifier().classify(
+        infos, profile.load_exec_counts(), profile.hotspot_loads())
+    delta = heuristic.delinquent_set
+    all_loads = set(program.load_addresses())
+
+    print(f"|Lambda| = {len(all_loads)}, heuristic Delta = {len(delta)} "
+          f"loads\n")
+    rows = [
+        ("no prefetching", set()),
+        ("prefetch Delta only", delta),
+        ("prefetch every load", all_loads),
+    ]
+    print(f"{'policy':24s} {'load misses':>12} {'prefetch ops':>14}")
+    baseline = None
+    for label, selected in rows:
+        misses, ops, _ = simulate_with_prefetch(result.trace, selected)
+        if baseline is None:
+            baseline = misses
+        saved = 1 - misses / baseline if baseline else 0.0
+        print(f"{label:24s} {misses:>12,} {ops:>14,}"
+              f"   ({saved:.0%} of misses removed)")
+
+    print("\nThe Delta-only policy removes almost all removable misses "
+          "at a fraction of the prefetch traffic — the paper's case for "
+          "precise static identification.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Delta-guided software prefetching as a real binary transformation.
+
+Unlike examples/prefetch_guidance.py (which models an ideal prefetcher on
+the trace), this example uses the actual pipeline the paper motivates:
+
+1. compile a workload,
+2. statically identify the possibly delinquent loads,
+3. rewrite the *binary*, inserting `pref` instructions before exactly
+   those loads (repro.prefetch + repro.rewrite),
+4. re-run and compare three policies under a stall-cycle model.
+
+Run:  python examples/prefetch_pass.py [workload]
+"""
+
+import sys
+
+from repro.compiler.driver import compile_source
+from repro.heuristic.classifier import DelinquencyClassifier
+from repro.machine.simulator import Machine
+from repro.patterns.builder import build_load_infos
+from repro.prefetch.evaluate import compare_policies
+from repro.profiling.profile import BlockProfile
+from repro.workloads.registry import get
+
+DEFAULT = "183.equake"
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else DEFAULT
+    print(f"compiling {name} ...")
+    program = compile_source(get(name).generate("input1", scale=0.3))
+
+    print("profiling and classifying ...")
+    result = Machine(program).run()
+    profile = BlockProfile.from_execution(program, result)
+    infos = build_load_infos(program)
+    heuristic = DelinquencyClassifier().classify(
+        infos, profile.load_exec_counts(), profile.hotspot_loads())
+    delta = heuristic.delinquent_set
+    print(f"|Lambda| = {program.num_loads()}, Delta = {len(delta)} "
+          f"loads flagged\n")
+
+    print("rewriting and measuring the three policies ...")
+    comparison = compare_policies(program, delta)
+    print()
+    print(comparison.render())
+    print(f"\nDelta-guided prefetching removes "
+          f"{comparison.miss_reduction(comparison.delta):.0%} of load "
+          f"misses with {comparison.delta.prefetch_ops:,} prefetches; "
+          f"prefetching every load costs "
+          f"{comparison.all_loads.prefetch_ops:,}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Retrain the aggregate-class weights on your own workload mix.
+
+Walks the full Section 7 pipeline: profile a set of benchmarks under the
+training cache, compute m/n/strength per class, decide class natures,
+derive W(F) for the positive classes and the negative AG8/AG9 weights —
+then compare classification quality between the paper's weights and the
+retrained ones.
+
+Run:  python examples/train_weights.py
+"""
+
+from repro import (
+    DelinquencyClassifier, PAPER_WEIGHTS, Session, TRAINING_CONFIG,
+    coverage, precision,
+)
+from repro.heuristic.training import BenchmarkTrainingData, train_weights
+
+TRAIN_ON = ("181.mcf", "129.compress", "197.parser", "179.art",
+            "147.vortex")
+EVALUATE_ON = ("022.li", "072.sc")
+
+
+def collect(session, name):
+    m = session.measurement(name, cache_config=TRAINING_CONFIG)
+    return m, BenchmarkTrainingData.collect(
+        name=name, load_infos=m.load_infos, exec_counts=m.load_exec,
+        load_misses=m.load_misses,
+        hotspot_loads=m.profile.hotspot_loads())
+
+
+def main() -> None:
+    session = Session(scale=0.3)
+    print(f"profiling {len(TRAIN_ON)} training workloads ...")
+    training_data = []
+    measurements = {}
+    for name in TRAIN_ON:
+        measurement, data = collect(session, name)
+        measurements[name] = measurement
+        training_data.append(data)
+
+    report = train_weights(training_data)
+    print(f"\n{'class':6s} {'paper':>8} {'retrained':>10}  nature")
+    for class_name in (f"AG{i}" for i in range(1, 10)):
+        evaluation = report.evaluations.get(class_name)
+        nature = evaluation.nature if evaluation else "negative (rule)"
+        print(f"{class_name:6s} {PAPER_WEIGHTS[class_name]:>+8.2f} "
+              f"{report.weights[class_name]:>+10.2f}  {nature}")
+
+    print("\nheld-out evaluation (pi / rho):")
+    for name in EVALUATE_ON:
+        m = session.measurement(name, cache_config=TRAINING_CONFIG)
+        for label, weights in (("paper", PAPER_WEIGHTS),
+                               ("retrained", report.weights)):
+            clf = DelinquencyClassifier(weights=weights)
+            result = clf.classify(m.load_infos, m.load_exec,
+                                  m.profile.hotspot_loads())
+            delta = result.delinquent_set
+            print(f"  {name:14s} {label:10s} "
+                  f"{precision(delta, m.num_loads):>6.1%} / "
+                  f"{coverage(delta, m.load_misses):>6.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""repro — reproduction of *Static Identification of Delinquent Loads*
+(Panait, Sasturkar, Wong; CGO 2004).
+
+The package implements the paper's static delinquent-load heuristic and
+every substrate it depends on: a MiniC compiler targeting a MIPS-like
+ISA, an assembler/disassembler, an instruction-level simulator with a
+set-associative data-cache model, basic-block profiling, address-pattern
+analysis, the weight-training machinery, the OKN/BDH baselines, eighteen
+synthetic SPEC-counterpart workloads, and one experiment per paper table.
+
+Quickstart::
+
+    from repro import analyze_program
+
+    report = analyze_program(open("prog.c").read())
+    print(sorted(report.delinquent_loads))
+    print(report.pi, report.rho)
+"""
+
+from repro.api import AnalysisReport, analyze_program
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import disassemble
+from repro.asm.verify import Issue, verify_program
+from repro.asm.program import Program
+from repro.cache.config import (
+    BASELINE_CONFIG, TRAINING_CONFIG, CacheConfig,
+)
+from repro.cache.hierarchy import (
+    HierarchyConfig, HierarchyStats, simulate_trace_hierarchy,
+)
+from repro.cache.model import Cache, CacheStats, simulate_trace
+from repro.compiler.driver import compile_source, generate_assembly
+from repro.heuristic.classes import (
+    DEFAULT_DELTA, PAPER_WEIGHTS, Weights,
+)
+from repro.heuristic.classifier import (
+    DelinquencyClassifier, HeuristicResult,
+)
+from repro.heuristic.delta_tuning import TunedDelta, tune_delta
+from repro.heuristic.static_frequency import (
+    StaticFrequencyEstimator, static_exec_counts,
+)
+from repro.heuristic.training import (
+    BenchmarkTrainingData, TrainingReport, train_weights,
+)
+from repro.export import (
+    load_report_json, report_to_dict, report_to_json, write_report_json,
+)
+from repro.machine.debugger import Debugger
+from repro.machine.simulator import ExecutionResult, Machine, run_program
+from repro.metrics.measures import coverage, ideal_delta, precision, xi
+from repro.metrics.validation import (
+    ConfusionMatrix, against_ideal, confusion,
+)
+from repro.patterns.builder import LoadInfo, build_load_infos
+from repro.pipeline.session import Measurement, Session
+from repro.rewrite.inserter import RewriteResult, insert_instructions
+from repro.prefetch.evaluate import (
+    PrefetchComparison, compare_policies,
+)
+from repro.prefetch.pass_ import apply_prefetching, plan_prefetches
+from repro.profiling.combined import combined_delta
+from repro.profiling.profile import BlockProfile
+from repro.profiling.sampling import sampled_profile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisReport", "analyze_program",
+    "assemble", "disassemble", "Program",
+    "Issue", "verify_program",
+    "BASELINE_CONFIG", "TRAINING_CONFIG", "CacheConfig",
+    "Cache", "CacheStats", "simulate_trace",
+    "compile_source", "generate_assembly",
+    "DEFAULT_DELTA", "PAPER_WEIGHTS", "Weights",
+    "DelinquencyClassifier", "HeuristicResult",
+    "BenchmarkTrainingData", "TrainingReport", "train_weights",
+    "ExecutionResult", "Machine", "run_program",
+    "coverage", "ideal_delta", "precision", "xi",
+    "LoadInfo", "build_load_infos",
+    "Measurement", "Session",
+    "combined_delta", "BlockProfile", "sampled_profile",
+    "HierarchyConfig", "HierarchyStats", "simulate_trace_hierarchy",
+    "TunedDelta", "tune_delta",
+    "StaticFrequencyEstimator", "static_exec_counts",
+    "Debugger",
+    "load_report_json", "report_to_dict", "report_to_json",
+    "write_report_json",
+    "ConfusionMatrix", "against_ideal", "confusion",
+    "PrefetchComparison", "compare_policies",
+    "apply_prefetching", "plan_prefetches",
+    "RewriteResult", "insert_instructions",
+    "__version__",
+]

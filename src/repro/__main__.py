@@ -1,0 +1,166 @@
+"""Command-line interface.
+
+    python -m repro run PROG.c [--optimize] [--args N ...]
+    python -m repro analyze PROG.c [--optimize] [--static] [--delta D]
+    python -m repro disasm PROG.c [--optimize]
+    python -m repro asm PROG.c [--optimize]
+    python -m repro verify PROG.c [--optimize]
+    python -m repro tables [--tables 1,7,11] [--scale S] [--report F]
+
+``run`` executes the program on the bundled simulator; ``analyze`` runs
+the paper's delinquent-load identification and prints the flagged loads
+with their address patterns; ``disasm``/``asm`` show the generated code.
+``tables`` forwards to the experiment runner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _read(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.compiler.driver import compile_source
+    from repro.machine.simulator import run_program
+    program = compile_source(_read(args.source), optimize=args.optimize)
+    result = run_program(program, args=tuple(args.args),
+                         trace_memory=False)
+    for value in result.output:
+        print(value)
+    return result.exit_code
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.api import analyze_program
+    from repro.heuristic.static_frequency import static_exec_counts
+    report = analyze_program(
+        _read(args.source), optimize=args.optimize,
+        execute=not args.static, delta=args.delta)
+    if args.static:
+        # re-classify with statically estimated frequencies
+        from repro.heuristic.classifier import DelinquencyClassifier
+        classifier = DelinquencyClassifier(delta=args.delta)
+        report.heuristic = classifier.classify(
+            report.load_infos,
+            exec_counts=static_exec_counts(report.program))
+    if args.json:
+        from repro.export import report_to_json
+        print(report_to_json(report))
+        return 0
+    loads = report.program.num_loads()
+    delta_set = report.delinquent_loads
+    print(f"|Lambda| = {loads} static loads; "
+          f"|Delta| = {len(delta_set)} possibly delinquent "
+          f"(pi = {report.pi:.1%})")
+    if report.rho is not None:
+        print(f"measured coverage rho = {report.rho:.1%}")
+    print()
+    scores = report.heuristic.scores()
+    for address in sorted(delta_set, key=lambda a: -scores[a]):
+        print(report.describe_load(address))
+        print()
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.asm.disassembler import disassemble
+    from repro.compiler.driver import compile_source
+    program = compile_source(_read(args.source), optimize=args.optimize)
+    print(disassemble(program))
+    return 0
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    from repro.compiler.driver import generate_assembly
+    print(generate_assembly(_read(args.source), optimize=args.optimize))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.asm.verify import verify_program
+    from repro.compiler.driver import compile_source
+    program = compile_source(_read(args.source), optimize=args.optimize)
+    issues = verify_program(program)
+    for issue in issues:
+        print(issue)
+    print(f"{len(issues)} issue(s) in "
+          f"{len(program.instructions)} instructions")
+    return 1 if issues else 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import main as tables_main
+    forwarded = ["--tables", args.tables, "--scale", str(args.scale)]
+    if args.report:
+        forwarded += ["--report", args.report]
+    if args.no_disk_cache:
+        forwarded.append("--no-disk-cache")
+    return tables_main(forwarded)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static identification of delinquent loads "
+                    "(CGO 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source(p):
+        p.add_argument("source", help="MiniC source file")
+        p.add_argument("--optimize", "-O", action="store_true",
+                       help="compile with optimizations")
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    add_source(p_run)
+    p_run.add_argument("--args", nargs="*", type=int, default=[],
+                       help="integer arguments passed to main")
+    p_run.set_defaults(func=cmd_run)
+
+    p_an = sub.add_parser("analyze",
+                          help="identify possibly delinquent loads")
+    add_source(p_an)
+    p_an.add_argument("--delta", type=float, default=0.10,
+                      help="delinquency threshold (default 0.10)")
+    p_an.add_argument("--static", action="store_true",
+                      help="purely static: no execution; frequency "
+                           "classes use the static estimator")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit the full analysis as JSON "
+                           "(repro.export schema)")
+    p_an.set_defaults(func=cmd_analyze)
+
+    p_dis = sub.add_parser("disasm", help="show the disassembly")
+    add_source(p_dis)
+    p_dis.set_defaults(func=cmd_disasm)
+
+    p_asm = sub.add_parser("asm", help="show the generated assembly")
+    add_source(p_asm)
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_ver = sub.add_parser("verify",
+                           help="structurally verify the generated code")
+    add_source(p_ver)
+    p_ver.set_defaults(func=cmd_verify)
+
+    p_tab = sub.add_parser("tables",
+                           help="regenerate the paper's tables")
+    p_tab.add_argument("--tables", default="all")
+    p_tab.add_argument("--scale", type=float, default=1.0)
+    p_tab.add_argument("--report", default=None)
+    p_tab.add_argument("--no-disk-cache", action="store_true")
+    p_tab.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""High-level convenience API.
+
+``analyze_program`` runs the whole pipeline on one MiniC source string:
+compile, statically classify every load, optionally execute under a cache
+model, and report precision/coverage — the one-call version of what the
+table experiments do per benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.asm.program import Program
+from repro.cache.config import BASELINE_CONFIG, CacheConfig
+from repro.cache.model import CacheStats, simulate_trace
+from repro.compiler.driver import compile_source
+from repro.heuristic.classes import DEFAULT_DELTA, PAPER_WEIGHTS, Weights
+from repro.heuristic.classifier import DelinquencyClassifier, \
+    HeuristicResult
+from repro.machine.simulator import ExecutionResult, Machine
+from repro.metrics.measures import coverage, precision
+from repro.patterns.builder import LoadInfo, build_load_infos
+from repro.profiling.profile import BlockProfile
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of :func:`analyze_program`."""
+
+    program: Program
+    load_infos: dict[int, LoadInfo]
+    heuristic: HeuristicResult
+    execution: Optional[ExecutionResult] = None
+    cache_stats: Optional[CacheStats] = None
+    profile: Optional[BlockProfile] = None
+
+    @property
+    def delinquent_loads(self) -> set[int]:
+        return self.heuristic.delinquent_set
+
+    @property
+    def pi(self) -> float:
+        return precision(self.delinquent_loads, self.program.num_loads())
+
+    @property
+    def rho(self) -> Optional[float]:
+        if self.cache_stats is None:
+            return None
+        return coverage(self.delinquent_loads,
+                        self.cache_stats.load_misses)
+
+    def describe_load(self, address: int) -> str:
+        """Human-readable summary of one load's classification."""
+        info = self.load_infos[address]
+        classified = self.heuristic.loads[address]
+        lines = [
+            f"load at {address:#x} in {info.function}: "
+            f"{info.instruction.text()}",
+            f"  phi = {classified.score:.2f} "
+            f"({'possibly delinquent' if classified.is_delinquent else 'not delinquent'})",
+            f"  classes: {', '.join(sorted(classified.classes)) or '(none)'}",
+        ]
+        for pattern in info.patterns:
+            lines.append(f"  pattern: {pattern}")
+        if self.cache_stats is not None:
+            misses = self.cache_stats.load_misses.get(address, 0)
+            accesses = self.cache_stats.load_accesses.get(address, 0)
+            lines.append(f"  observed: {misses} misses / "
+                         f"{accesses} accesses")
+        return "\n".join(lines)
+
+
+def analyze_program(source: str, *,
+                    optimize: bool = False,
+                    execute: bool = True,
+                    cache: CacheConfig = BASELINE_CONFIG,
+                    weights: Weights = PAPER_WEIGHTS,
+                    delta: float = DEFAULT_DELTA,
+                    use_frequency: Optional[bool] = None,
+                    max_steps: int = 300_000_000) -> AnalysisReport:
+    """Compile and analyze one MiniC program.
+
+    With ``execute=True`` (default) the program runs under the cache
+    model, enabling coverage (rho) and the frequency classes AG8/AG9;
+    with ``execute=False`` the classification is purely static (the
+    paper's "without AG8 and AG9" configuration).
+    """
+    program = compile_source(source, optimize=optimize)
+    load_infos = build_load_infos(program)
+
+    execution: Optional[ExecutionResult] = None
+    cache_stats: Optional[CacheStats] = None
+    profile: Optional[BlockProfile] = None
+    exec_counts = None
+    hotspots = None
+    if execute:
+        machine = Machine(program, trace_memory=True, max_steps=max_steps)
+        execution = machine.run()
+        cache_stats = simulate_trace(execution.trace, cache)
+        profile = BlockProfile.from_execution(program, execution)
+        exec_counts = profile.load_exec_counts()
+        hotspots = profile.hotspot_loads()
+
+    if use_frequency is None:
+        use_frequency = execute
+    classifier = DelinquencyClassifier(weights=weights, delta=delta,
+                                       use_frequency=use_frequency)
+    heuristic = classifier.classify(load_infos, exec_counts, hotspots)
+    return AnalysisReport(
+        program=program,
+        load_infos=load_infos,
+        heuristic=heuristic,
+        execution=execution,
+        cache_stats=cache_stats,
+        profile=profile,
+    )

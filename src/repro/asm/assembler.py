@@ -1,0 +1,464 @@
+"""Two-pass assembler: assembly text to a linked :class:`Program`.
+
+Supports the directive and pseudo-instruction dialect emitted by the MiniC
+compiler:
+
+* sections ``.text`` / ``.data``; labels ``name:``;
+* data directives ``.word``, ``.half``, ``.byte``, ``.float``, ``.space``,
+  ``.asciiz``, ``.align``;
+* function extents ``.ent name`` / ``.end name`` (recorded as debug info);
+* pseudo-instructions ``nop``, ``move``, ``li``, ``la`` (gp-relative data
+  address), ``lta`` (text address via lui/ori), ``b``, ``beqz``, ``bnez``,
+  ``bge``, ``bgt``, ``ble``, ``blt``, ``neg``, ``not``, and direct-global
+  ``lw/sw $rt, symbol`` forms that expand to ``%gp``-relative accesses;
+* relocation operators ``%gp(sym)``, ``%hi(sym)``, ``%lo(sym)``.
+
+Globals live in a ``$gp``-relative window (matching the MIPS small-data
+convention the paper's H1 criterion keys on).
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.asm.program import DATA_BASE, GP_OFFSET, TEXT_BASE, Program
+from repro.asm.symtab import SymbolTable
+from repro.isa.instructions import SPECS, Format, Instruction
+from repro.isa.registers import AT, GP, ZERO, register_number
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly input."""
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        self.line = line
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+
+
+@dataclass
+class SymRef:
+    """Unresolved symbolic operand with relocation kind and addend."""
+
+    name: str
+    kind: str = "abs"          # abs | gp | hi | lo
+    addend: int = 0
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_MEM_RE = re.compile(r"^(.*)\(\s*(\$\w+)\s*\)$")
+_RELOC_RE = re.compile(r"^%(gp|hi|lo)\((.+?)\)(?:([+-]\d+))?$")
+_SYM_RE = re.compile(r"^([A-Za-z_.$][\w.$]*)(?:([+-]\d+))?$")
+
+
+def _parse_value(token: str, line: int):
+    """Parse an immediate operand: integer, relocation or symbol ref."""
+    token = token.strip()
+    match = _RELOC_RE.match(token)
+    if match:
+        kind, name, addend = match.groups()
+        return SymRef(name, kind=kind, addend=int(addend or 0))
+    try:
+        return int(token, 0)
+    except ValueError:
+        pass
+    match = _SYM_RE.match(token)
+    if match:
+        name, addend = match.groups()
+        return SymRef(name, kind="abs", addend=int(addend or 0))
+    raise AssemblerError(f"bad operand: {token!r}", line)
+
+
+def _split_operands(rest: str) -> list[str]:
+    """Split an operand string on commas not inside parens/quotes."""
+    parts: list[str] = []
+    depth = 0
+    in_string = False
+    current = ""
+    for char in rest:
+        if in_string:
+            current += char
+            if char == '"' and not current.endswith('\\"'):
+                in_string = False
+            continue
+        if char == '"':
+            in_string = True
+            current += char
+        elif char == "(":
+            depth += 1
+            current += char
+        elif char == ")":
+            depth -= 1
+            current += char
+        elif char == "," and depth == 0:
+            parts.append(current.strip())
+            current = ""
+        else:
+            current += char
+    if current.strip():
+        parts.append(current.strip())
+    return parts
+
+
+@dataclass
+class _PendingInstr:
+    """An instruction awaiting symbol resolution in pass 2."""
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    rt: Optional[int] = None
+    imm: object = None          # int | SymRef | None
+    shamt: Optional[int] = None
+    line: int = 0
+    label: Optional[str] = None
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, symtab: Optional[SymbolTable] = None):
+        self.symtab = symtab or SymbolTable()
+        self._pending: list[_PendingInstr] = []
+        self._data = bytearray()
+        self._symbols: dict[str, int] = {}
+        self._section = "text"
+        self._open_function: Optional[str] = None
+        self._word_relocs: list[tuple[int, SymRef, int]] = []
+
+    # ------------------------------------------------------------------
+    def assemble(self, source: str) -> Program:
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            self._line(raw, lineno)
+        if self._open_function is not None:
+            raise AssemblerError(f"unterminated .ent {self._open_function}")
+        instructions = [self._resolve(p) for p in self._pending]
+        if "__start" in self._symbols:
+            entry = self._symbols["__start"]
+        elif "main" in self._symbols:
+            entry = self._symbols["main"]
+        else:
+            entry = TEXT_BASE
+        return Program(
+            instructions=instructions,
+            data=self._data,
+            symbols=dict(self._symbols),
+            symtab=self.symtab,
+            entry=entry,
+            source=source,
+        )
+
+    # -- pass 1 --------------------------------------------------------
+    def _here(self) -> int:
+        if self._section == "text":
+            return TEXT_BASE + 4 * len(self._pending)
+        return DATA_BASE + len(self._data)
+
+    def _define(self, name: str, line: int) -> None:
+        if name in self._symbols:
+            raise AssemblerError(f"duplicate label {name!r}", line)
+        self._symbols[name] = self._here()
+
+    def _line(self, raw: str, lineno: int) -> None:
+        text = raw.split("#", 1)[0].strip()
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            self._define(match.group(1), lineno)
+            text = text[match.end():].strip()
+        if not text:
+            return
+        if text.startswith("."):
+            self._directive(text, lineno)
+        else:
+            self._instruction(text, lineno)
+
+    # -- directives ------------------------------------------------------
+    def _directive(self, text: str, line: int) -> None:
+        parts = text.split(None, 1)
+        name = parts[0]
+        rest = parts[1] if len(parts) > 1 else ""
+        if name == ".text":
+            self._section = "text"
+        elif name == ".data":
+            self._section = "data"
+        elif name == ".globl":
+            pass  # all symbols are visible; kept for dialect compatibility
+        elif name == ".ent":
+            func = rest.strip()
+            self._open_function = func
+            info = self.symtab.functions.get(func)
+            if info is None:
+                from repro.asm.symtab import FunctionInfo
+                info = FunctionInfo(name=func)
+                self.symtab.add_function(info)
+            info.start = self._here()
+        elif name == ".end":
+            func = rest.strip()
+            if self._open_function != func:
+                raise AssemblerError(
+                    f".end {func} does not match .ent {self._open_function}",
+                    line)
+            self.symtab.functions[func].end = self._here()
+            self._open_function = None
+        elif name == ".align":
+            self._align(1 << int(rest, 0))
+        elif name == ".space":
+            self._data.extend(b"\0" * int(rest, 0))
+        elif name == ".word":
+            self._align(4)
+            for token in _split_operands(rest):
+                value = _parse_value(token, line)
+                if isinstance(value, SymRef):
+                    self._data_reloc(value, line)
+                else:
+                    if not -0x8000_0000 <= value <= 0xFFFF_FFFF:
+                        raise AssemblerError(
+                            f".word value out of range: {value}", line)
+                    self._data.extend(
+                        struct.pack("<I", value & 0xFFFF_FFFF))
+        elif name == ".half":
+            self._align(2)
+            for token in _split_operands(rest):
+                self._data.extend(struct.pack("<h", int(token, 0)))
+        elif name == ".byte":
+            for token in _split_operands(rest):
+                self._data.extend(struct.pack("<b", int(token, 0)))
+        elif name == ".float":
+            self._align(4)
+            for token in _split_operands(rest):
+                self._data.extend(struct.pack("<f", float(token)))
+        elif name == ".asciiz":
+            string = rest.strip()
+            if not (string.startswith('"') and string.endswith('"')):
+                raise AssemblerError("malformed .asciiz string", line)
+            decoded = string[1:-1].encode().decode("unicode_escape")
+            self._data.extend(decoded.encode("latin-1") + b"\0")
+        else:
+            raise AssemblerError(f"unknown directive {name}", line)
+
+    def _align(self, boundary: int) -> None:
+        while len(self._data) % boundary:
+            self._data.append(0)
+
+    def _data_reloc(self, ref: SymRef, line: int) -> None:
+        # Data words referencing symbols are patched in pass 2.
+        self._word_relocs.append((len(self._data), ref, line))
+        self._data.extend(b"\0\0\0\0")
+
+    # -- instructions ------------------------------------------------------
+    def _emit(self, mnemonic: str, line: int, **fields) -> None:
+        self._pending.append(_PendingInstr(mnemonic, line=line, **fields))
+
+    def _instruction(self, text: str, line: int) -> None:
+        if self._section != "text":
+            raise AssemblerError("instruction outside .text", line)
+        parts = text.split(None, 1)
+        mnemonic = parts[0]
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        if mnemonic in _PSEUDOS:
+            _PSEUDOS[mnemonic](self, operands, line)
+            return
+        spec = SPECS.get(mnemonic)
+        if spec is None:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line)
+        fmt = spec.fmt
+        try:
+            if fmt is Format.R3:
+                rd, rs, rt = (register_number(x) for x in operands)
+                self._emit(mnemonic, line, rd=rd, rs=rs, rt=rt)
+            elif fmt is Format.R2:
+                rd, rs = (register_number(x) for x in operands)
+                self._emit(mnemonic, line, rd=rd, rs=rs)
+            elif fmt is Format.SHIFT:
+                rd, rt = register_number(operands[0]), register_number(operands[1])
+                self._emit(mnemonic, line, rd=rd, rt=rt,
+                           shamt=int(operands[2], 0))
+            elif fmt is Format.I_ARITH:
+                rt, rs = register_number(operands[0]), register_number(operands[1])
+                self._emit(mnemonic, line, rt=rt, rs=rs,
+                           imm=_parse_value(operands[2], line))
+            elif fmt is Format.LUI:
+                self._emit(mnemonic, line, rt=register_number(operands[0]),
+                           imm=_parse_value(operands[1], line))
+            elif fmt is Format.MEM:
+                self._mem(mnemonic, operands, line)
+            elif fmt is Format.BRANCH2:
+                rs, rt = register_number(operands[0]), register_number(operands[1])
+                self._emit(mnemonic, line, rs=rs, rt=rt,
+                           imm=_parse_value(operands[2], line))
+            elif fmt is Format.BRANCH1:
+                self._emit(mnemonic, line, rs=register_number(operands[0]),
+                           imm=_parse_value(operands[1], line))
+            elif fmt is Format.JUMP:
+                self._emit(mnemonic, line, imm=_parse_value(operands[0], line))
+            elif fmt is Format.JR:
+                self._emit(mnemonic, line, rs=register_number(operands[0]))
+            elif fmt is Format.JALR:
+                rd, rs = (register_number(x) for x in operands)
+                self._emit(mnemonic, line, rd=rd, rs=rs)
+            elif fmt is Format.BARE:
+                self._emit(mnemonic, line)
+        except (IndexError, ValueError) as exc:
+            raise AssemblerError(f"bad operands for {mnemonic}: {exc}", line)
+
+    def _mem(self, mnemonic: str, operands: list[str], line: int) -> None:
+        if mnemonic == "pref":
+            # prefetch has no destination: pref off($rs)
+            rt, addr = ZERO, operands[0]
+        else:
+            rt = register_number(operands[0])
+            addr = operands[1]
+        match = _MEM_RE.match(addr)
+        if match:
+            offset_text, base = match.groups()
+            offset = _parse_value(offset_text or "0", line)
+            self._emit(mnemonic, line, rt=rt,
+                       rs=register_number(base), imm=offset)
+        else:
+            # Direct global: expands to a gp-relative access.
+            ref = _parse_value(addr, line)
+            if not isinstance(ref, SymRef):
+                raise AssemblerError(f"bad address operand {addr!r}", line)
+            ref.kind = "gp"
+            self._emit(mnemonic, line, rt=rt, rs=GP, imm=ref)
+
+    # -- pass 2 --------------------------------------------------------
+    def _lookup(self, ref: SymRef, line: int) -> int:
+        if ref.name not in self._symbols:
+            raise AssemblerError(f"undefined symbol {ref.name!r}", line)
+        value = self._symbols[ref.name] + ref.addend
+        if ref.kind == "gp":
+            return value - (DATA_BASE + GP_OFFSET)
+        if ref.kind == "hi":
+            return (value >> 16) & 0xFFFF
+        if ref.kind == "lo":
+            return value & 0xFFFF
+        return value
+
+    def _resolve(self, pending: _PendingInstr) -> Instruction:
+        imm = pending.imm
+        label = pending.label
+        if isinstance(imm, SymRef):
+            if imm.kind == "abs":
+                label = imm.name
+            imm = self._lookup(imm, pending.line)
+        return Instruction(
+            mnemonic=pending.mnemonic, rd=pending.rd, rs=pending.rs,
+            rt=pending.rt, imm=imm, shamt=pending.shamt, label=label,
+            source_line=pending.line,
+        )
+
+# -- pseudo-instruction expanders ------------------------------------------
+
+def _pseudo_nop(asm: Assembler, ops: list[str], line: int) -> None:
+    asm._emit("sll", line, rd=ZERO, rt=ZERO, shamt=0)
+
+
+def _pseudo_move(asm: Assembler, ops: list[str], line: int) -> None:
+    rd, rs = (register_number(x) for x in ops)
+    asm._emit("addu", line, rd=rd, rs=rs, rt=ZERO)
+
+
+def _pseudo_li(asm: Assembler, ops: list[str], line: int) -> None:
+    rd = register_number(ops[0])
+    value = int(ops[1], 0)
+    if -0x8000 <= value <= 0x7FFF:
+        asm._emit("addiu", line, rt=rd, rs=ZERO, imm=value)
+    elif 0 <= value <= 0xFFFF:
+        asm._emit("ori", line, rt=rd, rs=ZERO, imm=value)
+    else:
+        word = value & 0xFFFF_FFFF
+        asm._emit("lui", line, rt=rd, imm=(word >> 16) & 0xFFFF)
+        if word & 0xFFFF:
+            asm._emit("ori", line, rt=rd, rs=rd, imm=word & 0xFFFF)
+
+
+def _pseudo_la(asm: Assembler, ops: list[str], line: int) -> None:
+    """Load the address of a data symbol, gp-relative (small data model)."""
+    rd = register_number(ops[0])
+    ref = _parse_value(ops[1], line)
+    if not isinstance(ref, SymRef):
+        raise AssemblerError("la needs a symbol operand", line)
+    ref.kind = "gp"
+    asm._emit("addiu", line, rt=rd, rs=GP, imm=ref)
+
+
+def _pseudo_lta(asm: Assembler, ops: list[str], line: int) -> None:
+    """Load a text (function) address via lui/ori."""
+    rd = register_number(ops[0])
+    ref = _parse_value(ops[1], line)
+    if not isinstance(ref, SymRef):
+        raise AssemblerError("lta needs a symbol operand", line)
+    hi = SymRef(ref.name, kind="hi", addend=ref.addend)
+    lo = SymRef(ref.name, kind="lo", addend=ref.addend)
+    asm._emit("lui", line, rt=rd, imm=hi)
+    asm._emit("ori", line, rt=rd, rs=rd, imm=lo)
+
+
+def _pseudo_b(asm: Assembler, ops: list[str], line: int) -> None:
+    asm._emit("beq", line, rs=ZERO, rt=ZERO, imm=_parse_value(ops[0], line))
+
+
+def _pseudo_beqz(asm: Assembler, ops: list[str], line: int) -> None:
+    asm._emit("beq", line, rs=register_number(ops[0]), rt=ZERO,
+              imm=_parse_value(ops[1], line))
+
+
+def _pseudo_bnez(asm: Assembler, ops: list[str], line: int) -> None:
+    asm._emit("bne", line, rs=register_number(ops[0]), rt=ZERO,
+              imm=_parse_value(ops[1], line))
+
+
+def _compare_branch(flip: bool, taken_if_set: bool):
+    def expand(asm: Assembler, ops: list[str], line: int) -> None:
+        rs, rt = register_number(ops[0]), register_number(ops[1])
+        target = _parse_value(ops[2], line)
+        if flip:
+            rs, rt = rt, rs
+        asm._emit("slt", line, rd=AT, rs=rs, rt=rt)
+        branch = "bne" if taken_if_set else "beq"
+        asm._emit(branch, line, rs=AT, rt=ZERO, imm=target)
+    return expand
+
+
+def _pseudo_neg(asm: Assembler, ops: list[str], line: int) -> None:
+    rd, rs = (register_number(x) for x in ops)
+    asm._emit("subu", line, rd=rd, rs=ZERO, rt=rs)
+
+
+def _pseudo_not(asm: Assembler, ops: list[str], line: int) -> None:
+    rd, rs = (register_number(x) for x in ops)
+    asm._emit("nor", line, rd=rd, rs=rs, rt=ZERO)
+
+
+_PSEUDOS = {
+    "nop": _pseudo_nop,
+    "move": _pseudo_move,
+    "li": _pseudo_li,
+    "la": _pseudo_la,
+    "lta": _pseudo_lta,
+    "b": _pseudo_b,
+    "beqz": _pseudo_beqz,
+    "bnez": _pseudo_bnez,
+    "blt": _compare_branch(flip=False, taken_if_set=True),
+    "bge": _compare_branch(flip=False, taken_if_set=False),
+    "bgt": _compare_branch(flip=True, taken_if_set=True),
+    "ble": _compare_branch(flip=True, taken_if_set=False),
+    "neg": _pseudo_neg,
+    "not": _pseudo_not,
+}
+
+
+def assemble(source: str, symtab: Optional[SymbolTable] = None) -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    assembler = Assembler(symtab=symtab)
+    program = assembler.assemble(source)
+    for offset, ref, line in assembler._word_relocs:
+        value = assembler._lookup(ref, line)
+        program.data[offset:offset + 4] = struct.pack("<I", value & 0xFFFFFFFF)
+    return program

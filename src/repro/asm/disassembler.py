@@ -1,0 +1,57 @@
+"""Disassembler: binary words or Program objects back to readable text.
+
+Mirrors the paper's use of ``objdump``: the post-compilation analysis
+consumes disassembly rather than compiler internals.  ``disassemble``
+renders a :class:`Program` with addresses, encoded words and symbolic
+labels; ``decode_image`` rebuilds instruction objects from raw words (the
+encode/decode round trip the tests verify).
+"""
+
+from __future__ import annotations
+
+from repro.asm.program import Program
+from repro.isa.encoding import decode, encode
+from repro.isa.instructions import Format, Instruction
+
+
+def encode_program(program: Program) -> list[int]:
+    """Binary text-segment image: one 32-bit word per instruction."""
+    return [encode(instr, program.address_of(index))
+            for index, instr in enumerate(program.instructions)]
+
+
+def decode_image(words: list[int], text_base: int) -> list[Instruction]:
+    """Decode a text-segment image back into instructions."""
+    return [decode(word, text_base + 4 * index)
+            for index, word in enumerate(words)]
+
+
+def _target_text(program: Program, instr: Instruction) -> str:
+    if instr.imm is None:
+        return ""
+    labels = program.labels_at(instr.imm)
+    return f" <{labels[0]}>" if labels else ""
+
+
+def disassemble(program: Program, with_encoding: bool = True) -> str:
+    """Objdump-style listing of the whole text segment."""
+    lines: list[str] = []
+    for index, instr in enumerate(program.instructions):
+        address = program.address_of(index)
+        for label in program.labels_at(address):
+            lines.append(f"{address:08x} <{label}>:")
+        word = encode(instr, address) if with_encoding else None
+        text = instr.text()
+        if instr.is_control() and instr.spec.fmt in (
+                Format.BRANCH1, Format.BRANCH2, Format.JUMP):
+            text += _target_text(program, instr)
+        if word is not None:
+            lines.append(f"{address:08x}:  {word:08x}    {text}")
+        else:
+            lines.append(f"{address:08x}:    {text}")
+    return "\n".join(lines)
+
+
+def roundtrip(program: Program) -> list[Instruction]:
+    """encode -> decode of every instruction (used by property tests)."""
+    return decode_image(encode_program(program), program.text_base)

@@ -1,0 +1,177 @@
+"""Structural verification of assembled programs.
+
+A lightweight "machine-code lint" run over a :class:`Program`, catching
+the classes of code-generation bugs that otherwise surface as bizarre
+runtime behaviour:
+
+* control transfers to addresses that are not instruction boundaries,
+  or conditional branches that leave their function;
+* ``jal`` targets that are not function entry points;
+* functions whose last instruction can fall through into the next
+  function;
+* unbalanced stack adjustment between a function's prologue and its
+  ``jr $ra`` exits;
+* reads of caller-saved registers whose value can only come from
+  function entry (maybe-uninitialized temporaries), found with the same
+  reaching-definitions analysis the pattern builder uses.
+
+``verify_program`` returns a list of :class:`Issue`; an empty list means
+the image passes every check.  The test suite runs it over every
+compiled workload in both optimization modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.cfg.blocks import BlockMap
+from repro.cfg.graph import build_function_cfgs
+from repro.dataflow.reachdefs import ENTRY, ReachingDefinitions
+from repro.isa.instructions import Format, branch_target
+from repro.isa.registers import (
+    AT, GP, RA, SP, TEMP_REGISTERS, V0, V1, register_name,
+)
+
+#: Registers that carry no value at function entry under the ABI.
+_UNDEFINED_AT_ENTRY = frozenset(TEMP_REGISTERS) | {AT, V0, V1}
+
+
+@dataclass(frozen=True)
+class Issue:
+    """One verification finding."""
+
+    kind: str          # e.g. "bad-branch-target", "uninitialized-read"
+    address: int
+    function: str
+    message: str
+
+    def __str__(self) -> str:
+        return (f"{self.address:#010x} [{self.function}] "
+                f"{self.kind}: {self.message}")
+
+
+def verify_program(program: Program,
+                   check_uninitialized: bool = True) -> list[Issue]:
+    """Run every structural check; return all findings."""
+    issues: list[Issue] = []
+    block_map = BlockMap(program)
+    cfgs = build_function_cfgs(program, block_map)
+    function_starts = {
+        info.start for info in program.symtab.functions.values()
+    }
+
+    issues.extend(_check_control_targets(program, function_starts))
+    issues.extend(_check_fallthrough(program))
+    issues.extend(_check_stack_balance(program))
+    if check_uninitialized:
+        for cfg in cfgs.values():
+            issues.extend(_check_uninitialized(program, cfg))
+    return issues
+
+
+# ---------------------------------------------------------------------------
+def _function_of(program: Program, address: int) -> str:
+    return program.function_containing(address) or "?"
+
+
+def _check_control_targets(program: Program,
+                           function_starts: set[int]) -> list[Issue]:
+    issues: list[Issue] = []
+    for index, instr in enumerate(program.instructions):
+        address = program.address_of(index)
+        target = branch_target(instr)
+        if target is None:
+            continue
+        function = _function_of(program, address)
+        if target % 4 != 0 or not (program.text_base <= target
+                                   < program.text_end):
+            issues.append(Issue(
+                "bad-control-target", address, function,
+                f"{instr.text()} targets {target:#x} outside text"))
+            continue
+        if instr.is_branch:
+            if _function_of(program, target) != function:
+                issues.append(Issue(
+                    "branch-leaves-function", address, function,
+                    f"{instr.text()} jumps into "
+                    f"{_function_of(program, target)}"))
+        elif instr.mnemonic == "jal":
+            if target not in function_starts:
+                issues.append(Issue(
+                    "call-into-body", address, function,
+                    f"jal targets {target:#x}, not a function entry"))
+    return issues
+
+
+def _check_fallthrough(program: Program) -> list[Issue]:
+    issues: list[Issue] = []
+    for name, info in program.symtab.functions.items():
+        if info.end <= info.start or info.end > program.text_end:
+            continue
+        last = program.instruction_at(info.end - 4)
+        terminal = (last.spec.fmt in (Format.JR, Format.JUMP)
+                    and not last.is_call) or last.mnemonic == "syscall"
+        # an unconditional beq $zero,$zero (pseudo `b`) also terminates
+        if last.mnemonic == "beq" and last.rs == 0 and last.rt == 0:
+            terminal = True
+        if not terminal:
+            issues.append(Issue(
+                "fallthrough-off-function", info.end - 4, name,
+                f"last instruction {last.text()!r} can fall through"))
+    return issues
+
+
+def _check_stack_balance(program: Program) -> list[Issue]:
+    """Prologue sp decrement must match the adjustment before jr $ra."""
+    issues: list[Issue] = []
+    for name, info in program.symtab.functions.items():
+        if info.end <= info.start:
+            continue
+        first = program.instruction_at(info.start)
+        frame = 0
+        if first.mnemonic == "addiu" and first.rt == SP \
+                and first.rs == SP and first.imm is not None \
+                and first.imm < 0:
+            frame = -first.imm
+        if frame == 0:
+            continue        # leaf with no frame: nothing to balance
+        for address in range(info.start, info.end, 4):
+            instr = program.instruction_at(address)
+            if instr.spec.fmt is Format.JR and instr.rs == RA:
+                # scan backwards for the sp restore in this block
+                restored = False
+                back = address - 4
+                while back >= info.start and address - back <= 40:
+                    prev = program.instruction_at(back)
+                    if prev.mnemonic == "addiu" and prev.rt == SP \
+                            and prev.rs == SP and prev.imm == frame:
+                        restored = True
+                        break
+                    if prev.is_control():
+                        break
+                    back -= 4
+                if not restored:
+                    issues.append(Issue(
+                        "unbalanced-stack", address, name,
+                        f"jr $ra without restoring frame of {frame} "
+                        f"bytes"))
+    return issues
+
+
+def _check_uninitialized(program: Program, cfg) -> list[Issue]:
+    issues: list[Issue] = []
+    rd = ReachingDefinitions(cfg)
+    for block in cfg:
+        for offset, instr in enumerate(block.instructions):
+            address = block.start + 4 * offset
+            for reg in instr.uses():
+                if reg not in _UNDEFINED_AT_ENTRY:
+                    continue
+                reaching = rd.reaching(address, reg)
+                if reaching == {ENTRY}:
+                    issues.append(Issue(
+                        "uninitialized-read", address, cfg.name,
+                        f"{instr.text()} reads {register_name(reg)} "
+                        f"which has no definition in {cfg.name}"))
+    return issues

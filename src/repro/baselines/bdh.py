@@ -1,0 +1,268 @@
+"""Static BDH baseline (Burtscher, Diwan, Hauswirth, PLDI 2002).
+
+BDH classifies each load by a three-letter string: memory **region**
+(Stack / Heap / Global), reference **kind** (Scalar / Array element /
+struct Field) and loaded-value **type** (Pointer / Non-pointer).  The
+suggested delinquent classes are GAN, HSN, HFN, HAN, HFP and HAP.
+
+The original work classified loads over an execution trace; the paper
+re-implements it *statically* (Section 8.5) using symbol-table type
+analysis plus two inferences we reproduce:
+
+* value propagation marks loads whose address traces back to a
+  ``malloc``/``calloc`` result (a ``reg_ret`` base in the address pattern)
+  as heap references;
+* "if a value loaded from memory is used as part of the address in a
+  subsequent load, the first load is assumed to be a pointer reference".
+
+As the paper notes, the region of memory is "not always discernable by a
+compiler" — pointer-typed variables are assumed to point into the heap,
+which is the same approximation the authors accept.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.asm.program import Program
+from repro.asm.symtab import SymbolTable, TypeDesc, VariableInfo
+from repro.cfg.blocks import BlockMap
+from repro.dataflow.addrflow import AddressFlow
+from repro.patterns.ap import APNode, Base, BinOp, Const, Deref
+from repro.patterns.builder import LoadInfo
+from repro.patterns.recurrence import slot_of_pattern
+
+#: The class union the BDH authors recommend flagging as delinquent.
+DELINQUENT_CLASSES = frozenset(("GAN", "HSN", "HFN", "HAN", "HFP", "HAP"))
+
+
+@dataclass
+class _Terms:
+    """A pattern's top-level additive decomposition."""
+
+    const: int = 0
+    bases: list[str] = None
+    derefs: list[Deref] = None
+    has_var_index: bool = False
+
+    def __post_init__(self):
+        if self.bases is None:
+            self.bases = []
+        if self.derefs is None:
+            self.derefs = []
+
+
+def _split(pattern: APNode) -> _Terms:
+    terms = _Terms()
+
+    def walk(node: APNode) -> None:
+        if isinstance(node, Const):
+            terms.const += node.value
+        elif isinstance(node, Base):
+            terms.bases.append(node.kind)
+        elif isinstance(node, Deref):
+            terms.derefs.append(node)
+        elif isinstance(node, BinOp) and node.op == "+":
+            walk(node.left)
+            walk(node.right)
+        else:
+            terms.has_var_index = True
+
+    walk(pattern)
+    return terms
+
+
+def _contains_ret(node: APNode) -> bool:
+    if isinstance(node, Base):
+        return node.kind == "reg_ret"
+    if isinstance(node, BinOp):
+        return _contains_ret(node.left) or _contains_ret(node.right)
+    if isinstance(node, Deref):
+        return _contains_ret(node.address)
+    return False
+
+
+class TypeResolver:
+    """Answers "what source-level location does this address name?"."""
+
+    def __init__(self, symtab: SymbolTable):
+        self.symtab = symtab
+
+    def variable_for_slot(self, function: str,
+                          slot: tuple[str, int]) -> Optional[VariableInfo]:
+        kind, offset = slot
+        if kind == "gp":
+            return self.symtab.global_at(offset)
+        info = self.symtab.functions.get(function)
+        if info is None:
+            return None
+        return info.local_at(offset)
+
+    def resolve_struct(self, desc: TypeDesc) -> Optional[TypeDesc]:
+        if desc.kind == "struct_ref":
+            return self.symtab.structs.get(desc.struct_name)
+        if desc.kind == "struct":
+            return desc
+        return None
+
+    def location_type(self, var_type: TypeDesc,
+                      offset: int) -> tuple[Optional[TypeDesc], str]:
+        """(type at byte ``offset`` inside a value of ``var_type``, kind
+        letter) where kind is S/A/F."""
+        desc = var_type
+        kind = "S"
+        for _ in range(8):  # bounded drill-down through nesting
+            if desc.kind == "array":
+                kind = "A"
+                if desc.elem is None or desc.elem.size == 0:
+                    return None, kind
+                offset %= max(desc.elem.size, 1)
+                desc = desc.elem
+                continue
+            struct = self.resolve_struct(desc)
+            if struct is not None and struct.fields:
+                fld = struct.field_at(offset)
+                if fld is None:
+                    return None, "F"
+                kind = "F"
+                offset -= fld.offset
+                desc = fld.type
+                continue
+            return desc, kind
+        return desc, kind
+
+
+@dataclass
+class BDHResult:
+    classes: dict[int, str]           # load address -> e.g. "HFP"
+    chain: set[int] = None            # address-chain members also selected
+
+    def __post_init__(self):
+        if self.chain is None:
+            self.chain = set()
+
+    @property
+    def delinquent_set(self) -> set[int]:
+        direct = {address for address, name in self.classes.items()
+                  if name in DELINQUENT_CLASSES}
+        return direct | self.chain
+
+    def counts(self) -> dict[str, int]:
+        histogram: dict[str, int] = {}
+        for name in self.classes.values():
+            histogram[name] = histogram.get(name, 0) + 1
+        return histogram
+
+
+class BDHClassifier:
+    """Static BDH classification over address patterns + symbol table."""
+
+    def __init__(self, program: Program,
+                 block_map: Optional[BlockMap] = None,
+                 include_chain: bool = True):
+        self.program = program
+        self.resolver = TypeResolver(program.symtab)
+        self.flow = AddressFlow(program, block_map)
+        self.include_chain = include_chain
+
+    # ------------------------------------------------------------------
+    def classify(self, load_infos: Mapping[int, LoadInfo]) -> BDHResult:
+        classes: dict[int, str] = {}
+        for address, info in load_infos.items():
+            classes[address] = self.classify_load(info)
+        chain: set[int] = set()
+        if self.include_chain:
+            # Selection built for prefetching tags the address chain of
+            # every selected reference (see repro.dataflow.addrflow).
+            selected = {a for a, n in classes.items()
+                        if n in DELINQUENT_CLASSES}
+            chain = {a for a in self.flow.chain_members(selected)
+                     if a in load_infos and a not in selected}
+        return BDHResult(classes, chain)
+
+    def classify_load(self, info: LoadInfo) -> str:
+        """Class of the load; with several patterns the first pattern
+        that yields a delinquent class wins (any-path semantics)."""
+        result = "SSN"
+        for pattern in info.patterns:
+            name = self._classify_pattern(pattern, info)
+            result = name
+            if name in DELINQUENT_CLASSES:
+                return name
+        return result
+
+    # ------------------------------------------------------------------
+    def _classify_pattern(self, pattern: APNode, info: LoadInfo) -> str:
+        terms = _split(pattern)
+        region = self._region(pattern, terms, info)
+        kind, loc_type = self._kind_and_type(terms, info)
+        if loc_type is None:
+            pointer = info.address in self.flow.address_source_loads
+        else:
+            pointer = loc_type.kind == "pointer" \
+                or info.address in self.flow.address_source_loads
+        return region + kind + ("P" if pointer else "N")
+
+    def _region(self, pattern: APNode, terms: _Terms,
+                info: LoadInfo) -> str:
+        if _contains_ret(pattern):
+            return "H"        # value-propagated from malloc/calloc
+        for deref in terms.derefs:
+            slot = slot_of_pattern(deref.address)
+            if slot is None:
+                return "H"    # address from an untracked loaded value
+            var = self.resolver.variable_for_slot(info.function, slot)
+            if var is None or var.type.kind == "pointer":
+                return "H"
+        if terms.derefs:
+            return "H"
+        if "reg_param" in terms.bases:
+            return "H"        # pointer parameters: provenance unknown
+        if "gp" in terms.bases:
+            return "G"
+        return "S"
+
+    def _kind_and_type(self, terms: _Terms, info: LoadInfo
+                       ) -> tuple[str, Optional[TypeDesc]]:
+        resolver = self.resolver
+        if terms.derefs:
+            deref = terms.derefs[0]
+            slot = slot_of_pattern(deref.address)
+            var = resolver.variable_for_slot(info.function, slot) \
+                if slot else None
+            if var is not None and var.type.kind == "pointer" \
+                    and var.type.elem is not None:
+                pointee = var.type.elem
+                struct = resolver.resolve_struct(pointee)
+                if struct is not None:
+                    loc, _ = resolver.location_type(struct,
+                                                    max(terms.const, 0))
+                    kind = "A" if terms.has_var_index else "F"
+                    return kind, loc
+                if terms.has_var_index:
+                    return "A", pointee
+                return ("F" if terms.const else "S"), pointee
+            # Unresolvable pointer chain.
+            return ("A" if terms.has_var_index else "F"), None
+        # Direct sp/gp-relative access.
+        base = "gp" if "gp" in terms.bases else \
+            ("sp" if "sp" in terms.bases else None)
+        if base is not None:
+            var = resolver.variable_for_slot(info.function,
+                                             (base, terms.const))
+            if var is not None:
+                loc, kind = resolver.location_type(var.type,
+                                                   terms.const - var.offset)
+                if terms.has_var_index:
+                    kind = "A"
+                return kind, loc
+        return ("A" if terms.has_var_index else "S"), None
+
+
+def classify(program: Program,
+             load_infos: Mapping[int, LoadInfo],
+             block_map: Optional[BlockMap] = None,
+             include_chain: bool = True) -> BDHResult:
+    return BDHClassifier(program, block_map,
+                         include_chain=include_chain).classify(load_infos)

@@ -1,0 +1,61 @@
+"""Cache configurations, including the paper's experimental presets.
+
+The paper trains with "a split level one cache structure with a four-way
+associative data cache having 256 cache sets of 32 bytes cache blocks,
+implementing a LRU replacement policy" (Section 6) and evaluates at a
+baseline 8 KByte data cache (Section 8.5), sweeping associativity 2/4/8
+(Table 8) and sizes 8K..64K (Table 9).  Only the data cache is modelled —
+the heuristic concerns data-cache misses exclusively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and policy of one data cache."""
+
+    size: int = 8 * 1024          # total bytes
+    assoc: int = 4
+    block_size: int = 32
+    replacement: str = "lru"      # "lru" | "fifo" | "random"
+
+    def __post_init__(self) -> None:
+        if self.size % (self.assoc * self.block_size):
+            raise ValueError(
+                f"cache size {self.size} not divisible by "
+                f"assoc*block ({self.assoc}*{self.block_size})")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"number of sets must be a power of two, "
+                             f"got {self.num_sets}")
+        if self.replacement not in ("lru", "fifo", "random"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size // (self.assoc * self.block_size)
+
+    def describe(self) -> str:
+        return (f"{self.size // 1024}KB {self.assoc}-way "
+                f"{self.block_size}B-block {self.replacement.upper()}")
+
+
+#: Section 6 training configuration: 256 sets x 4 ways x 32 B = 32 KB.
+TRAINING_CONFIG = CacheConfig(size=256 * 4 * 32, assoc=4, block_size=32)
+
+#: Section 8.5 baseline: 8 KB, 4-way, 32 B blocks, LRU.
+BASELINE_CONFIG = CacheConfig(size=8 * 1024, assoc=4, block_size=32)
+
+
+def associativity_sweep() -> list[CacheConfig]:
+    """Table 8: associativity 2, 4, 8 at the baseline size."""
+    return [CacheConfig(size=8 * 1024, assoc=a, block_size=32)
+            for a in (2, 4, 8)]
+
+
+def size_sweep() -> list[CacheConfig]:
+    """Table 9: 8K, 16K, 32K and 64K caches."""
+    return [CacheConfig(size=k * 1024, assoc=4, block_size=32)
+            for k in (8, 16, 32, 64)]

@@ -1,0 +1,173 @@
+"""Set-associative data-cache simulator.
+
+Replays a :class:`~repro.machine.trace.MemoryTrace` and produces per-static-
+instruction hit/miss counters — M(i, C) in the paper's notation — which the
+training formulae, the metrics (rho, ideal-Delta) and Table 2 all consume.
+
+The cache is write-allocate (stores fetch the block on miss), with LRU,
+FIFO or pseudo-random replacement.  One trace can be replayed under many
+configurations; execution and cache simulation are deliberately decoupled.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cache.config import CacheConfig
+from repro.machine.trace import LOAD, PREFETCH, MemoryTrace
+
+
+@dataclass
+class CacheStats:
+    """Per-PC and aggregate results of one trace replay."""
+
+    config: CacheConfig
+    load_accesses: dict[int, int] = field(default_factory=dict)
+    load_misses: dict[int, int] = field(default_factory=dict)
+    store_accesses: dict[int, int] = field(default_factory=dict)
+    store_misses: dict[int, int] = field(default_factory=dict)
+    prefetch_ops: int = 0
+    prefetch_fills: int = 0          # prefetches that brought a new block
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def total_accesses(self) -> int:
+        return (sum(self.load_accesses.values())
+                + sum(self.store_accesses.values()))
+
+    @property
+    def total_load_accesses(self) -> int:
+        return sum(self.load_accesses.values())
+
+    @property
+    def total_load_misses(self) -> int:
+        """M(P(I), C): total misses attributable to load instructions.
+
+        The paper's Delta sets contain only loads, so coverage rho is
+        defined over load misses; store misses are tracked separately.
+        """
+        return sum(self.load_misses.values())
+
+    @property
+    def total_store_misses(self) -> int:
+        return sum(self.store_misses.values())
+
+    def misses_of(self, pcs) -> int:
+        """M(S, C) for a set of static load addresses."""
+        load_misses = self.load_misses
+        return sum(load_misses.get(pc, 0) for pc in pcs)
+
+    def miss_rate(self) -> float:
+        accesses = self.total_accesses
+        if accesses == 0:
+            return 0.0
+        return (self.total_load_misses + self.total_store_misses) / accesses
+
+    def loads_by_misses(self) -> list[tuple[int, int]]:
+        """Static loads sorted by descending miss count: (pc, misses)."""
+        return sorted(self.load_misses.items(),
+                      key=lambda item: (-item[1], item[0]))
+
+
+class Cache:
+    """One set-associative cache instance."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self._rng_state = 0x2545F491  # deterministic pseudo-random victims
+
+    def reset(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+        self._rng_state = 0x2545F491
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; return True on hit."""
+        config = self.config
+        block = address // config.block_size
+        ways = self._sets[block & (config.num_sets - 1)]
+        if block in ways:
+            if config.replacement == "lru" and ways[0] != block:
+                ways.remove(block)
+                ways.insert(0, block)
+            return True
+        self._insert(ways, block)
+        return False
+
+    def _insert(self, ways: list[int], block: int) -> None:
+        config = self.config
+        if len(ways) >= config.assoc:
+            if config.replacement == "random":
+                self._rng_state = (self._rng_state * 1103515245 + 12345) \
+                    & 0x7FFF_FFFF
+                ways.pop(self._rng_state % len(ways))
+            else:  # lru and fifo both evict the tail
+                ways.pop()
+        ways.insert(0, block)
+
+    def contains(self, address: int) -> bool:
+        config = self.config
+        block = address // config.block_size
+        return block in self._sets[block & (config.num_sets - 1)]
+
+
+def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
+    """Replay ``trace`` through a cold cache of geometry ``config``."""
+    num_sets = config.num_sets
+    set_mask = num_sets - 1
+    block_size = config.block_size
+    assoc = config.assoc
+    replacement = config.replacement
+    lru = replacement == "lru"
+    random_policy = replacement == "random"
+    rng_state = 0x2545F491
+
+    sets: list[list[int]] = [[] for _ in range(num_sets)]
+    load_accesses: dict[int, int] = defaultdict(int)
+    load_misses: dict[int, int] = defaultdict(int)
+    store_accesses: dict[int, int] = defaultdict(int)
+    store_misses: dict[int, int] = defaultdict(int)
+    prefetch_ops = 0
+    prefetch_fills = 0
+
+    for pc, address, kind in zip(trace.pcs, trace.addresses, trace.kinds):
+        block = address // block_size
+        ways = sets[block & set_mask]
+        if block in ways:
+            hit = True
+            if lru and ways[0] != block:
+                ways.remove(block)
+                ways.insert(0, block)
+        else:
+            hit = False
+            if len(ways) >= assoc:
+                if random_policy:
+                    rng_state = (rng_state * 1103515245 + 12345) & 0x7FFF_FFFF
+                    ways.pop(rng_state % len(ways))
+                else:
+                    ways.pop()
+            ways.insert(0, block)
+        if kind == LOAD:
+            load_accesses[pc] += 1
+            if not hit:
+                load_misses[pc] += 1
+        elif kind == PREFETCH:
+            prefetch_ops += 1
+            if not hit:
+                prefetch_fills += 1
+        else:
+            store_accesses[pc] += 1
+            if not hit:
+                store_misses[pc] += 1
+
+    return CacheStats(
+        config=config,
+        load_accesses=dict(load_accesses),
+        load_misses=dict(load_misses),
+        store_accesses=dict(store_accesses),
+        store_misses=dict(store_misses),
+        prefetch_ops=prefetch_ops,
+        prefetch_fills=prefetch_fills,
+    )

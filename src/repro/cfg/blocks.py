@@ -1,0 +1,128 @@
+"""Basic-block partitioning of an assembled program.
+
+Both the execution profiler (block entry counts) and the static analyses
+(CFG reconstruction, reaching definitions) need the same partition, so it
+lives here.  A *leader* is the program entry, any branch/jump target, any
+function start, or the instruction following a control transfer (including
+calls — the return point begins a new block).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.asm.program import Program
+from repro.isa.instructions import Format, Instruction, branch_target
+
+
+def leader_addresses(program: Program) -> list[int]:
+    """Sorted addresses of all basic-block leaders in ``program``."""
+    leaders: set[int] = {program.entry, program.text_base}
+    for name, addr in program.symbols.items():
+        if program.text_base <= addr < program.text_end:
+            leaders.add(addr)
+    for index, instr in enumerate(program.instructions):
+        addr = program.address_of(index)
+        target = branch_target(instr)
+        if target is not None and program.text_base <= target < program.text_end:
+            leaders.add(target)
+        if instr.is_control() or instr.is_call:
+            following = addr + 4
+            if following < program.text_end:
+                leaders.add(following)
+    return sorted(leaders)
+
+
+@dataclass
+class BasicBlock:
+    """A maximal single-entry straight-line run of instructions."""
+
+    start: int                       # address of the leader
+    end: int                         # address one past the last instruction
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)   # leader addresses
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return (self.end - self.start) // 4
+
+    def addresses(self) -> Iterator[int]:
+        return iter(range(self.start, self.end, 4))
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        return self.instructions[-1] if self.instructions else None
+
+    def __contains__(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+class BlockMap:
+    """Partition of the whole text segment into basic blocks."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.leaders = leader_addresses(program)
+        self.blocks: dict[int, BasicBlock] = {}
+        for pos, start in enumerate(self.leaders):
+            end = (self.leaders[pos + 1] if pos + 1 < len(self.leaders)
+                   else program.text_end)
+            instrs = [
+                program.instruction_at(addr) for addr in range(start, end, 4)
+            ]
+            self.blocks[start] = BasicBlock(start, end, instrs)
+        self._wire_edges()
+
+    def _wire_edges(self) -> None:
+        text_base, text_end = self.program.text_base, self.program.text_end
+        for block in self.blocks.values():
+            term = block.terminator
+            if term is None:
+                continue
+            succs: list[int] = []
+            if term.is_branch:
+                target = branch_target(term)
+                if target is not None and text_base <= target < text_end:
+                    succs.append(target)
+                if block.end < text_end:
+                    succs.append(block.end)
+            elif term.spec.fmt is Format.JUMP:
+                if term.is_call:
+                    # Call: intra-procedural edge to the return point.
+                    if block.end < text_end:
+                        succs.append(block.end)
+                else:
+                    target = branch_target(term)
+                    if target is not None and text_base <= target < text_end:
+                        succs.append(target)
+            elif term.spec.fmt is Format.JR:
+                pass  # return / computed jump: no static successors
+            elif term.spec.fmt is Format.JALR:
+                if block.end < text_end:
+                    succs.append(block.end)
+            else:
+                if block.end < text_end:
+                    succs.append(block.end)
+            block.successors = succs
+        for block in self.blocks.values():
+            for succ in block.successors:
+                self.blocks[succ].predecessors.append(block.start)
+
+    def block_of(self, address: int) -> BasicBlock:
+        """The basic block containing ``address``."""
+        pos = bisect.bisect_right(self.leaders, address) - 1
+        if pos < 0:
+            raise ValueError(f"address below text base: {address:#x}")
+        block = self.blocks[self.leaders[pos]]
+        if address not in block:
+            raise ValueError(f"address outside text: {address:#x}")
+        return block
+
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks[leader] for leader in self.leaders)
+
+    def __len__(self) -> int:
+        return len(self.blocks)

@@ -1,0 +1,183 @@
+"""Per-function control-flow graphs, dominators and natural loops.
+
+The address-pattern builder scopes its dataflow analysis to one function at
+a time (the paper reconstructs "the control and data flow graphs" from the
+disassembly), and recurrence detection (criterion H4) needs natural loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.asm.program import Program
+from repro.cfg.blocks import BasicBlock, BlockMap
+
+
+@dataclass
+class Loop:
+    """A natural loop: back edge ``latch -> header`` plus its body."""
+
+    header: int
+    latch: int
+    body: frozenset[int]         # block leader addresses, includes header
+
+    def __contains__(self, leader: int) -> bool:
+        return leader in self.body
+
+
+class FunctionCFG:
+    """Control-flow graph of one function."""
+
+    def __init__(self, name: str, blocks: dict[int, BasicBlock], entry: int):
+        self.name = name
+        self.blocks = blocks
+        self.entry = entry
+        self._dominators: Optional[dict[int, frozenset[int]]] = None
+        self._loops: Optional[list[Loop]] = None
+
+    # -- traversal -----------------------------------------------------
+    def __iter__(self) -> Iterator[BasicBlock]:
+        return iter(self.blocks.values())
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block(self, leader: int) -> BasicBlock:
+        return self.blocks[leader]
+
+    def block_of(self, address: int) -> Optional[BasicBlock]:
+        for block in self.blocks.values():
+            if address in block:
+                return block
+        return None
+
+    def successors(self, leader: int) -> list[int]:
+        return [s for s in self.blocks[leader].successors if s in self.blocks]
+
+    def predecessors(self, leader: int) -> list[int]:
+        return [p for p in self.blocks[leader].predecessors
+                if p in self.blocks]
+
+    def reverse_postorder(self) -> list[int]:
+        seen: set[int] = set()
+        order: list[int] = []
+
+        def visit(leader: int) -> None:
+            stack = [(leader, iter(self.successors(leader)))]
+            seen.add(leader)
+            while stack:
+                node, succs = stack[-1]
+                advanced = False
+                for succ in succs:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.successors(succ))))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(node)
+                    stack.pop()
+
+        visit(self.entry)
+        for leader in sorted(self.blocks):
+            if leader not in seen:
+                visit(leader)
+        order.reverse()
+        return order
+
+    # -- dominators ------------------------------------------------------
+    def dominators(self) -> dict[int, frozenset[int]]:
+        """Map each block leader to the set of its dominators."""
+        if self._dominators is not None:
+            return self._dominators
+        nodes = self.reverse_postorder()
+        all_nodes = frozenset(nodes)
+        dom: dict[int, frozenset[int]] = {
+            node: all_nodes for node in nodes
+        }
+        dom[self.entry] = frozenset((self.entry,))
+        changed = True
+        while changed:
+            changed = False
+            for node in nodes:
+                if node == self.entry:
+                    continue
+                preds = [p for p in self.predecessors(node) if p in dom]
+                if preds:
+                    incoming = frozenset.intersection(
+                        *(dom[p] for p in preds)
+                    )
+                else:
+                    incoming = frozenset()
+                updated = incoming | {node}
+                if updated != dom[node]:
+                    dom[node] = updated
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    # -- natural loops ---------------------------------------------------
+    def natural_loops(self) -> list[Loop]:
+        """All natural loops, one per back edge (merged per header later
+        by callers if desired)."""
+        if self._loops is not None:
+            return self._loops
+        dom = self.dominators()
+        loops: list[Loop] = []
+        for block in self.blocks.values():
+            for succ in self.successors(block.start):
+                if succ in dom.get(block.start, frozenset()):
+                    loops.append(self._natural_loop(succ, block.start))
+        self._loops = loops
+        return loops
+
+    def _natural_loop(self, header: int, latch: int) -> Loop:
+        body = {header, latch}
+        stack = [latch]
+        while stack:
+            node = stack.pop()
+            if node == header:
+                continue
+            for pred in self.predecessors(node):
+                if pred not in body:
+                    body.add(pred)
+                    stack.append(pred)
+        return Loop(header=header, latch=latch, body=frozenset(body))
+
+    def loops_containing(self, address: int) -> list[Loop]:
+        """Loops whose body contains the block holding ``address``."""
+        block = self.block_of(address)
+        if block is None:
+            return []
+        return [loop for loop in self.natural_loops()
+                if block.start in loop.body]
+
+
+def build_function_cfgs(program: Program,
+                        block_map: Optional[BlockMap] = None
+                        ) -> dict[str, FunctionCFG]:
+    """Build one CFG per function recorded in the program's debug info.
+
+    Functions are delimited by the assembler's ``.ent``/``.end`` records;
+    when absent, the whole text segment becomes a single pseudo-function.
+    """
+    block_map = block_map or BlockMap(program)
+    cfgs: dict[str, FunctionCFG] = {}
+    functions = program.symtab.functions
+    if not functions:
+        blocks = {b.start: b for b in block_map}
+        entry = program.entry
+        cfgs["__text__"] = FunctionCFG("__text__", blocks, entry)
+        return cfgs
+    for name, info in functions.items():
+        blocks = {
+            block.start: block
+            for block in block_map
+            if info.start <= block.start < info.end
+        }
+        if not blocks:
+            continue
+        entry = info.start if info.start in blocks else min(blocks)
+        cfgs[name] = FunctionCFG(name, blocks, entry)
+    return cfgs

@@ -1,0 +1,917 @@
+"""MiniC code generator targeting the MIPS-like ISA.
+
+Two modes, mirroring the two compiler settings the paper evaluates:
+
+* **unoptimized** (default, like ``gcc`` with no flags): every local and
+  parameter lives in a stack slot addressed off ``$sp``; every use loads it
+  back.  This is the mode the paper trains its weights on — address
+  patterns are full of ``off($sp)`` dereferences.
+* **optimized** (``-O``): scalar locals whose address is never taken are
+  promoted to ``$s`` registers (parameters of leaf functions stay in their
+  ``$a`` registers), constants are folded, and array indexing runs on
+  registers.  Address patterns become shorter and register recurrences
+  become directly visible, exactly the effect Section 8.3 studies.
+
+Shared idioms (both modes) that the heuristic keys on:
+
+* globals are addressed ``%gp``-relative (MIPS small-data convention);
+* array indexing scales with ``sll`` for power-of-two element sizes and
+  ``mul`` otherwise;
+* ``malloc``/``calloc`` are real runtime functions called with ``jal``, so
+  heap pointers are born in ``$v0`` (the paper's ``reg_ret`` base).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.compiler.frame import Frame
+from repro.lang import astnodes as ast
+from repro.lang.sema import FunctionSig, const_value
+from repro.lang.types import (
+    ArrayType, CharType, FloatType, PointerType, StructType, Type,
+)
+from repro.isa.registers import GP, SP, register_name
+from repro.machine.simulator import float_to_bits
+
+_TEMPS = (8, 9, 10, 11, 12, 13, 14, 15, 24, 25)          # $t0-$t9
+_SAVED = (16, 17, 18, 19, 20, 21, 22, 23)                # $s0-$s7
+_ARGS = (4, 5, 6, 7)                                      # $a0-$a3
+
+#: Builtins lowered to inline syscalls (everything else is a jal).
+_INLINE_BUILTINS = frozenset(("print_int", "print_char", "read_int"))
+
+#: Offset operand: a plain byte offset or a (global-name, addend) pair that
+#: renders as a %gp relocation.
+Off = Union[int, tuple]
+
+
+class CodegenError(Exception):
+    pass
+
+
+def _fmt_off(off: Off) -> str:
+    if isinstance(off, int):
+        return str(off)
+    name, addend = off
+    if addend:
+        return f"%gp({name}){addend:+d}"
+    return f"%gp({name})"
+
+
+def _bump(off: Off, delta: int) -> Off:
+    if isinstance(off, int):
+        return off + delta
+    name, addend = off
+    return (name, addend + delta)
+
+
+@dataclass
+class Addr:
+    """A partially folded address: base register plus constant offset."""
+
+    reg: int
+    off: Off
+    owned: bool          # True when reg is a temp the caller must release
+
+
+def _is_float(ty: Optional[Type]) -> bool:
+    return isinstance(ty, FloatType)
+
+
+def _log2(value: int) -> Optional[int]:
+    if value > 0 and value & (value - 1) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+class FunctionCodegen:
+    """Generates assembly for one function body."""
+
+    def __init__(self, parent: "Codegen", func: ast.FuncDecl):
+        self.parent = parent
+        self.func = func
+        self.optimize = parent.optimize
+        self.lines: list[str] = []
+        self.frame = Frame(func.name)
+        self._free = list(_TEMPS)
+        self._live: list[int] = []
+        self._labels = 0
+        self._break_stack: list[str] = []
+        self._continue_stack: list[str] = []
+        self.promoted: dict[str, int] = {}      # var name -> $s register
+        self.param_regs: dict[str, int] = {}    # leaf params kept in $a
+        self._used_saved: list[int] = []
+        self._spill_depth = 0
+
+    # -- emission ------------------------------------------------------
+    def emit(self, line: str) -> None:
+        self.lines.append("    " + line)
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str) -> str:
+        self._labels += 1
+        return f".L_{self.func.name}_{hint}_{self._labels}"
+
+    # -- temp registers ---------------------------------------------------
+    def acquire(self) -> int:
+        if not self._free:
+            raise CodegenError(
+                f"{self.func.name}: expression too complex "
+                "(out of temporaries)")
+        reg = self._free.pop(0)
+        self._live.append(reg)
+        return reg
+
+    def release(self, reg: int) -> None:
+        if reg in self._live:
+            self._live.remove(reg)
+            self._free.insert(0, reg)
+
+    def release_addr(self, addr: Addr) -> None:
+        if addr.owned:
+            self.release(addr.reg)
+
+    # -- analysis for promotion ----------------------------------------
+    def _analyze(self) -> tuple[dict[str, int], set[str], bool]:
+        """Count variable uses, find address-taken names and leaf-ness."""
+        uses: dict[str, int] = {}
+        addr_taken: set[str] = set()
+        has_call = False
+
+        def walk_expr(expr: ast.Expr) -> None:
+            nonlocal has_call
+            if isinstance(expr, ast.Var):
+                uses[expr.name] = uses.get(expr.name, 0) + 1
+            elif isinstance(expr, ast.Binary):
+                walk_expr(expr.left)
+                walk_expr(expr.right)
+            elif isinstance(expr, (ast.Unary, ast.Deref, ast.Cast)):
+                walk_expr(expr.operand)
+            elif isinstance(expr, ast.AddressOf):
+                inner = expr.operand
+                if isinstance(inner, ast.Var):
+                    addr_taken.add(inner.name)
+                walk_expr(inner)
+            elif isinstance(expr, ast.Index):
+                walk_expr(expr.base)
+                walk_expr(expr.index)
+            elif isinstance(expr, ast.Member):
+                walk_expr(expr.base)
+            elif isinstance(expr, ast.Call):
+                sig = getattr(expr, "sig", None)
+                if sig is None or not (sig.is_builtin
+                                       and expr.name in _INLINE_BUILTINS):
+                    has_call = True
+                for arg in expr.args:
+                    walk_expr(arg)
+
+        def walk_stmt(stmt: ast.Stmt) -> None:
+            if isinstance(stmt, ast.Block):
+                for inner in stmt.statements:
+                    walk_stmt(inner)
+            elif isinstance(stmt, ast.VarDecl):
+                if stmt.init is not None:
+                    walk_expr(stmt.init)
+            elif isinstance(stmt, ast.Assign):
+                walk_expr(stmt.target)
+                walk_expr(stmt.value)
+            elif isinstance(stmt, ast.ExprStmt):
+                walk_expr(stmt.expr)
+            elif isinstance(stmt, ast.If):
+                walk_expr(stmt.cond)
+                walk_stmt(stmt.then)
+                if stmt.orelse:
+                    walk_stmt(stmt.orelse)
+            elif isinstance(stmt, ast.While):
+                walk_expr(stmt.cond)
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, ast.For):
+                if stmt.init:
+                    walk_stmt(stmt.init)
+                if stmt.cond:
+                    walk_expr(stmt.cond)
+                if stmt.step:
+                    walk_stmt(stmt.step)
+                walk_stmt(stmt.body)
+            elif isinstance(stmt, ast.Return):
+                if stmt.value:
+                    walk_expr(stmt.value)
+
+        walk_stmt(self.func.body)
+        return uses, addr_taken, not has_call
+
+    # -- top level ---------------------------------------------------
+    def generate(self) -> list[str]:
+        func = self.func
+        if len(func.params) > len(_ARGS):
+            raise CodegenError(
+                f"{func.name}: more than {len(_ARGS)} parameters "
+                "not supported")
+
+        uses, addr_taken, is_leaf = self._analyze()
+        locals_list: list[ast.VarDecl] = getattr(func, "all_locals", [])
+
+        if self.optimize:
+            self._plan_promotion(uses, addr_taken, is_leaf, locals_list)
+
+        # Stack slots for parameters and non-promoted locals.
+        for param in func.params:
+            if param.name not in self.promoted \
+                    and param.name not in self.param_regs:
+                self.frame.add_variable(param.name, param.type)
+        for decl in locals_list:
+            if decl.name not in self.promoted:
+                self.frame.add_variable(decl.name, decl.type)
+        self.frame.finalize(self._used_saved)
+
+        self._prologue()
+        for stmt in func.body.statements:
+            self.gen_stmt(stmt)
+        self._epilogue()
+        self._record_debug_info()
+        return self.lines
+
+    def _plan_promotion(self, uses: dict[str, int], addr_taken: set[str],
+                        is_leaf: bool,
+                        locals_list: list[ast.VarDecl]) -> None:
+        candidates: list[tuple[int, str]] = []
+        for decl in locals_list:
+            if decl.type.is_scalar and decl.name not in addr_taken:
+                candidates.append((uses.get(decl.name, 0), decl.name))
+        promotable_params = [
+            p for p in self.func.params
+            if p.type.is_scalar and p.name not in addr_taken
+        ]
+        if is_leaf:
+            for position, param in enumerate(self.func.params):
+                if param in promotable_params:
+                    self.param_regs[param.name] = _ARGS[position]
+        else:
+            for param in promotable_params:
+                candidates.append((uses.get(param.name, 0) + 1, param.name))
+        candidates.sort(reverse=True)
+        for _, name in candidates[:len(_SAVED)]:
+            reg = _SAVED[len(self.promoted)]
+            self.promoted[name] = reg
+            self._used_saved.append(reg)
+
+    def _prologue(self) -> None:
+        func = self.func
+        frame = self.frame
+        self.emit_label(func.name)
+        self.emit(f"addiu $sp, $sp, -{frame.frame_size}")
+        self.emit(f"sw $ra, {frame.ra_offset}($sp)")
+        for position, reg in enumerate(frame.saved_regs):
+            self.emit(f"sw {register_name(reg)}, "
+                      f"{frame.saved_reg_offset(position)}($sp)")
+        for position, param in enumerate(func.params):
+            name = param.name
+            if name in self.param_regs:
+                continue
+            if name in self.promoted:
+                self.emit(f"move {register_name(self.promoted[name])}, "
+                          f"{register_name(_ARGS[position])}")
+            else:
+                slot = frame.slot(name)
+                store = "sb" if isinstance(param.type, CharType) else "sw"
+                self.emit(f"{store} {register_name(_ARGS[position])}, "
+                          f"{slot.offset}($sp)")
+
+    def _epilogue(self) -> None:
+        frame = self.frame
+        self.emit_label(self._exit_label())
+        for position, reg in enumerate(frame.saved_regs):
+            self.emit(f"lw {register_name(reg)}, "
+                      f"{frame.saved_reg_offset(position)}($sp)")
+        self.emit(f"lw $ra, {frame.ra_offset}($sp)")
+        self.emit(f"addiu $sp, $sp, {frame.frame_size}")
+        self.emit("jr $ra")
+
+    def _exit_label(self) -> str:
+        return f".L_{self.func.name}_exit"
+
+    def _record_debug_info(self) -> None:
+        from repro.asm.symtab import FunctionInfo, VariableInfo
+        from repro.compiler.typeconv import to_typedesc
+        info = FunctionInfo(
+            name=self.func.name,
+            frame_size=self.frame.frame_size,
+            param_types=[to_typedesc(p.type) for p in self.func.params],
+            return_type=to_typedesc(self.func.ret_type)
+            if not self.func.ret_type.is_void else None,
+        )
+        for slot in self.frame.slots.values():
+            info.locals.append(VariableInfo(
+                name=slot.name, type=to_typedesc(slot.type),
+                region="stack", offset=slot.offset,
+                function=self.func.name))
+        self.parent.symtab.add_function(info)
+
+    # -- statements ---------------------------------------------------
+    def gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for inner in stmt.statements:
+                self.gen_stmt(inner)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                self._store_to_var(stmt.name, stmt.type, stmt.init)
+        elif isinstance(stmt, ast.Assign):
+            self.gen_assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            reg = self.gen_expr(stmt.expr, want_value=False)
+            if reg is not None:
+                self.release(reg)
+        elif isinstance(stmt, ast.If):
+            self.gen_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.gen_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.gen_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                reg = self.gen_expr(stmt.value)
+                self.emit(f"move $v0, {register_name(reg)}")
+                self.release(reg)
+            self.emit(f"b {self._exit_label()}")
+        elif isinstance(stmt, ast.Break):
+            self.emit(f"b {self._break_stack[-1]}")
+        elif isinstance(stmt, ast.Continue):
+            self.emit(f"b {self._continue_stack[-1]}")
+        else:  # pragma: no cover
+            raise CodegenError(f"unhandled statement {type(stmt).__name__}")
+
+    def _store_to_var(self, name: str, ty: Type, value: ast.Expr) -> None:
+        reg = self.gen_expr(value)
+        if name in self.promoted:
+            self.emit(f"move {register_name(self.promoted[name])}, "
+                      f"{register_name(reg)}")
+        elif name in self.param_regs:
+            self.emit(f"move {register_name(self.param_regs[name])}, "
+                      f"{register_name(reg)}")
+        else:
+            slot = self.frame.slot(name)
+            store = "sb" if isinstance(ty, CharType) else "sw"
+            self.emit(f"{store} {register_name(reg)}, {slot.offset}($sp)")
+        self.release(reg)
+
+    def gen_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            symbol = target.symbol
+            if symbol.kind != "global" and (target.name in self.promoted
+                                            or target.name in self.param_regs):
+                self._store_to_var(target.name, symbol.type, stmt.value)
+                return
+        value = self.gen_expr(stmt.value)
+        addr = self.gen_address(target)
+        store = "sb" if isinstance(target.ty, CharType) else "sw"
+        self.emit(f"{store} {register_name(value)}, "
+                  f"{_fmt_off(addr.off)}({register_name(addr.reg)})")
+        self.release(value)
+        self.release_addr(addr)
+
+    def gen_if(self, stmt: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif") if stmt.orelse else else_label
+        cond = self.gen_expr(stmt.cond)
+        self.emit(f"beqz {register_name(cond)}, {else_label}")
+        self.release(cond)
+        self.gen_stmt(stmt.then)
+        if stmt.orelse is not None:
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            self.gen_stmt(stmt.orelse)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def gen_while(self, stmt: ast.While) -> None:
+        head = self.new_label("while")
+        end = self.new_label("wend")
+        self.emit_label(head)
+        cond = self.gen_expr(stmt.cond)
+        self.emit(f"beqz {register_name(cond)}, {end}")
+        self.release(cond)
+        self._break_stack.append(end)
+        self._continue_stack.append(head)
+        self.gen_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.emit(f"b {head}")
+        self.emit_label(end)
+
+    def gen_for(self, stmt: ast.For) -> None:
+        head = self.new_label("for")
+        step_label = self.new_label("fstep")
+        end = self.new_label("fend")
+        if stmt.init is not None:
+            self.gen_stmt(stmt.init)
+        self.emit_label(head)
+        if stmt.cond is not None:
+            cond = self.gen_expr(stmt.cond)
+            self.emit(f"beqz {register_name(cond)}, {end}")
+            self.release(cond)
+        self._break_stack.append(end)
+        self._continue_stack.append(step_label)
+        self.gen_stmt(stmt.body)
+        self._break_stack.pop()
+        self._continue_stack.pop()
+        self.emit_label(step_label)
+        if stmt.step is not None:
+            self.gen_stmt(stmt.step)
+        self.emit(f"b {head}")
+        self.emit_label(end)
+
+    # -- addresses -----------------------------------------------------
+    def gen_address(self, expr: ast.Expr) -> Addr:
+        if isinstance(expr, ast.Var):
+            symbol = expr.symbol
+            if symbol.kind == "global":
+                return Addr(GP, (expr.name, 0), owned=False)
+            if expr.name in self.promoted or expr.name in self.param_regs:
+                raise CodegenError(
+                    f"internal: address of promoted variable {expr.name}")
+            slot = self.frame.slot(expr.name)
+            return Addr(SP, slot.offset, owned=False)
+        if isinstance(expr, ast.Index):
+            return self._index_address(expr)
+        if isinstance(expr, ast.Member):
+            fld = expr.field
+            if expr.arrow:
+                base = self.gen_expr(expr.base)
+                return Addr(base, fld.offset, owned=True)
+            addr = self.gen_address(expr.base)
+            return Addr(addr.reg, _bump(addr.off, fld.offset), addr.owned)
+        if isinstance(expr, ast.Deref):
+            reg = self.gen_expr(expr.operand)
+            return Addr(reg, 0, owned=True)
+        raise CodegenError(
+            f"internal: not an addressable expression "
+            f"{type(expr).__name__}")
+
+    def _index_address(self, expr: ast.Index) -> Addr:
+        base_ty = expr.base.ty
+        if isinstance(base_ty, ArrayType):
+            base = self.gen_address(expr.base)
+            elem = base_ty.elem
+        else:
+            assert isinstance(base_ty, PointerType)
+            reg = self.gen_expr(expr.base)
+            base = Addr(reg, 0, owned=True)
+            elem = base_ty.target
+        constant = const_value(expr.index)
+        if constant is not None:
+            return Addr(base.reg, _bump(base.off, int(constant) * elem.size),
+                        base.owned)
+        index = self.gen_expr(expr.index)
+        scaled = self._scale(index, elem.size)
+        if base.owned:
+            self.emit(f"addu {register_name(base.reg)}, "
+                      f"{register_name(base.reg)}, {register_name(scaled)}")
+            self.release(scaled)
+            return base
+        combined = self.acquire()
+        self.emit(f"addiu {register_name(combined)}, "
+                  f"{register_name(base.reg)}, {_fmt_off(base.off)}")
+        self.emit(f"addu {register_name(combined)}, "
+                  f"{register_name(combined)}, {register_name(scaled)}")
+        self.release(scaled)
+        return Addr(combined, 0, owned=True)
+
+    def _scale(self, reg: int, size: int) -> int:
+        """Scale an index register by an element size, in place."""
+        if size == 1:
+            return reg
+        shift = _log2(size)
+        if shift is not None:
+            self.emit(f"sll {register_name(reg)}, {register_name(reg)}, "
+                      f"{shift}")
+            return reg
+        factor = self.acquire()
+        self.emit(f"li {register_name(factor)}, {size}")
+        self.emit(f"mul {register_name(reg)}, {register_name(reg)}, "
+                  f"{register_name(factor)}")
+        self.release(factor)
+        return reg
+
+    def _load_from(self, addr: Addr, ty: Type) -> int:
+        reg = self.acquire()
+        load = "lb" if isinstance(ty, CharType) else "lw"
+        self.emit(f"{load} {register_name(reg)}, "
+                  f"{_fmt_off(addr.off)}({register_name(addr.reg)})")
+        self.release_addr(addr)
+        return reg
+
+    def _materialize(self, addr: Addr) -> int:
+        """Turn base+offset into a value register (for & and array decay)."""
+        if addr.owned:
+            if addr.off != 0:
+                self.emit(f"addiu {register_name(addr.reg)}, "
+                          f"{register_name(addr.reg)}, {_fmt_off(addr.off)}")
+            return addr.reg
+        reg = self.acquire()
+        self.emit(f"addiu {register_name(reg)}, "
+                  f"{register_name(addr.reg)}, {_fmt_off(addr.off)}")
+        return reg
+
+    # -- expressions ---------------------------------------------------
+    def gen_expr(self, expr: ast.Expr,
+                 want_value: bool = True) -> Optional[int]:
+        if isinstance(expr, (ast.IntLit, ast.CharLit)):
+            reg = self.acquire()
+            self.emit(f"li {register_name(reg)}, {expr.value}")
+            return reg
+        if isinstance(expr, ast.FloatLit):
+            label = self.parent.float_constant(expr.value)
+            reg = self.acquire()
+            self.emit(f"lw {register_name(reg)}, %gp({label})($gp)")
+            return reg
+        if isinstance(expr, ast.SizeOf):
+            reg = self.acquire()
+            self.emit(f"li {register_name(reg)}, {expr.target.size}")
+            return reg
+        if isinstance(expr, ast.Var):
+            return self._var_value(expr)
+        if isinstance(expr, ast.Binary):
+            return self.gen_binary(expr)
+        if isinstance(expr, ast.Unary):
+            return self.gen_unary(expr)
+        if isinstance(expr, ast.Deref):
+            addr = self.gen_address(expr)
+            return self._load_from(addr, expr.ty)
+        if isinstance(expr, ast.AddressOf):
+            addr = self.gen_address(expr.operand)
+            return self._materialize(addr)
+        if isinstance(expr, (ast.Index, ast.Member)):
+            if isinstance(expr.ty, (ArrayType, StructType)):
+                addr = self.gen_address(expr)
+                return self._materialize(addr)
+            addr = self.gen_address(expr)
+            return self._load_from(addr, expr.ty)
+        if isinstance(expr, ast.Call):
+            return self.gen_call(expr, want_value)
+        if isinstance(expr, ast.Cast):
+            return self.gen_cast(expr)
+        raise CodegenError(  # pragma: no cover
+            f"unhandled expression {type(expr).__name__}")
+
+    def _var_value(self, expr: ast.Var) -> int:
+        symbol = expr.symbol
+        ty = symbol.type
+        if symbol.kind != "global":
+            if expr.name in self.promoted:
+                reg = self.acquire()
+                self.emit(f"move {register_name(reg)}, "
+                          f"{register_name(self.promoted[expr.name])}")
+                return reg
+            if expr.name in self.param_regs:
+                reg = self.acquire()
+                self.emit(f"move {register_name(reg)}, "
+                          f"{register_name(self.param_regs[expr.name])}")
+                return reg
+        if isinstance(ty, ArrayType):
+            return self._materialize(self.gen_address(expr))
+        if isinstance(ty, StructType):
+            raise CodegenError("struct used as a value")
+        return self._load_from(self.gen_address(expr), ty)
+
+    # -- binary operators --------------------------------------------
+    _INT_OPS = {"+": "addu", "-": "subu", "*": "mul", "/": "div",
+                "%": "rem", "&": "and", "|": "or", "^": "xor",
+                "<<": "sllv", ">>": "srav"}
+    _FLOAT_OPS = {"+": "fadd", "-": "fsub", "*": "fmul", "/": "fdiv"}
+
+    def gen_binary(self, expr: ast.Binary) -> int:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._short_circuit(expr)
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return self._comparison(expr)
+        left_ty = expr.left.ty
+        right_ty = expr.right.ty
+        if op in ("+", "-") and (self._is_ptr(left_ty)
+                                 or self._is_ptr(right_ty)):
+            return self._pointer_arith(expr)
+        if op in ("<<", ">>") and not _is_float(expr.ty):
+            amount = const_value(expr.right)
+            if amount is not None and 0 <= int(amount) < 32:
+                left = self.gen_expr(expr.left)
+                mnemonic = "sll" if op == "<<" else "sra"
+                self.emit(f"{mnemonic} {register_name(left)}, "
+                          f"{register_name(left)}, {int(amount)}")
+                return left
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+        if _is_float(expr.ty):
+            mnemonic = self._FLOAT_OPS[op]
+        else:
+            mnemonic = self._INT_OPS[op]
+        if op in ("<<", ">>"):
+            # Variable shifts take the amount in rs and the value in rt:
+            # sllv rd, rs(amount), rt(value).
+            self.emit(f"{mnemonic} {register_name(left)}, "
+                      f"{register_name(right)}, {register_name(left)}")
+        else:
+            self.emit(f"{mnemonic} {register_name(left)}, "
+                      f"{register_name(left)}, {register_name(right)}")
+        self.release(right)
+        return left
+
+    @staticmethod
+    def _is_ptr(ty: Optional[Type]) -> bool:
+        return isinstance(ty, (PointerType, ArrayType))
+
+    def _pointer_arith(self, expr: ast.Binary) -> int:
+        left_ty, right_ty = expr.left.ty, expr.right.ty
+        left_ptr, right_ptr = self._is_ptr(left_ty), self._is_ptr(right_ty)
+        if left_ptr and right_ptr:                    # p - q
+            target = (left_ty.elem if isinstance(left_ty, ArrayType)
+                      else left_ty.target)
+            left = self.gen_expr(expr.left)
+            right = self.gen_expr(expr.right)
+            self.emit(f"subu {register_name(left)}, {register_name(left)}, "
+                      f"{register_name(right)}")
+            self.release(right)
+            shift = _log2(target.size)
+            if shift:
+                self.emit(f"sra {register_name(left)}, "
+                          f"{register_name(left)}, {shift}")
+            elif target.size > 1:
+                divisor = self.acquire()
+                self.emit(f"li {register_name(divisor)}, {target.size}")
+                self.emit(f"div {register_name(left)}, "
+                          f"{register_name(left)}, {register_name(divisor)}")
+                self.release(divisor)
+            return left
+        if left_ptr:
+            pointer_expr, int_expr = expr.left, expr.right
+        else:
+            pointer_expr, int_expr = expr.right, expr.left
+        ptr_ty = pointer_expr.ty
+        target = (ptr_ty.elem if isinstance(ptr_ty, ArrayType)
+                  else ptr_ty.target)
+        pointer = self.gen_expr(pointer_expr)
+        offset = self.gen_expr(int_expr)
+        offset = self._scale(offset, target.size)
+        mnemonic = "subu" if expr.op == "-" else "addu"
+        self.emit(f"{mnemonic} {register_name(pointer)}, "
+                  f"{register_name(pointer)}, {register_name(offset)}")
+        self.release(offset)
+        return pointer
+
+    def _comparison(self, expr: ast.Binary) -> int:
+        left = self.gen_expr(expr.left)
+        right = self.gen_expr(expr.right)
+        op = expr.op
+        if _is_float(expr.left.ty) or _is_float(expr.right.ty):
+            result = left
+            table = {
+                "==": ("feq", left, right, False),
+                "!=": ("feq", left, right, True),
+                "<": ("flt", left, right, False),
+                ">": ("flt", right, left, False),
+                "<=": ("fle", left, right, False),
+                ">=": ("fle", right, left, False),
+            }
+            mnemonic, a, b, negate = table[op]
+            self.emit(f"{mnemonic} {register_name(result)}, "
+                      f"{register_name(a)}, {register_name(b)}")
+            if negate:
+                self.emit(f"xori {register_name(result)}, "
+                          f"{register_name(result)}, 1")
+            self.release(right)
+            return result
+        if op == "<":
+            self.emit(f"slt {register_name(left)}, {register_name(left)}, "
+                      f"{register_name(right)}")
+        elif op == ">":
+            self.emit(f"slt {register_name(left)}, {register_name(right)}, "
+                      f"{register_name(left)}")
+        elif op == "<=":
+            self.emit(f"slt {register_name(left)}, {register_name(right)}, "
+                      f"{register_name(left)}")
+            self.emit(f"xori {register_name(left)}, {register_name(left)}, 1")
+        elif op == ">=":
+            self.emit(f"slt {register_name(left)}, {register_name(left)}, "
+                      f"{register_name(right)}")
+            self.emit(f"xori {register_name(left)}, {register_name(left)}, 1")
+        elif op == "==":
+            self.emit(f"xor {register_name(left)}, {register_name(left)}, "
+                      f"{register_name(right)}")
+            self.emit(f"sltiu {register_name(left)}, "
+                      f"{register_name(left)}, 1")
+        elif op == "!=":
+            self.emit(f"xor {register_name(left)}, {register_name(left)}, "
+                      f"{register_name(right)}")
+            self.emit(f"sltu {register_name(left)}, $zero, "
+                      f"{register_name(left)}")
+        self.release(right)
+        return left
+
+    def _short_circuit(self, expr: ast.Binary) -> int:
+        done = self.new_label("sc_end")
+        shortcut = self.new_label("sc_out")
+        result = self.acquire()
+        left = self.gen_expr(expr.left)
+        if expr.op == "&&":
+            self.emit(f"beqz {register_name(left)}, {shortcut}")
+        else:
+            self.emit(f"bnez {register_name(left)}, {shortcut}")
+        self.release(left)
+        right = self.gen_expr(expr.right)
+        if expr.op == "&&":
+            self.emit(f"sltu {register_name(result)}, $zero, "
+                      f"{register_name(right)}")
+        else:
+            self.emit(f"sltu {register_name(result)}, $zero, "
+                      f"{register_name(right)}")
+        self.release(right)
+        self.emit(f"b {done}")
+        self.emit_label(shortcut)
+        value = 0 if expr.op == "&&" else 1
+        self.emit(f"li {register_name(result)}, {value}")
+        self.emit_label(done)
+        return result
+
+    def gen_unary(self, expr: ast.Unary) -> int:
+        operand = self.gen_expr(expr.operand)
+        if expr.op == "-":
+            if _is_float(expr.ty):
+                self.emit(f"fneg {register_name(operand)}, "
+                          f"{register_name(operand)}")
+            else:
+                self.emit(f"neg {register_name(operand)}, "
+                          f"{register_name(operand)}")
+        elif expr.op == "~":
+            self.emit(f"not {register_name(operand)}, "
+                      f"{register_name(operand)}")
+        elif expr.op == "!":
+            self.emit(f"sltiu {register_name(operand)}, "
+                      f"{register_name(operand)}, 1")
+        return operand
+
+    def gen_cast(self, expr: ast.Cast) -> int:
+        operand = self.gen_expr(expr.operand)
+        source = expr.operand.ty
+        target = expr.target
+        if _is_float(target) and not _is_float(source):
+            self.emit(f"fcvt {register_name(operand)}, "
+                      f"{register_name(operand)}")
+        elif not _is_float(target) and _is_float(source):
+            self.emit(f"ftrunc {register_name(operand)}, "
+                      f"{register_name(operand)}")
+        return operand
+
+    # -- calls ---------------------------------------------------------
+    def gen_call(self, expr: ast.Call,
+                 want_value: bool = True) -> Optional[int]:
+        sig: FunctionSig = expr.sig
+        if sig.is_builtin and expr.name in _INLINE_BUILTINS:
+            return self._inline_builtin(expr, want_value)
+
+        arg_regs: list[int] = []
+        for arg in expr.args:
+            arg_regs.append(self.gen_expr(arg))
+
+        # Spill temps that must survive the call (caller-saved ABI).
+        live_before = [r for r in self._live if r not in arg_regs]
+        spills: list[tuple[int, int]] = []
+        for position, reg in enumerate(live_before):
+            offset = self.frame.spill_offset(position)
+            self.emit(f"sw {register_name(reg)}, {offset}($sp)")
+            spills.append((reg, offset))
+
+        for position, reg in enumerate(arg_regs):
+            self.emit(f"move {register_name(_ARGS[position])}, "
+                      f"{register_name(reg)}")
+        for reg in arg_regs:
+            self.release(reg)
+        self.emit(f"jal {expr.name}")
+        for reg, offset in spills:
+            self.emit(f"lw {register_name(reg)}, {offset}($sp)")
+        if not want_value or sig.ret_type.is_void:
+            return None
+        result = self.acquire()
+        self.emit(f"move {register_name(result)}, $v0")
+        return result
+
+    def _inline_builtin(self, expr: ast.Call,
+                        want_value: bool) -> Optional[int]:
+        name = expr.name
+        if name in ("print_int", "print_char"):
+            value = self.gen_expr(expr.args[0])
+            self.emit(f"move $a0, {register_name(value)}")
+            self.release(value)
+            self.emit(f"li $v0, {1 if name == 'print_int' else 11}")
+            self.emit("syscall")
+            return None
+        if name == "read_int":
+            self.emit("li $v0, 5")
+            self.emit("syscall")
+            if not want_value:
+                return None
+            result = self.acquire()
+            self.emit(f"move {register_name(result)}, $v0")
+            return result
+        raise CodegenError(f"unknown inline builtin {name}")
+
+
+class Codegen:
+    """Whole-translation-unit code generator."""
+
+    def __init__(self, unit: ast.TranslationUnit, optimize: bool = False):
+        self.unit = unit
+        self.optimize = optimize
+        self._float_pool: dict[int, str] = {}
+        from repro.asm.symtab import SymbolTable
+        self.symtab = SymbolTable()
+
+    def float_constant(self, value: float) -> str:
+        bits = float_to_bits(value)
+        if bits not in self._float_pool:
+            self._float_pool[bits] = f".LC{len(self._float_pool)}"
+        return self._float_pool[bits]
+
+    def generate(self) -> str:
+        from repro.compiler.optimizer import fold_unit
+        from repro.compiler.runtime import RUNTIME_ASM
+        from repro.compiler.typeconv import to_typedesc
+        if self.optimize:
+            fold_unit(self.unit)
+
+        text_lines: list[str] = [".text"]
+        for func in self.unit.functions:
+            if func.body is None:
+                continue
+            text_lines.append(f".ent {func.name}")
+            text_lines.extend(FunctionCodegen(self, func).generate())
+            text_lines.append(f".end {func.name}")
+
+        data_lines: list[str] = [".data"]
+        for decl in self.unit.globals:
+            data_lines.extend(self._global_data(decl))
+        for bits, label in self._float_pool.items():
+            data_lines.append(f"{label}: .word {bits & 0xFFFFFFFF}")
+        data_lines.append("__heap_ptr: .word 0")
+        data_lines.append("__rand_seed: .word 12345")
+
+        self._record_globals()
+        return "\n".join([RUNTIME_ASM, *text_lines, *data_lines]) + "\n"
+
+    def _record_globals(self) -> None:
+        from repro.asm.symtab import VariableInfo
+        from repro.compiler.typeconv import struct_registry, to_typedesc
+        for decl in self.unit.globals:
+            # gp offsets are filled by the driver after assembly/layout.
+            self.symtab.add_global(VariableInfo(
+                name=decl.name, type=to_typedesc(decl.type),
+                region="global", offset=0))
+        self.symtab.structs.update(struct_registry(self.unit))
+
+    def _global_data(self, decl: ast.VarDecl) -> list[str]:
+        lines = [".align 2"]
+        ty = decl.type
+        name = decl.name
+        if decl.init is None:
+            lines.append(f"{name}: .space {max(ty.size, 4)}")
+            return lines
+        init = decl.init
+        if isinstance(init, ast.Call) and init.name == "__initlist__":
+            assert isinstance(ty, ArrayType)
+            words: list[str] = []
+            self._flatten_init(ty, init, words)
+            emitted = 0
+            lines.append(f"{name}:")
+            for word in words:
+                lines.append(f"    {word}")
+                emitted += 4
+            remaining = ty.size - emitted
+            if remaining > 0:
+                lines.append(f"    .space {remaining}")
+            return lines
+        value = const_value(init)
+        if _is_float(ty):
+            lines.append(f"{name}: .float {float(value)!r}")
+        else:
+            lines.append(f"{name}: .word {int(value)}")
+        return lines
+
+    def _flatten_init(self, ty: Type, init: ast.Expr,
+                      out: list[str]) -> None:
+        if isinstance(init, ast.Call) and init.name == "__initlist__":
+            assert isinstance(ty, ArrayType)
+            for element in init.args:
+                self._flatten_init(ty.elem, element, out)
+            missing = ty.count - len(init.args)
+            for _ in range(missing * max(ty.elem.size // 4, 1)):
+                out.append(".word 0")
+            return
+        value = const_value(init)
+        if _is_float(ty):
+            out.append(f".word {float_to_bits(float(value))}")
+        else:
+            out.append(f".word {int(value) & 0xFFFFFFFF}")

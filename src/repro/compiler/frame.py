@@ -1,0 +1,81 @@
+"""Stack frame layout.
+
+Mirrors unoptimized MIPS codegen: every local and every parameter gets a
+stack slot addressed off ``$sp`` (the frame pointer is not used, matching
+the paper's address patterns which are written over ``sp``), ``$ra`` is
+saved at the top of the frame, and a fixed block of spill slots supports
+expression temporaries that must survive calls.
+
+Frame picture (offsets from ``$sp`` after the prologue)::
+
+    frame_size-4   saved $ra
+    ...            saved $s registers (optimized mode only)
+    ...            parameter shadow slots
+    ...            locals (arrays/structs aligned to 4)
+    0..SPILL-1     expression spill slots
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.types import Type
+
+SPILL_SLOTS = 12
+SPILL_BYTES = SPILL_SLOTS * 4
+
+
+@dataclass
+class Slot:
+    name: str
+    offset: int
+    type: Type
+
+
+@dataclass
+class Frame:
+    """Layout for one function, built incrementally then finalized."""
+
+    function: str
+    slots: dict[str, Slot] = field(default_factory=dict)
+    saved_regs: list[int] = field(default_factory=list)
+    _cursor: int = SPILL_BYTES
+    frame_size: int = 0
+    finalized: bool = False
+
+    def add_variable(self, name: str, ty: Type) -> Slot:
+        if self.finalized:
+            raise RuntimeError("frame already finalized")
+        align = max(ty.alignment, 4)
+        self._cursor = (self._cursor + align - 1) & ~(align - 1)
+        size = max(ty.size, 4)
+        slot = Slot(name, self._cursor, ty)
+        self.slots[name] = slot
+        self._cursor += (size + 3) & ~3
+        return slot
+
+    def finalize(self, saved_regs: list[int]) -> None:
+        """Fix the frame size: locals, then saved registers, then $ra."""
+        self.saved_regs = list(saved_regs)
+        top = (self._cursor + 3) & ~3
+        top += 4 * len(saved_regs)
+        top += 4                       # saved $ra
+        self.frame_size = (top + 7) & ~7
+        self.finalized = True
+
+    def slot(self, name: str) -> Slot:
+        return self.slots[name]
+
+    @property
+    def ra_offset(self) -> int:
+        assert self.finalized
+        return self.frame_size - 4
+
+    def saved_reg_offset(self, position: int) -> int:
+        assert self.finalized
+        return self.frame_size - 8 - 4 * position
+
+    def spill_offset(self, index: int) -> int:
+        if index >= SPILL_SLOTS:
+            raise RuntimeError("expression too complex: out of spill slots")
+        return 4 * index

@@ -1,0 +1,155 @@
+"""AST-level optimizations used by the ``-O`` compilation mode.
+
+The optimized mode models what the paper's ``gcc -O`` does to address
+patterns: constants are folded (so fewer ``li``/``lw`` round trips) and —
+implemented in the code generator — scalar locals are promoted to ``$s``
+registers.  This module performs the tree rewrites:
+
+* constant folding of arithmetic, comparisons and casts;
+* algebraic identities (``x + 0``, ``x * 1``, ``x * 0``);
+* strength reduction of multiplication by a power of two to a shift.
+
+The strength reduction keeps the AG3 (mul/shift) class membership intact:
+the paper's class deliberately covers both operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang import astnodes as ast
+from repro.lang.sema import const_value
+from repro.lang.types import FLOAT, INT, FloatType
+
+
+def _literal(value, ty, line: int) -> ast.Expr:
+    if isinstance(ty, FloatType) or isinstance(value, float):
+        node: ast.Expr = ast.FloatLit(line=line, value=float(value))
+        node.ty = FLOAT
+    else:
+        node = ast.IntLit(line=line, value=int(value))
+        node.ty = INT
+    return node
+
+
+def fold_expr(expr: ast.Expr) -> ast.Expr:
+    """Return a folded replacement for ``expr`` (children rewritten)."""
+    if isinstance(expr, ast.Binary):
+        expr.left = fold_expr(expr.left)
+        expr.right = fold_expr(expr.right)
+        value = const_value(expr)
+        if value is not None:
+            return _literal(value, expr.ty, expr.line)
+        return _algebraic(expr)
+    if isinstance(expr, ast.Unary):
+        expr.operand = fold_expr(expr.operand)
+        value = const_value(expr)
+        if value is not None:
+            return _literal(value, expr.ty, expr.line)
+        return expr
+    if isinstance(expr, ast.Cast):
+        expr.operand = fold_expr(expr.operand)
+        value = const_value(expr)
+        if value is not None:
+            return _literal(value, expr.target, expr.line)
+        return expr
+    if isinstance(expr, ast.Deref):
+        expr.operand = fold_expr(expr.operand)
+        return expr
+    if isinstance(expr, ast.AddressOf):
+        expr.operand = fold_expr(expr.operand)
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.base = fold_expr(expr.base)
+        expr.index = fold_expr(expr.index)
+        return expr
+    if isinstance(expr, ast.Member):
+        expr.base = fold_expr(expr.base)
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [fold_expr(arg) for arg in expr.args]
+        return expr
+    if isinstance(expr, ast.SizeOf):
+        return _literal(expr.target.size, INT, expr.line)
+    return expr
+
+
+def _int_const(expr: ast.Expr) -> Optional[int]:
+    if isinstance(expr, (ast.IntLit, ast.CharLit)):
+        return expr.value
+    return None
+
+
+def _algebraic(expr: ast.Binary) -> ast.Expr:
+    left_const = _int_const(expr.left)
+    right_const = _int_const(expr.right)
+    ty = expr.ty
+    if expr.op == "+":
+        if right_const == 0:
+            return expr.left
+        if left_const == 0:
+            return expr.right
+    elif expr.op == "-":
+        if right_const == 0:
+            return expr.left
+    elif expr.op == "*":
+        if right_const == 1:
+            return expr.left
+        if left_const == 1:
+            return expr.right
+        if not isinstance(ty, FloatType):
+            for this_const, other in ((right_const, expr.left),
+                                      (left_const, expr.right)):
+                if this_const is not None and this_const > 1 \
+                        and this_const & (this_const - 1) == 0:
+                    shift = ast.Binary(
+                        line=expr.line, op="<<", left=other,
+                        right=_literal(this_const.bit_length() - 1, INT,
+                                       expr.line))
+                    shift.ty = ty
+                    return shift
+    elif expr.op == "/":
+        if right_const == 1:
+            return expr.left
+    return expr
+
+
+def fold_stmt(stmt: ast.Stmt) -> None:
+    if isinstance(stmt, ast.Block):
+        for inner in stmt.statements:
+            fold_stmt(inner)
+    elif isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            stmt.init = fold_expr(stmt.init)
+    elif isinstance(stmt, ast.Assign):
+        stmt.target = fold_expr(stmt.target)
+        stmt.value = fold_expr(stmt.value)
+    elif isinstance(stmt, ast.ExprStmt):
+        stmt.expr = fold_expr(stmt.expr)
+    elif isinstance(stmt, ast.If):
+        stmt.cond = fold_expr(stmt.cond)
+        fold_stmt(stmt.then)
+        if stmt.orelse is not None:
+            fold_stmt(stmt.orelse)
+    elif isinstance(stmt, ast.While):
+        stmt.cond = fold_expr(stmt.cond)
+        fold_stmt(stmt.body)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            fold_stmt(stmt.init)
+        if stmt.cond is not None:
+            stmt.cond = fold_expr(stmt.cond)
+        if stmt.step is not None:
+            fold_stmt(stmt.step)
+        fold_stmt(stmt.body)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = fold_expr(stmt.value)
+
+
+def fold_unit(unit: ast.TranslationUnit) -> None:
+    """Fold every function body in place (globals stay untouched: their
+    initializers must already be constant)."""
+    for func in unit.functions:
+        if func.body is not None:
+            fold_stmt(func.body)

@@ -1,0 +1,83 @@
+"""Runtime library, written in the target assembly.
+
+The paper's analysis runs over "the assembly code for the benchmark as well
+as any library functions", so the allocator and PRNG are real assembly
+routines the static analyzer sees, not simulator magic:
+
+* ``__start`` — program entry: calls ``main`` then exits with its result;
+* ``malloc`` — bump allocator over ``__heap_ptr`` (a gp-relative global;
+  the driver patches its initial value to the heap base after layout);
+* ``calloc`` — ``malloc`` plus a zeroing loop;
+* ``free`` — no-op (bump allocator never reuses memory);
+* ``rand`` / ``srand`` — 31-bit LCG over the ``__rand_seed`` global.
+
+``malloc`` returning through ``$v0`` is what makes heap pointers trace back
+to the paper's ``reg_ret`` base register during address-pattern expansion.
+"""
+
+RUNTIME_ASM = r"""
+.text
+.ent __start
+__start:
+    jal main
+    move $a0, $v0
+    li $v0, 10
+    syscall
+.end __start
+
+.ent malloc
+malloc:
+    addiu $a0, $a0, 7          # round request up to 8 bytes
+    srl $a0, $a0, 3
+    sll $a0, $a0, 3
+    lw $v0, %gp(__heap_ptr)($gp)
+    addu $t0, $v0, $a0
+    sw $t0, %gp(__heap_ptr)($gp)
+    jr $ra
+.end malloc
+
+.ent calloc
+calloc:
+    mul $a0, $a0, $a1          # total bytes
+    addiu $sp, $sp, -8
+    sw $ra, 4($sp)
+    sw $a0, 0($sp)
+    jal malloc
+    lw $t1, 0($sp)             # byte count
+    lw $ra, 4($sp)
+    addiu $sp, $sp, 8
+    move $t0, $v0
+    addu $t1, $v0, $t1         # end pointer
+.L_calloc_zero:
+    bge $t0, $t1, .L_calloc_done
+    sw $zero, 0($t0)
+    addiu $t0, $t0, 4
+    b .L_calloc_zero
+.L_calloc_done:
+    jr $ra
+.end calloc
+
+.ent free
+free:
+    jr $ra                     # bump allocator: free is a no-op
+.end free
+
+.ent rand
+rand:
+    lw $t0, %gp(__rand_seed)($gp)
+    lui $t1, 16838             # 1103515245 == 0x41c64e6d
+    ori $t1, $t1, 20077
+    mul $t0, $t0, $t1
+    addiu $t0, $t0, 12345
+    sw $t0, %gp(__rand_seed)($gp)
+    srl $v0, $t0, 16
+    andi $v0, $v0, 32767
+    jr $ra
+.end rand
+
+.ent srand
+srand:
+    sw $a0, %gp(__rand_seed)($gp)
+    jr $ra
+.end srand
+"""

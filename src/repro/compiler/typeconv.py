@@ -1,0 +1,55 @@
+"""Conversion from MiniC types to debug-info :class:`TypeDesc` records.
+
+Recursive struct types (``struct node { struct node *next; }``) are broken
+by representing a pointer-to-struct's pointee as a named ``struct_ref``
+placeholder; consumers resolve the name through
+:attr:`repro.asm.symtab.SymbolTable.structs`.
+"""
+
+from __future__ import annotations
+
+from repro.asm import symtab as st
+from repro.lang import astnodes as ast
+from repro.lang.types import (
+    ArrayType, CharType, FloatType, IntType, PointerType, StructType, Type,
+    VoidType,
+)
+
+
+def to_typedesc(ty: Type) -> st.TypeDesc:
+    if isinstance(ty, IntType):
+        return st.INT
+    if isinstance(ty, FloatType):
+        return st.FLOAT
+    if isinstance(ty, CharType):
+        return st.CHAR
+    if isinstance(ty, VoidType):
+        return st.TypeDesc("int", 0)
+    if isinstance(ty, PointerType):
+        target = ty.target
+        if isinstance(target, StructType):
+            elem = st.TypeDesc("struct_ref", 0, struct_name=target.name)
+        else:
+            elem = to_typedesc(target)
+        return st.TypeDesc("pointer", 4, elem=elem)
+    if isinstance(ty, ArrayType):
+        return st.TypeDesc("array", ty.size, elem=to_typedesc(ty.elem),
+                           count=ty.count)
+    if isinstance(ty, StructType):
+        fields = tuple(
+            st.FieldDesc(fld.name, fld.offset, to_typedesc(fld.type))
+            for fld in ty.fields.values()
+        )
+        return st.TypeDesc("struct", ty.size, fields=fields,
+                           struct_name=ty.name)
+    raise TypeError(f"cannot convert {ty!r}")
+
+
+def struct_registry(unit: ast.TranslationUnit) -> dict[str, st.TypeDesc]:
+    """Name -> TypeDesc for every struct declared in the unit."""
+    registry: dict[str, st.TypeDesc] = {}
+    for decl in unit.structs:
+        struct_ty = StructType(decl.name)
+        struct_ty.set_fields(decl.members)
+        registry[decl.name] = to_typedesc(struct_ty)
+    return registry

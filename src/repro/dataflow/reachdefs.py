@@ -1,0 +1,131 @@
+"""Register reaching definitions over a function CFG.
+
+The address-pattern builder asks, for a register use at some instruction,
+"which instructions' definitions of this register can reach here?" — the
+classic reaching-definitions dataflow problem, computed per function on the
+reconstructed CFG (the paper: "If a load's address computation is dependent
+on values computed outside the basic block it is in, we perform a data flow
+analysis to obtain all reaching definitions for the temporaries involved").
+
+Definition sites are instruction addresses; the pseudo-site ``ENTRY`` marks
+values live into the function (parameters in ``$a0-$a3``, the stack/global
+pointers, caller state).  Calls define ``$v0``/``$v1`` (return values) and
+kill every caller-saved register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cfg.graph import FunctionCFG
+from repro.isa.instructions import Instruction
+from repro.isa.registers import CALL_CLOBBERED, ZERO
+
+#: Pseudo definition site: value is live into the function.
+ENTRY = -1
+
+
+def dataflow_defs(instr: Instruction) -> frozenset[int]:
+    """Registers (re)defined at this instruction for dataflow purposes.
+
+    Calls clobber the whole caller-saved set; ``$v0``/``$v1`` carry the
+    callee's return value whose definition site *is* the call.
+    """
+    if instr.is_call:
+        return frozenset(CALL_CLOBBERED)
+    return instr.defs()
+
+
+class ReachingDefinitions:
+    """Reaching definitions for one function."""
+
+    def __init__(self, cfg: FunctionCFG):
+        self.cfg = cfg
+        # block leader -> register -> frozenset of def sites (addresses)
+        self._block_in: dict[int, dict[int, frozenset[int]]] = {}
+        self._compute()
+
+    # ------------------------------------------------------------------
+    def _block_gen(self, leader: int) -> dict[int, int]:
+        """Last definition site of each register within the block."""
+        gen: dict[int, int] = {}
+        block = self.cfg.block(leader)
+        for offset, instr in enumerate(block.instructions):
+            address = block.start + 4 * offset
+            for reg in dataflow_defs(instr):
+                gen[reg] = address
+        return gen
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        order = cfg.reverse_postorder()
+        gens = {leader: self._block_gen(leader) for leader in order}
+
+        # OUT[b] = (IN[b] - KILL[b]) | GEN[b]; registers not in the map
+        # implicitly reach via {ENTRY}.
+        block_out: dict[int, dict[int, frozenset[int]]] = {
+            leader: {reg: frozenset((site,))
+                     for reg, site in gens[leader].items()}
+            for leader in order
+        }
+        block_in: dict[int, dict[int, frozenset[int]]] = {
+            leader: {} for leader in order
+        }
+
+        changed = True
+        while changed:
+            changed = False
+            for leader in order:
+                preds = cfg.predecessors(leader)
+                merged: dict[int, frozenset[int]] = {}
+                if preds:
+                    keys: set[int] = set()
+                    for pred in preds:
+                        keys.update(block_out[pred])
+                    for reg in keys:
+                        union: set[int] = set()
+                        for pred in preds:
+                            union.update(block_out[pred].get(
+                                reg, frozenset((ENTRY,))))
+                        merged[reg] = frozenset(union)
+                if merged != block_in[leader]:
+                    block_in[leader] = merged
+                    changed = True
+                    out = dict(merged)
+                    for reg, site in gens[leader].items():
+                        out[reg] = frozenset((site,))
+                    if out != block_out[leader]:
+                        block_out[leader] = out
+
+        self._block_in = block_in
+
+    # ------------------------------------------------------------------
+    def reaching(self, address: int, reg: int) -> frozenset[int]:
+        """Definition sites of ``reg`` reaching ``address`` (a use site).
+
+        Returns ``{ENTRY}`` when the value can be live-in.
+        """
+        if reg == ZERO:
+            return frozenset((ENTRY,))
+        block = self.cfg.block_of(address)
+        if block is None:
+            return frozenset((ENTRY,))
+        # Walk the block up to (not including) `address`.
+        local: Optional[int] = None
+        for offset, instr in enumerate(block.instructions):
+            current = block.start + 4 * offset
+            if current >= address:
+                break
+            if reg in dataflow_defs(instr):
+                local = current
+        if local is not None:
+            return frozenset((local,))
+        incoming = self._block_in.get(block.start, {})
+        return incoming.get(reg, frozenset((ENTRY,)))
+
+    def instruction_at(self, address: int) -> Instruction:
+        block = self.cfg.block_of(address)
+        assert block is not None
+        index = (address - block.start) // 4
+        return block.instructions[index]

@@ -1,0 +1,28 @@
+"""Evaluation helpers shared by the table experiments."""
+
+from __future__ import annotations
+
+from repro.heuristic.classes import PAPER_WEIGHTS, Weights
+from repro.heuristic.classifier import DelinquencyClassifier, \
+    HeuristicResult
+from repro.metrics.measures import coverage, precision
+from repro.pipeline.session import Measurement
+
+
+def run_heuristic(measurement: Measurement,
+                  weights: Weights = PAPER_WEIGHTS,
+                  delta: float = 0.10,
+                  use_frequency: bool = True) -> HeuristicResult:
+    classifier = DelinquencyClassifier(weights=weights, delta=delta,
+                                       use_frequency=use_frequency)
+    hotspots = measurement.profile.hotspot_loads() if use_frequency \
+        else None
+    return classifier.classify(measurement.load_infos,
+                               measurement.load_exec,
+                               hotspots)
+
+
+def pi_rho(delta_set: set[int],
+           measurement: Measurement) -> tuple[float, float]:
+    return (precision(delta_set, measurement.num_loads),
+            coverage(delta_set, measurement.load_misses))

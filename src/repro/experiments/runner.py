@@ -1,0 +1,90 @@
+"""Experiment runner: regenerate any or all paper tables.
+
+``python -m repro.experiments --tables 7,11 --scale 0.5`` prints the
+requested tables; ``--report PATH`` additionally writes an
+EXPERIMENTS.md-style paper-vs-measured report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Optional
+
+from repro.experiments import (
+    table01, table02, table03, table04, table05, table06, table07,
+    table08, table09, table10, table11, table12, table13, table14,
+)
+from repro.experiments.common import Table
+from repro.pipeline.session import Session
+
+EXPERIMENTS: dict[int, Callable[[Session], Table]] = {
+    1: table01.run,
+    2: table02.run,
+    3: table03.run,
+    4: table04.run,
+    5: table05.run,
+    6: table06.run,
+    7: table07.run,
+    8: table08.run,
+    9: table09.run,
+    10: table10.run,
+    11: table11.run,
+    12: table12.run,
+    13: table13.run,
+    14: table14.run,
+}
+
+
+def run_tables(session: Session,
+               numbers: Optional[list[int]] = None,
+               echo: bool = True) -> dict[int, Table]:
+    """Run the requested experiments (all by default)."""
+    numbers = numbers or sorted(EXPERIMENTS)
+    results: dict[int, Table] = {}
+    for number in numbers:
+        started = time.time()
+        table = EXPERIMENTS[number](session)
+        results[number] = table
+        if echo:
+            print(table.render())
+            print(f"  [{time.time() - started:.1f}s]\n")
+    return results
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables on the synthetic "
+                    "workload suite.")
+    parser.add_argument("--tables", default="all",
+                        help="comma-separated table numbers, or 'all'")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    parser.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--report", default=None,
+                        help="also write a paper-vs-measured markdown "
+                             "report to this path")
+    args = parser.parse_args(argv)
+
+    if args.tables == "all":
+        numbers = sorted(EXPERIMENTS)
+    else:
+        numbers = [int(x) for x in args.tables.split(",")]
+    unknown = [n for n in numbers if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown tables: {unknown}")
+
+    session = Session(scale=args.scale,
+                      use_disk_cache=not args.no_disk_cache)
+    results = run_tables(session, numbers)
+    if args.report:
+        from repro.experiments.report import write_report
+        write_report(results, args.report, scale=args.scale)
+        print(f"report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

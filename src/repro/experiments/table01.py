@@ -1,0 +1,40 @@
+"""Table 1: use of basic-block profiling in identifying delinquent loads.
+
+For each benchmark: |Lambda|, the ideal number of loads needed to reach the
+profiling coverage (greedy by miss count), the profiling set Delta_P (all
+loads in the 90%-of-cycles blocks) and its coverage rho.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.metrics.measures import coverage, ideal_delta
+from repro.pipeline.session import Session
+
+
+def run(session: Session, names: tuple[str, ...] = ALL_NAMES) -> Table:
+    table = Table(
+        exhibit="Table 1",
+        title="Use of profiling in identifying delinquent loads",
+        headers=["Benchmark", "|Lambda|", "Ideal |D|(pi)",
+                 "Profiling |D|(pi)", "rho"],
+    )
+    ideal_pis: list[float] = []
+    prof_pis: list[float] = []
+    rhos: list[float] = []
+    for name in names:
+        m = session.measurement(name)
+        delta_p = m.profile.hotspot_loads()
+        rho = coverage(delta_p, m.load_misses)
+        ideal = ideal_delta(m.load_misses, rho)
+        n = m.num_loads
+        ideal_pi = len(ideal) / n if n else 0.0
+        prof_pi = len(delta_p) / n if n else 0.0
+        ideal_pis.append(ideal_pi)
+        prof_pis.append(prof_pi)
+        rhos.append(rho)
+        table.add_row(name, n, f"{len(ideal)} ({pct(ideal_pi, 2)})",
+                      f"{len(delta_p)} ({pct(prof_pi, 2)})", pct(rho))
+    table.add_row("AVERAGE", "", pct(mean(ideal_pis), 2),
+                  pct(mean(prof_pis), 2), pct(mean(rhos), 1))
+    return table

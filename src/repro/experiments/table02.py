@@ -1,0 +1,33 @@
+"""Table 2: runtime characteristics of the benchmarks.
+
+Instructions executed, L1 data-cache accesses and total L1 data-cache
+misses under the training cache configuration.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import TRAINING_CONFIG
+from repro.experiments.common import ALL_NAMES, Table
+from repro.pipeline.session import Session
+
+
+def _sci(value: int) -> str:
+    return f"{value:.2e}"
+
+
+def run(session: Session, names: tuple[str, ...] = ALL_NAMES) -> Table:
+    table = Table(
+        exhibit="Table 2",
+        title="Typical runtime characteristics of the benchmarks",
+        headers=["Benchmark", "Instr executed", "L1 D-cache accesses",
+                 "L1 D-cache misses"],
+        notes=["misses counts load misses + store misses under the "
+               f"training cache ({TRAINING_CONFIG.describe()})"],
+    )
+    for name in names:
+        stats = session.stats(name, cache_config=TRAINING_CONFIG)
+        m = session.measurement(name, cache_config=TRAINING_CONFIG)
+        misses = stats.total_load_misses + stats.total_store_misses
+        table.add_row(name, _sci(m.steps), _sci(stats.total_accesses),
+                      _sci(misses))
+    return table

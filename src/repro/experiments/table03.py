@@ -1,0 +1,46 @@
+"""Table 3: criterion H1 applied to the eleven training benchmarks.
+
+For every fine H1 class (exact sp/gp occurrence counts): how many training
+benchmarks contain such patterns, and in how many the class is relevant.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import TRAINING_CONFIG
+from repro.experiments.common import TRAINING_NAMES, Table
+from repro.heuristic.training import BenchmarkTrainingData, \
+    evaluate_h1_classes
+from repro.pipeline.session import Session
+
+
+def collect_training_set(session: Session,
+                         names: tuple[str, ...] = TRAINING_NAMES
+                         ) -> list[BenchmarkTrainingData]:
+    """Profiled training data for the weight-derivation experiments."""
+    out: list[BenchmarkTrainingData] = []
+    for name in names:
+        m = session.measurement(name, cache_config=TRAINING_CONFIG)
+        out.append(BenchmarkTrainingData.collect(
+            name=name,
+            load_infos=m.load_infos,
+            exec_counts=m.load_exec,
+            load_misses=m.load_misses,
+            hotspot_loads=m.profile.hotspot_loads(),
+        ))
+    return out
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TRAINING_NAMES) -> Table:
+    data = collect_training_set(session, names)
+    table = Table(
+        exhibit="Table 3",
+        title="Criterion H1 applied to the eleven training benchmarks",
+        headers=["Class", "Feature", "Found in", "Relevant in"],
+    )
+    for evaluation in evaluate_h1_classes(data):
+        feature = evaluation.name.removeprefix("H1:")
+        table.add_row(evaluation.name, feature,
+                      f"{len(evaluation.found_in)} benchmarks",
+                      f"{len(evaluation.relevant_in)} benchmarks")
+    return table

@@ -1,0 +1,34 @@
+"""Table 4: m_j and n_j values of the 'sp=1,gp=1' H1 class.
+
+The paper's worked example for weight derivation (its class 5).  We print
+m/n for every training benchmark where the class occurs, plus the weight
+the W(F) formula would assign.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import TRAINING_NAMES, Table
+from repro.experiments.table03 import collect_training_set
+from repro.heuristic.training import evaluate_class
+from repro.pipeline.session import Session
+
+CLASS_NAME = "H1:sp=1,gp=1"
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TRAINING_NAMES,
+        class_name: str = CLASS_NAME) -> Table:
+    data = collect_training_set(session, names)
+    evaluation = evaluate_class(class_name, data)
+    table = Table(
+        exhibit="Table 4",
+        title=f"m_j and n_j values of class '{class_name}'",
+        headers=["Benchmark", "m_j (%)", "n_j (%)", "relevant"],
+    )
+    for bench, (m, n) in sorted(evaluation.per_benchmark.items()):
+        table.add_row(bench, f"{100 * m:.2f}", f"{100 * n:.2f}",
+                      "yes" if bench in evaluation.relevant_in else "no")
+    table.notes.append(
+        f"nature={evaluation.nature}, W={evaluation.weight:.2f} "
+        f"(mean of m/n over relevant benchmarks)")
+    return table

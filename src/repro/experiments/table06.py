@@ -1,0 +1,27 @@
+"""Table 6: the inputs used in the experiments.
+
+A listing of the two parameterizations of every workload (the analogue of
+the paper's input files).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import Table
+from repro.pipeline.session import Session
+from repro.workloads.registry import ALL_WORKLOADS
+
+
+def run(session: Session) -> Table:
+    table = Table(
+        exhibit="Table 6",
+        title="The inputs used in the experiments",
+        headers=["Benchmark", "Input 1", "Input 2"],
+    )
+    for workload in ALL_WORKLOADS:
+        first, second = workload.inputs
+        table.add_row(
+            workload.name,
+            ", ".join(f"{k}={v}" for k, v in first.params),
+            ", ".join(f"{k}={v}" for k, v in second.params),
+        )
+    return table

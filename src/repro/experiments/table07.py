@@ -1,0 +1,40 @@
+"""Table 7: heuristic performance on two different input sets.
+
+pi/rho for the eleven training benchmarks, unoptimized code, the training
+cache configuration, on Input 1 (the training input) and Input 2.  The
+paper's claim: the heuristic is insensitive to inputs.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import TRAINING_CONFIG
+from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
+from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.pipeline.session import Session
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TRAINING_NAMES) -> Table:
+    table = Table(
+        exhibit="Table 7",
+        title="Performance on different inputs (pi / rho)",
+        headers=["Benchmark", "Input 1", "Input 2"],
+    )
+    sums = {"input1": [[], []], "input2": [[], []]}
+    for name in names:
+        cells = []
+        for input_name in ("input1", "input2"):
+            m = session.measurement(name, input_name=input_name,
+                                    cache_config=TRAINING_CONFIG)
+            result = run_heuristic(m)
+            pi, rho = pi_rho(result.delinquent_set, m)
+            sums[input_name][0].append(pi)
+            sums[input_name][1].append(rho)
+            cells.append(f"{pct(pi)} / {pct(rho)}")
+        table.add_row(name, *cells)
+    table.add_row(
+        "AVERAGE",
+        f"{pct(mean(sums['input1'][0]))} / {pct(mean(sums['input1'][1]))}",
+        f"{pct(mean(sums['input2'][0]))} / {pct(mean(sums['input2'][1]))}",
+    )
+    return table

@@ -1,0 +1,48 @@
+"""Table 8: heuristic stability across cache associativities.
+
+Optimized code, 8KB data cache, associativity 2/4/8.  pi is input- and
+code-dependent only, so it is constant across the sweep; rho is measured
+per configuration.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import associativity_sweep
+from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
+from repro.experiments.evalutil import run_heuristic
+from repro.metrics.measures import coverage, precision
+from repro.pipeline.session import Session
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TRAINING_NAMES,
+        optimize: bool = True) -> Table:
+    configs = associativity_sweep()
+    table = Table(
+        exhibit="Table 8",
+        title="Performance under different cache associativities "
+              "(optimized code)",
+        headers=["Benchmark", "pi"] + [f"assoc {c.assoc} rho"
+                                       for c in configs],
+    )
+    pis: list[float] = []
+    rho_cols: list[list[float]] = [[] for _ in configs]
+    for name in names:
+        row: list[str] = [name]
+        delta_set = None
+        for position, config in enumerate(configs):
+            m = session.measurement(name, optimize=optimize,
+                                    cache_config=config)
+            if delta_set is None:
+                result = run_heuristic(m)
+                delta_set = result.delinquent_set
+                pi = precision(delta_set, m.num_loads)
+                pis.append(pi)
+                row.append(pct(pi))
+            rho = coverage(delta_set, m.load_misses)
+            rho_cols[position].append(rho)
+            row.append(pct(rho))
+        table.rows.append(row)
+    table.add_row("AVERAGE", pct(mean(pis)),
+                  *[pct(mean(col)) for col in rho_cols])
+    return table

@@ -1,0 +1,45 @@
+"""Table 9: heuristic stability across cache sizes.
+
+Optimized code on 8K/16K/32K/64K 4-way data caches.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import size_sweep
+from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
+from repro.experiments.evalutil import run_heuristic
+from repro.metrics.measures import coverage, precision
+from repro.pipeline.session import Session
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TRAINING_NAMES,
+        optimize: bool = True) -> Table:
+    configs = size_sweep()
+    table = Table(
+        exhibit="Table 9",
+        title="Performance under different cache sizes (optimized code)",
+        headers=["Benchmark", "pi"] + [f"{c.size // 1024}k rho"
+                                       for c in configs],
+    )
+    pis: list[float] = []
+    rho_cols: list[list[float]] = [[] for _ in configs]
+    for name in names:
+        row: list[str] = [name]
+        delta_set = None
+        for position, config in enumerate(configs):
+            m = session.measurement(name, optimize=optimize,
+                                    cache_config=config)
+            if delta_set is None:
+                result = run_heuristic(m)
+                delta_set = result.delinquent_set
+                pi = precision(delta_set, m.num_loads)
+                pis.append(pi)
+                row.append(pct(pi))
+            rho = coverage(delta_set, m.load_misses)
+            rho_cols[position].append(rho)
+            row.append(pct(rho))
+        table.rows.append(row)
+    table.add_row("AVERAGE", pct(mean(pis)),
+                  *[pct(mean(col)) for col in rho_cols])
+    return table

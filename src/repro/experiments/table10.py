@@ -1,0 +1,36 @@
+"""Table 10: performance on benchmarks not used for training.
+
+The litmus test: pi/rho on the seven held-out workloads, unoptimized,
+training cache configuration.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import TRAINING_CONFIG
+from repro.experiments.common import TEST_NAMES, Table, mean, pct
+from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.pipeline.session import Session
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TEST_NAMES) -> Table:
+    table = Table(
+        exhibit="Table 10",
+        title="Performance of the heuristic on a new set of benchmarks",
+        headers=["Benchmark", "|D| / |Lambda| (pi)", "rho"],
+    )
+    pis: list[float] = []
+    rhos: list[float] = []
+    for name in names:
+        m = session.measurement(name, cache_config=TRAINING_CONFIG)
+        result = run_heuristic(m)
+        pi, rho = pi_rho(result.delinquent_set, m)
+        pis.append(pi)
+        rhos.append(rho)
+        table.add_row(
+            name,
+            f"{len(result.delinquent_set)} / {m.num_loads} "
+            f"({pct(pi, 2)})",
+            pct(rho))
+    table.add_row("AVERAGE", pct(mean(pis), 2), pct(mean(rhos), 2))
+    return table

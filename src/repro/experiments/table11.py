@@ -1,0 +1,45 @@
+"""Table 11: full performance summary of the heuristic.
+
+All eighteen benchmarks, baseline cache, unoptimized code: pi, rho and the
+dynamic false-positive measure xi with the frequency classes AG8/AG9, and
+pi/rho without them (the configuration needing no runtime profile).
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import BASELINE_CONFIG
+from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.metrics.measures import coverage, ideal_delta, xi
+from repro.pipeline.session import Session
+
+
+def run(session: Session,
+        names: tuple[str, ...] = ALL_NAMES) -> Table:
+    table = Table(
+        exhibit="Table 11",
+        title="Performance summary of the heuristic method",
+        headers=["Benchmark", "pi", "rho", "xi",
+                 "pi (no AG8/9)", "rho (no AG8/9)"],
+    )
+    columns: list[list[float]] = [[] for _ in range(5)]
+    for name in names:
+        m = session.measurement(name, cache_config=BASELINE_CONFIG)
+        with_freq = run_heuristic(m, use_frequency=True)
+        without_freq = run_heuristic(m, use_frequency=False)
+        pi1, rho1 = pi_rho(with_freq.delinquent_set, m)
+        pi2, rho2 = pi_rho(without_freq.delinquent_set, m)
+        # xi uses the ideal set at the profiling coverage (Table 1).
+        profiling_rho = coverage(m.profile.hotspot_loads(),
+                                 m.load_misses)
+        ideal = ideal_delta(m.load_misses, profiling_rho)
+        xi_value = xi(with_freq.delinquent_set, ideal, m.load_exec)
+        for column, value in zip(columns,
+                                 (pi1, rho1, xi_value, pi2, rho2)):
+            column.append(value)
+        table.add_row(name, pct(pi1, 2), pct(rho1), pct(xi_value),
+                      pct(pi2, 2), pct(rho2))
+    table.add_row("AVERAGE", pct(mean(columns[0]), 2),
+                  pct(mean(columns[1]), 2), pct(mean(columns[2]), 2),
+                  pct(mean(columns[3]), 2), pct(mean(columns[4]), 2))
+    return table

@@ -1,0 +1,44 @@
+"""Table 12: performance of the OKN and BDH baselines.
+
+Same binaries and cache configuration as Table 11; both baselines reach
+comparable coverage only by flagging a far larger share of loads.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import bdh, okn
+from repro.cache.config import BASELINE_CONFIG
+from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.metrics.measures import coverage, precision
+from repro.pipeline.session import Session
+
+
+def run(session: Session,
+        names: tuple[str, ...] = ALL_NAMES,
+        include_chain: bool = True) -> Table:
+    table = Table(
+        exhibit="Table 12",
+        title="Performance of the OKN and BDH methods",
+        headers=["Benchmark", "OKN pi", "OKN rho", "BDH pi", "BDH rho"],
+    )
+    columns: list[list[float]] = [[] for _ in range(4)]
+    for name in names:
+        m = session.measurement(name, cache_config=BASELINE_CONFIG)
+        okn_set = okn.classify(
+            m.load_infos, m.program,
+            include_chain=include_chain).delinquent_set
+        bdh_set = bdh.classify(
+            m.program, m.load_infos,
+            include_chain=include_chain).delinquent_set
+        values = (
+            precision(okn_set, m.num_loads),
+            coverage(okn_set, m.load_misses),
+            precision(bdh_set, m.num_loads),
+            coverage(bdh_set, m.load_misses),
+        )
+        for column, value in zip(columns, values):
+            column.append(value)
+        table.add_row(name, pct(values[0], 2), pct(values[1]),
+                      pct(values[2], 2), pct(values[3]))
+    table.add_row("AVERAGE", *[pct(mean(c), 2) for c in columns])
+    return table

@@ -1,0 +1,44 @@
+"""Table 13: varying the delinquency threshold delta.
+
+16KB cache, optimized code: raising delta trades coverage for precision,
+with benchmark-dependent cliffs.
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import CacheConfig
+from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
+from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.pipeline.session import Session
+
+DELTAS = (0.10, 0.20, 0.30, 0.40)
+CACHE_16K = CacheConfig(size=16 * 1024, assoc=4, block_size=32)
+
+
+def run(session: Session,
+        names: tuple[str, ...] = TRAINING_NAMES,
+        deltas: tuple[float, ...] = DELTAS,
+        optimize: bool = True) -> Table:
+    table = Table(
+        exhibit="Table 13",
+        title="Varying the delinquency threshold (pi / rho)",
+        headers=["Benchmark"] + [f"delta={d:.2f}" for d in deltas],
+    )
+    sums: list[tuple[list[float], list[float]]] = [
+        ([], []) for _ in deltas
+    ]
+    for name in names:
+        m = session.measurement(name, optimize=optimize,
+                                cache_config=CACHE_16K)
+        row = [name]
+        for position, delta in enumerate(deltas):
+            result = run_heuristic(m, delta=delta)
+            pi, rho = pi_rho(result.delinquent_set, m)
+            sums[position][0].append(pi)
+            sums[position][1].append(rho)
+            row.append(f"{pct(pi)} / {pct(rho)}")
+        table.rows.append(row)
+    table.add_row("AVERAGE", *[
+        f"{pct(mean(pis))} / {pct(mean(rhos))}" for pis, rhos in sums
+    ])
+    return table

@@ -1,0 +1,53 @@
+"""Table 14: combining the heuristic with basic-block profiling.
+
+The Section 9 combined scheme at epsilon = 0, 0.1, 0.2, 0.3, plus the
+rho* random-sampling control at epsilon = 0 (mean of three runs).
+"""
+
+from __future__ import annotations
+
+from repro.cache.config import BASELINE_CONFIG
+from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.experiments.evalutil import run_heuristic
+from repro.metrics.measures import coverage, precision
+from repro.pipeline.session import Session
+from repro.profiling.combined import combined_delta, \
+    random_hotspot_coverage
+
+EPSILONS = (0.0, 0.10, 0.20, 0.30)
+
+
+def run(session: Session,
+        names: tuple[str, ...] = ALL_NAMES,
+        epsilons: tuple[float, ...] = EPSILONS) -> Table:
+    headers = ["Benchmark", "eps=0 pi", "eps=0 rho", "rho*"]
+    for eps in epsilons[1:]:
+        headers.extend([f"eps={eps:.1f} pi", f"eps={eps:.1f} rho"])
+    table = Table(
+        exhibit="Table 14",
+        title="Varying the epsilon factor of the combined scheme",
+        headers=headers,
+    )
+    n_cols = 3 + 2 * (len(epsilons) - 1)
+    columns: list[list[float]] = [[] for _ in range(n_cols)]
+    for name in names:
+        m = session.measurement(name, cache_config=BASELINE_CONFIG)
+        heuristic = run_heuristic(m)
+        delta_p = m.profile.hotspot_loads()
+        values: list[float] = []
+        for position, eps in enumerate(epsilons):
+            combined = combined_delta(delta_p, heuristic, eps)
+            values.append(precision(combined, m.num_loads))
+            values.append(coverage(combined, m.load_misses))
+            if position == 0:
+                size = len(combined)
+                values.append(random_hotspot_coverage(
+                    delta_p, size, m.load_misses))
+        for column, value in zip(columns, values):
+            column.append(value)
+        # Digits: pi columns get 2 decimals, rho columns none.
+        digit_plan = [2, 0, 0] + [2, 0] * (len(epsilons) - 1)
+        table.add_row(name, *[pct(v, d)
+                              for v, d in zip(values, digit_plan)])
+    table.add_row("AVERAGE", *[pct(mean(c), 2) for c in columns])
+    return table

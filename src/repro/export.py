@@ -1,0 +1,91 @@
+"""JSON export of analysis results.
+
+Downstream tools (a prefetch-insertion pass, a report generator, an IDE
+plugin) consume delinquency analysis as data.  ``report_to_dict``
+serializes an :class:`~repro.api.AnalysisReport` into a stable,
+versioned JSON structure; ``load_report_json`` round-trips the parts
+that do not require the compiled program.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.api import AnalysisReport
+
+SCHEMA_VERSION = 1
+
+
+def report_to_dict(report: AnalysisReport) -> dict[str, Any]:
+    """Serialize an analysis report (stable, versioned schema)."""
+    program = report.program
+    exec_counts = report.profile.load_exec_counts() \
+        if report.profile is not None else None
+    loads = []
+    for address in sorted(report.load_infos):
+        info = report.load_infos[address]
+        verdict = report.heuristic.loads[address]
+        entry: dict[str, Any] = {
+            "address": f"{address:#x}",
+            "function": info.function,
+            "instruction": info.instruction.text(),
+            "phi": round(verdict.score, 4),
+            "delinquent": verdict.is_delinquent,
+            "classes": sorted(verdict.classes),
+            "patterns": [str(p) for p in info.patterns],
+        }
+        if report.cache_stats is not None:
+            entry["misses"] = report.cache_stats.load_misses.get(
+                address, 0)
+            entry["accesses"] = report.cache_stats.load_accesses.get(
+                address, 0)
+        if exec_counts is not None:
+            entry["exec_count"] = exec_counts.get(address, 0)
+        loads.append(entry)
+
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "summary": {
+            "num_loads": program.num_loads(),
+            "num_delinquent": len(report.delinquent_loads),
+            "pi": round(report.pi, 4),
+            "delta": report.heuristic.delta,
+            "weights": report.heuristic.weights.as_dict(),
+        },
+        "loads": loads,
+    }
+    if report.rho is not None:
+        payload["summary"]["rho"] = round(report.rho, 4)
+    if report.execution is not None:
+        payload["summary"]["instructions_executed"] = \
+            report.execution.steps
+    if report.cache_stats is not None:
+        payload["summary"]["cache"] = \
+            report.cache_stats.config.describe()
+        payload["summary"]["total_load_misses"] = \
+            report.cache_stats.total_load_misses
+    return payload
+
+
+def report_to_json(report: AnalysisReport, indent: int = 2) -> str:
+    return json.dumps(report_to_dict(report), indent=indent,
+                      sort_keys=False)
+
+
+def write_report_json(report: AnalysisReport, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(report_to_json(report))
+
+
+def load_report_json(path: str) -> dict[str, Any]:
+    """Load and validate a previously exported report."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version: {version}")
+    for key in ("summary", "loads"):
+        if key not in payload:
+            raise ValueError(f"malformed report: missing {key!r}")
+    return payload

@@ -1,0 +1,129 @@
+"""Aggregate classes AG1..AG9 and the heuristic weights (paper Table 5).
+
+Classes AG1..AG7 are *pattern* classes — membership is a predicate over one
+address pattern's features.  AG8/AG9 are *frequency* classes over the
+load's execution count (criterion H5) and apply to the load as a whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.patterns.ap import APFeatures
+
+# Frequency categories (criterion H5).
+FREQ_RARE = "rare"            # executed < 100 times
+FREQ_SELDOM = "seldom"        # executed 100..999 times
+FREQ_FAIR = "fair"            # everything else
+FREQ_HOTSPOT = "hotspot"      # inside the 90%-of-cycles basic blocks
+
+RARE_LIMIT = 100
+SELDOM_LIMIT = 1000
+
+
+def frequency_category(exec_count: int, in_hotspot: bool = False) -> str:
+    if exec_count < RARE_LIMIT:
+        return FREQ_RARE
+    if exec_count < SELDOM_LIMIT:
+        return FREQ_SELDOM
+    return FREQ_HOTSPOT if in_hotspot else FREQ_FAIR
+
+
+@dataclass(frozen=True)
+class AggregateClass:
+    """One AG class: name, paper description, and membership test."""
+
+    name: str
+    feature: str
+    criterion: str                       # H1..H5
+    pattern_member: Optional[Callable[[APFeatures], bool]] = None
+    frequency_member: Optional[Callable[[str], bool]] = None
+
+    def matches_pattern(self, feats: APFeatures) -> bool:
+        return bool(self.pattern_member and self.pattern_member(feats))
+
+    def matches_frequency(self, category: str) -> bool:
+        return bool(self.frequency_member and self.frequency_member(category))
+
+
+def _only_sp(feats: APFeatures) -> bool:
+    return (feats.sp_count >= 2 and feats.gp_count == 0
+            and feats.param_count == 0 and feats.ret_count == 0)
+
+
+AGGREGATE_CLASSES: tuple[AggregateClass, ...] = (
+    AggregateClass(
+        "AG1", "sp and gp each used at least once", "H1",
+        pattern_member=lambda f: f.sp_count >= 1 and f.gp_count >= 1),
+    AggregateClass(
+        "AG2", "only sp, used two times or more", "H1",
+        pattern_member=_only_sp),
+    AggregateClass(
+        "AG3", "multiplication or shift present", "H2",
+        pattern_member=lambda f: f.has_mul or f.has_shift),
+    AggregateClass(
+        "AG4", "dereferenced once", "H3",
+        pattern_member=lambda f: f.deref_depth == 1),
+    AggregateClass(
+        "AG5", "dereferenced twice", "H3",
+        pattern_member=lambda f: f.deref_depth == 2),
+    AggregateClass(
+        "AG6", "dereferenced three or more times", "H3",
+        pattern_member=lambda f: f.deref_depth >= 3),
+    AggregateClass(
+        "AG7", "recurrent address pattern", "H4",
+        pattern_member=lambda f: f.has_recurrence),
+    AggregateClass(
+        "AG8", "seldom executed (100..999 times)", "H5",
+        frequency_member=lambda c: c == FREQ_SELDOM),
+    AggregateClass(
+        "AG9", "rarely executed (< 100 times)", "H5",
+        frequency_member=lambda c: c == FREQ_RARE),
+)
+
+CLASSES_BY_NAME = {cls.name: cls for cls in AGGREGATE_CLASSES}
+
+PATTERN_CLASS_NAMES = tuple(c.name for c in AGGREGATE_CLASSES
+                            if c.pattern_member is not None)
+FREQUENCY_CLASS_NAMES = tuple(c.name for c in AGGREGATE_CLASSES
+                              if c.frequency_member is not None)
+
+
+@dataclass(frozen=True)
+class Weights:
+    """Weight vector over the aggregate classes."""
+
+    values: tuple[tuple[str, float], ...]
+
+    @classmethod
+    def from_dict(cls, mapping: dict[str, float]) -> "Weights":
+        unknown = set(mapping) - set(CLASSES_BY_NAME)
+        if unknown:
+            raise ValueError(f"unknown classes: {sorted(unknown)}")
+        return cls(tuple(sorted(mapping.items())))
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.values)
+
+    def __getitem__(self, name: str) -> float:
+        return dict(self.values).get(name, 0.0)
+
+
+#: Paper Table 5: the weights the authors trained on eleven SPEC
+#: benchmarks.  Used as the out-of-the-box default; :mod:`training`
+#: recomputes them for our synthetic suite.
+PAPER_WEIGHTS = Weights.from_dict({
+    "AG1": 0.28,
+    "AG2": 0.33,
+    "AG3": 0.47,
+    "AG4": 0.16,
+    "AG5": 0.67,
+    "AG6": 1.72,
+    "AG7": 0.10,
+    "AG8": -0.20,
+    "AG9": -0.40,
+})
+
+#: Paper Section 7.3: default delinquency threshold.
+DEFAULT_DELTA = 0.10

@@ -1,0 +1,117 @@
+"""The delinquency classifier: phi(i) and the threshold test (Sec 7.3).
+
+    phi(i) = max over address patterns j of i of
+                 sum_k W(AG_k) * [j in AG_k]
+
+A load is *possibly delinquent* when ``phi(i) > delta``.  The frequency
+classes AG8/AG9 are properties of the load (not of a single pattern) and
+contribute to every pattern's sum; ``use_frequency=False`` reproduces the
+paper's "without AG8 and AG9" columns (Table 11), which need no runtime
+profile at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.heuristic.classes import (
+    AGGREGATE_CLASSES, DEFAULT_DELTA, FREQ_FAIR, PAPER_WEIGHTS, Weights,
+    frequency_category,
+)
+from repro.patterns.builder import LoadInfo
+
+
+@dataclass
+class ClassifiedLoad:
+    """Classification outcome for one static load."""
+
+    address: int
+    score: float
+    classes: frozenset[str]          # classes contributing to the max pattern
+    is_delinquent: bool
+
+
+@dataclass
+class HeuristicResult:
+    """Full classifier output over a program."""
+
+    loads: dict[int, ClassifiedLoad]
+    delta: float
+    weights: Weights
+
+    @property
+    def delinquent_set(self) -> set[int]:
+        return {a for a, c in self.loads.items() if c.is_delinquent}
+
+    def members_of(self, class_name: str) -> set[int]:
+        return {a for a, c in self.loads.items() if class_name in c.classes}
+
+    def scores(self) -> dict[int, float]:
+        return {a: c.score for a, c in self.loads.items()}
+
+
+class DelinquencyClassifier:
+    """Applies the weighted-class heuristic to a set of loads."""
+
+    def __init__(self, weights: Weights = PAPER_WEIGHTS,
+                 delta: float = DEFAULT_DELTA,
+                 use_frequency: bool = True):
+        self.weights = weights
+        self.delta = delta
+        self.use_frequency = use_frequency
+
+    def score_load(self, info: LoadInfo,
+                   freq: str = FREQ_FAIR) -> tuple[float, frozenset[str]]:
+        """phi(i) and the class set of the maximizing pattern."""
+        weights = self.weights
+        freq_classes: list[str] = []
+        freq_score = 0.0
+        if self.use_frequency:
+            for cls in AGGREGATE_CLASSES:
+                if cls.frequency_member and cls.matches_frequency(freq):
+                    freq_classes.append(cls.name)
+                    freq_score += weights[cls.name]
+        best_score = float("-inf")
+        best_classes: frozenset[str] = frozenset(freq_classes)
+        feature_sets = info.features or [None]
+        for feats in feature_sets:
+            classes = list(freq_classes)
+            score = freq_score
+            if feats is not None:
+                for cls in AGGREGATE_CLASSES:
+                    if cls.pattern_member and cls.matches_pattern(feats):
+                        classes.append(cls.name)
+                        score += weights[cls.name]
+            if score > best_score:
+                best_score = score
+                best_classes = frozenset(classes)
+        if best_score == float("-inf"):
+            best_score = 0.0
+        return best_score, best_classes
+
+    def classify(self, load_infos: Mapping[int, LoadInfo],
+                 exec_counts: Optional[Mapping[int, int]] = None,
+                 hotspot_loads: Optional[set[int]] = None
+                 ) -> HeuristicResult:
+        """Classify every load.
+
+        ``exec_counts`` supplies E(i) for the frequency classes; when
+        omitted (or ``use_frequency=False``) every load counts as fairly
+        executed, the paper's profile-free configuration.
+        """
+        results: dict[int, ClassifiedLoad] = {}
+        for address, info in load_infos.items():
+            if exec_counts is not None and self.use_frequency:
+                count = exec_counts.get(address, 0)
+                in_hotspot = bool(hotspot_loads) \
+                    and address in (hotspot_loads or set())
+                freq = frequency_category(count, in_hotspot)
+            else:
+                freq = FREQ_FAIR
+            score, classes = self.score_load(info, freq)
+            results[address] = ClassifiedLoad(
+                address=address, score=score, classes=classes,
+                is_delinquent=score > self.delta)
+        return HeuristicResult(loads=results, delta=self.delta,
+                               weights=self.weights)

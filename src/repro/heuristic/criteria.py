@@ -1,0 +1,91 @@
+"""Fine-grained decision-criterion classes (Section 5.2 / Table 3).
+
+Each of the five decision criteria H1..H5 induces a family of classes; an
+address pattern belongs to at most one class per criterion, and a load
+belongs to a class when at least one of its patterns does.  These fine
+classes drive the weight-training study (and reproduce Table 3); the
+heuristic itself runs on the merged aggregate classes in
+:mod:`repro.heuristic.classes`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.heuristic.classes import frequency_category
+from repro.patterns.ap import APFeatures
+from repro.patterns.builder import LoadInfo
+
+H1_MAX_COUNT = 6          # occurrence counts clamp here for class naming
+H3_MAX_DEREF = 4
+
+
+def h1_class(feats: APFeatures) -> str:
+    """H1: base-register usage.  Classes named by exact sp/gp counts;
+    patterns using any other base register fall into 'others'."""
+    if feats.param_count or feats.ret_count or feats.other_count:
+        return "H1:others"
+    sp = min(feats.sp_count, H1_MAX_COUNT)
+    gp = min(feats.gp_count, H1_MAX_COUNT)
+    if sp == 0 and gp == 0:
+        return "H1:none"
+    parts = []
+    if sp:
+        parts.append(f"sp={sp}")
+    if gp:
+        parts.append(f"gp={gp}")
+    return "H1:" + ",".join(parts)
+
+
+def h2_class(feats: APFeatures) -> str:
+    """H2: type of address arithmetic."""
+    return "H2:mulshift" if (feats.has_mul or feats.has_shift) \
+        else "H2:plain"
+
+
+def h3_class(feats: APFeatures) -> str:
+    """H3: maximum level of dereferencing."""
+    return f"H3:deref{min(feats.deref_depth, H3_MAX_DEREF)}"
+
+
+def h4_class(feats: APFeatures) -> str:
+    """H4: recurrence."""
+    return "H4:recurrent" if feats.has_recurrence else "H4:nonrecurrent"
+
+
+def h5_class(exec_count: int, in_hotspot: bool = False) -> str:
+    """H5: execution frequency."""
+    return "H5:" + frequency_category(exec_count, in_hotspot)
+
+
+def pattern_classes(feats: APFeatures) -> list[str]:
+    """All fine classes one pattern belongs to (one per criterion)."""
+    return [h1_class(feats), h2_class(feats), h3_class(feats),
+            h4_class(feats)]
+
+
+def load_classes(info: LoadInfo,
+                 exec_count: Optional[int] = None,
+                 in_hotspot: bool = False) -> set[str]:
+    """Fine classes a load belongs to, via any of its patterns."""
+    classes: set[str] = set()
+    for feats in info.features:
+        classes.update(pattern_classes(feats))
+    if exec_count is not None:
+        classes.add(h5_class(exec_count, in_hotspot))
+    return classes
+
+
+def class_membership(load_infos: Mapping[int, LoadInfo],
+                     exec_counts: Optional[Mapping[int, int]] = None,
+                     hotspot_loads: Optional[set[int]] = None
+                     ) -> dict[str, set[int]]:
+    """Invert :func:`load_classes`: class name -> set of load addresses."""
+    members: dict[str, set[int]] = {}
+    hotspot_loads = hotspot_loads or set()
+    for address, info in load_infos.items():
+        count = exec_counts.get(address, 0) if exec_counts is not None \
+            else None
+        for name in load_classes(info, count, address in hotspot_loads):
+            members.setdefault(name, set()).add(address)
+    return members

@@ -1,0 +1,61 @@
+"""Per-benchmark delinquency-threshold tuning (the paper's Section 8.6).
+
+Table 13 shows the impact of raising delta "varies significantly" across
+benchmarks — for some, a higher delta sheds false positives at no
+coverage cost; for others coverage collapses.  The paper concludes:
+"This points to the possibility of using a different delta value for
+different benchmarks.  Further investigation is warranted."
+
+This module is that investigation: given phi scores and (training-run)
+miss counts, pick the delta maximizing a precision/coverage utility
+
+    U(delta) = rho(delta) - lam * pi(delta)
+
+over a candidate grid.  With lam = 1 a percentage point of precision is
+worth one of coverage; larger lam prefers sharper sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.metrics.measures import coverage, precision
+
+DEFAULT_CANDIDATES = tuple(round(0.05 * k, 2) for k in range(1, 21))
+
+
+@dataclass(frozen=True)
+class TunedDelta:
+    delta: float
+    pi: float
+    rho: float
+    utility: float
+
+
+def sweep(scores: Mapping[int, float],
+          load_misses: Mapping[int, int],
+          num_loads: int,
+          candidates: Sequence[float] = DEFAULT_CANDIDATES,
+          lam: float = 1.0) -> list[TunedDelta]:
+    """Evaluate every candidate delta; loads with phi > delta form Delta."""
+    results: list[TunedDelta] = []
+    for delta in candidates:
+        chosen = {address for address, score in scores.items()
+                  if score > delta}
+        pi = precision(chosen, num_loads)
+        rho = coverage(chosen, load_misses)
+        results.append(TunedDelta(delta=delta, pi=pi, rho=rho,
+                                  utility=rho - lam * pi))
+    return results
+
+
+def tune_delta(scores: Mapping[int, float],
+               load_misses: Mapping[int, int],
+               num_loads: int,
+               candidates: Sequence[float] = DEFAULT_CANDIDATES,
+               lam: float = 1.0) -> TunedDelta:
+    """The utility-maximizing threshold (ties break toward higher delta,
+    i.e. the sharper set)."""
+    results = sweep(scores, load_misses, num_loads, candidates, lam)
+    return max(results, key=lambda r: (r.utility, r.delta))

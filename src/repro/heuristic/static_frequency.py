@@ -1,0 +1,137 @@
+"""Static execution-frequency estimation (the paper's Section 5.2 note).
+
+Criterion H5 uses profiling only *negatively* — to discard rarely/seldom
+executed loads — and the paper remarks it is "entirely possible to replace
+profiling with static heuristic approximations [15, 14] in identifying
+infrequently executed load instructions".  This module implements that
+replacement in the spirit of Wu & Larus: a purely static execution-count
+estimate from loop nesting and the call graph.
+
+Model
+-----
+* every natural-loop level multiplies a block's expected count by
+  ``LOOP_FACTOR`` (a stand-in for the unknown trip count),
+* a function's invocation estimate is the sum over its call sites of the
+  caller's estimate times the site's loop factor, propagated to a
+  fixpoint with a cap (recursion saturates instead of diverging),
+* a load's pseudo-count = function estimate x loop factor of its block.
+
+The pseudo-counts plug directly into
+:meth:`repro.heuristic.classifier.DelinquencyClassifier.classify` in
+place of measured exec counts: the AG8/AG9 thresholds (100 / 1000) then
+discard straight-line code of rarely invoked functions, exactly the
+negative use the paper makes of H5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.asm.program import Program
+from repro.cfg.blocks import BlockMap
+from repro.cfg.graph import FunctionCFG, build_function_cfgs
+
+LOOP_FACTOR = 1000          # assumed iterations per loop level
+COUNT_CAP = 10 ** 12
+_MAX_PASSES = 20
+
+
+def _loop_depths(cfg: FunctionCFG) -> dict[int, int]:
+    """Loop nesting depth of every block (leader -> depth)."""
+    depths = {leader: 0 for leader in cfg.blocks}
+    for loop in cfg.natural_loops():
+        for leader in loop.body:
+            depths[leader] += 1
+    # Merged loops with the same header double-count their shared body;
+    # clamp by the number of distinct headers containing the block.
+    headers: dict[int, set[int]] = {leader: set() for leader in cfg.blocks}
+    for loop in cfg.natural_loops():
+        for leader in loop.body:
+            headers[leader].add(loop.header)
+    return {leader: min(depths[leader], len(headers[leader]))
+            for leader in cfg.blocks}
+
+
+class StaticFrequencyEstimator:
+    """Whole-program static execution-count estimates."""
+
+    def __init__(self, program: Program,
+                 block_map: Optional[BlockMap] = None,
+                 loop_factor: int = LOOP_FACTOR):
+        self.program = program
+        self.loop_factor = loop_factor
+        block_map = block_map or BlockMap(program)
+        self._cfgs = build_function_cfgs(program, block_map)
+        self._depths: dict[str, dict[int, int]] = {
+            name: _loop_depths(cfg) for name, cfg in self._cfgs.items()
+        }
+        self._function_counts = self._propagate()
+
+    # ------------------------------------------------------------------
+    def _call_sites(self) -> list[tuple[str, str, int]]:
+        """(caller, callee, site loop depth) for every direct call."""
+        sites = []
+        for name, cfg in self._cfgs.items():
+            depths = self._depths[name]
+            for block in cfg:
+                for instr in block.instructions:
+                    if instr.mnemonic == "jal" and instr.imm is not None:
+                        callee = self.program.function_containing(
+                            instr.imm)
+                        if callee is not None:
+                            sites.append((name, callee,
+                                          depths[block.start]))
+        return sites
+
+    def _propagate(self) -> dict[str, int]:
+        counts = {name: 0 for name in self._cfgs}
+        entry = self.program.function_containing(self.program.entry)
+        if entry in counts:
+            counts[entry] = 1
+        sites = self._call_sites()
+        # Jacobi-style fixpoint: recompute every estimate from the
+        # previous iterate so call-graph cycles saturate at COUNT_CAP
+        # instead of double-adding within one pass.
+        for _ in range(_MAX_PASSES):
+            fresh = {name: 0 for name in counts}
+            if entry in fresh:
+                fresh[entry] = 1
+            for caller, callee, depth in sites:
+                weight = counts.get(caller, 0) \
+                    * (self.loop_factor ** depth)
+                fresh[callee] = min(fresh.get(callee, 0) + weight,
+                                    COUNT_CAP)
+            if entry in fresh and fresh[entry] == 0:
+                fresh[entry] = 1
+            if fresh == counts:
+                break
+            counts = fresh
+        return counts
+
+    # ------------------------------------------------------------------
+    def function_count(self, name: str) -> int:
+        return self._function_counts.get(name, 0)
+
+    def block_count(self, function: str, leader: int) -> int:
+        depth = self._depths.get(function, {}).get(leader, 0)
+        base = self._function_counts.get(function, 0)
+        return min(base * (self.loop_factor ** depth), COUNT_CAP)
+
+    def load_pseudo_counts(self) -> dict[int, int]:
+        """Pseudo E(i) for every static load, from the static model."""
+        counts: dict[int, int] = {}
+        for name, cfg in self._cfgs.items():
+            for block in cfg:
+                estimate = self.block_count(name, block.start)
+                for offset, instr in enumerate(block.instructions):
+                    if instr.is_load:
+                        counts[block.start + 4 * offset] = estimate
+        return counts
+
+
+def static_exec_counts(program: Program,
+                       block_map: Optional[BlockMap] = None,
+                       loop_factor: int = LOOP_FACTOR) -> dict[int, int]:
+    """Convenience wrapper: static pseudo execution counts per load."""
+    return StaticFrequencyEstimator(
+        program, block_map, loop_factor).load_pseudo_counts()

@@ -1,0 +1,155 @@
+"""Binary encoding and decoding of instructions.
+
+Instructions encode to 32-bit words in three formats, mirroring MIPS:
+
+* R-format: ``opcode(6) rs(5) rt(5) rd(5) shamt(5) funct(6)``
+* I-format: ``opcode(6) rs(5) rt(5) imm(16)`` — branches store the
+  PC-relative *word* offset from the following instruction,
+* J-format: ``opcode(6) target(26)`` — word-aligned absolute target.
+
+``encode``/``decode`` round-trip exactly; the disassembler builds on
+``decode``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import SPECS, Format, Instruction, InstrSpec
+
+
+class EncodingError(Exception):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+def _to_u16(value: int, signed: bool) -> int:
+    if signed:
+        if not -0x8000 <= value <= 0x7FFF:
+            raise EncodingError(f"immediate out of signed 16-bit range: {value}")
+        return value & 0xFFFF
+    if not 0 <= value <= 0xFFFF:
+        raise EncodingError(f"immediate out of unsigned 16-bit range: {value}")
+    return value
+
+
+def _from_u16(value: int, signed: bool) -> int:
+    if signed and value >= 0x8000:
+        return value - 0x10000
+    return value
+
+
+def encode(instr: Instruction, address: int) -> int:
+    """Encode ``instr`` located at byte ``address`` into a 32-bit word."""
+    spec = instr.spec
+    fmt = spec.fmt
+    opcode = spec.opcode
+
+    def r_word(rs: int = 0, rt: int = 0, rd: int = 0, shamt: int = 0) -> int:
+        assert spec.funct is not None
+        return (
+            (opcode << 26) | (rs << 21) | (rt << 16)
+            | (rd << 11) | (shamt << 6) | spec.funct
+        )
+
+    if fmt is Format.R3:
+        return r_word(rs=instr.rs, rt=instr.rt, rd=instr.rd)
+    if fmt is Format.R2:
+        return r_word(rs=instr.rs, rd=instr.rd)
+    if fmt is Format.SHIFT:
+        if not 0 <= instr.shamt < 32:
+            raise EncodingError(f"shift amount out of range: {instr.shamt}")
+        return r_word(rt=instr.rt, rd=instr.rd, shamt=instr.shamt)
+    if fmt is Format.JR:
+        return r_word(rs=instr.rs)
+    if fmt is Format.JALR:
+        return r_word(rs=instr.rs, rd=instr.rd)
+    if fmt is Format.BARE:
+        return r_word()
+    if fmt in (Format.I_ARITH, Format.MEM):
+        # Memory offsets are always signed; spec.signed describes the
+        # loaded value's extension for loads, not the immediate.
+        imm_signed = True if fmt is Format.MEM else spec.signed
+        imm = _to_u16(instr.imm, imm_signed)
+        return (opcode << 26) | (instr.rs << 21) | (instr.rt << 16) | imm
+    if fmt is Format.LUI:
+        imm = _to_u16(instr.imm, signed=False)
+        return (opcode << 26) | (instr.rt << 16) | imm
+    if fmt is Format.BRANCH2:
+        offset = _branch_offset(instr.imm, address)
+        return (opcode << 26) | (instr.rs << 21) | (instr.rt << 16) | offset
+    if fmt is Format.BRANCH1:
+        offset = _branch_offset(instr.imm, address)
+        rt_field = spec.rt_code or 0
+        return (opcode << 26) | (instr.rs << 21) | (rt_field << 16) | offset
+    if fmt is Format.JUMP:
+        if instr.imm % 4 != 0:
+            raise EncodingError(f"jump target not word aligned: {instr.imm:#x}")
+        return (opcode << 26) | ((instr.imm >> 2) & 0x03FF_FFFF)
+    raise EncodingError(f"cannot encode format {fmt}")
+
+
+def _branch_offset(target: int, address: int) -> int:
+    delta = target - (address + 4)
+    if delta % 4 != 0:
+        raise EncodingError(f"branch target not word aligned: {target:#x}")
+    return _to_u16(delta // 4, signed=True)
+
+
+def _find_spec(opcode: int, funct: int | None, rt_field: int) -> InstrSpec:
+    for spec in SPECS.values():
+        if spec.opcode != opcode:
+            continue
+        if opcode in (0x00, 0x11):
+            if spec.funct == funct:
+                return spec
+        elif opcode == 0x01:  # REGIMM: selector in the rt field
+            if spec.rt_code == rt_field:
+                return spec
+        else:
+            return spec
+    raise EncodingError(
+        f"unknown instruction word: opcode={opcode:#x} funct={funct}"
+    )
+
+
+def decode(word: int, address: int) -> Instruction:
+    """Decode a 32-bit instruction ``word`` located at byte ``address``."""
+    if not 0 <= word <= 0xFFFF_FFFF:
+        raise EncodingError(f"not a 32-bit word: {word:#x}")
+    opcode = (word >> 26) & 0x3F
+    rs = (word >> 21) & 0x1F
+    rt = (word >> 16) & 0x1F
+    rd = (word >> 11) & 0x1F
+    shamt = (word >> 6) & 0x1F
+    funct = word & 0x3F
+    imm16 = word & 0xFFFF
+
+    spec = _find_spec(opcode, funct if opcode in (0x00, 0x11) else None, rt)
+    fmt = spec.fmt
+    m = spec.mnemonic
+
+    if fmt is Format.R3:
+        return Instruction(m, rd=rd, rs=rs, rt=rt)
+    if fmt is Format.R2:
+        return Instruction(m, rd=rd, rs=rs)
+    if fmt is Format.SHIFT:
+        return Instruction(m, rd=rd, rt=rt, shamt=shamt)
+    if fmt is Format.JR:
+        return Instruction(m, rs=rs)
+    if fmt is Format.JALR:
+        return Instruction(m, rd=rd, rs=rs)
+    if fmt is Format.BARE:
+        return Instruction(m)
+    if fmt in (Format.I_ARITH, Format.MEM):
+        imm_signed = True if fmt is Format.MEM else spec.signed
+        return Instruction(m, rt=rt, rs=rs,
+                           imm=_from_u16(imm16, imm_signed))
+    if fmt is Format.LUI:
+        return Instruction(m, rt=rt, imm=imm16)
+    if fmt is Format.BRANCH2:
+        target = address + 4 + 4 * _from_u16(imm16, signed=True)
+        return Instruction(m, rs=rs, rt=rt, imm=target)
+    if fmt is Format.BRANCH1:
+        target = address + 4 + 4 * _from_u16(imm16, signed=True)
+        return Instruction(m, rs=rs, imm=target)
+    if fmt is Format.JUMP:
+        return Instruction(m, imm=(word & 0x03FF_FFFF) << 2)
+    raise EncodingError(f"cannot decode format {fmt}")  # pragma: no cover

@@ -1,0 +1,287 @@
+"""Instruction set for the MIPS-like target.
+
+The ISA is a close derivative of the MIPS R3000 integer subset (the paper's
+experiments use SimpleScalar, itself "a close derivative of the MIPS
+architecture"), extended with a small set of single-precision float
+operations that operate directly on the integer register file (registers
+hold IEEE-754 bit patterns).  Three encoding formats exist:
+
+* **R-format** — opcode 0 (integer) or 0x11 (float), register operands and
+  a ``funct`` selector,
+* **I-format** — 16-bit immediate instructions, including all loads,
+  stores and conditional branches (PC-relative word offsets),
+* **J-format** — ``j`` / ``jal`` with a 26-bit word target.
+
+Every mnemonic carries an :class:`InstrSpec` describing its operand shape
+and its defined/used registers, which the dataflow and address-pattern
+layers consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.isa.registers import RA, ZERO, register_name
+
+
+class Format(Enum):
+    """Operand/assembly shape of an instruction."""
+
+    R3 = "r3"            # op $rd, $rs, $rt
+    R2 = "r2"            # op $rd, $rs            (unary register ops)
+    SHIFT = "shift"      # op $rd, $rt, shamt
+    I_ARITH = "i_arith"  # op $rt, $rs, imm
+    LUI = "lui"          # lui $rt, imm
+    MEM = "mem"          # op $rt, imm($rs)
+    BRANCH2 = "branch2"  # op $rs, $rt, target
+    BRANCH1 = "branch1"  # op $rs, target
+    JUMP = "jump"        # op target
+    JR = "jr"            # jr $rs
+    JALR = "jalr"        # jalr $rd, $rs
+    BARE = "bare"        # syscall / nop
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    fmt: Format
+    opcode: int
+    funct: Optional[int] = None
+    rt_code: Optional[int] = None   # REGIMM selector (bltz/bgez)
+    is_load: bool = False
+    is_store: bool = False
+    is_prefetch: bool = False
+    is_branch: bool = False
+    is_jump: bool = False
+    is_call: bool = False
+    is_float: bool = False
+    width: int = 4                  # memory access width in bytes
+    signed: bool = True             # sign-extend loaded value / immediate
+
+
+def _spec(mnemonic: str, fmt: Format, opcode: int, **kwargs) -> InstrSpec:
+    return InstrSpec(mnemonic=mnemonic, fmt=fmt, opcode=opcode, **kwargs)
+
+
+#: Master table of every mnemonic in the ISA.
+SPECS: dict[str, InstrSpec] = {
+    spec.mnemonic: spec
+    for spec in (
+        # --- R-format integer ALU -------------------------------------
+        _spec("addu", Format.R3, 0x00, funct=0x21),
+        _spec("subu", Format.R3, 0x00, funct=0x23),
+        _spec("mul", Format.R3, 0x00, funct=0x18),
+        _spec("div", Format.R3, 0x00, funct=0x1A),
+        _spec("rem", Format.R3, 0x00, funct=0x1B),
+        _spec("and", Format.R3, 0x00, funct=0x24),
+        _spec("or", Format.R3, 0x00, funct=0x25),
+        _spec("xor", Format.R3, 0x00, funct=0x26),
+        _spec("nor", Format.R3, 0x00, funct=0x27),
+        _spec("slt", Format.R3, 0x00, funct=0x2A),
+        _spec("sltu", Format.R3, 0x00, funct=0x2B),
+        _spec("sllv", Format.R3, 0x00, funct=0x04),
+        _spec("srlv", Format.R3, 0x00, funct=0x06),
+        _spec("srav", Format.R3, 0x00, funct=0x07),
+        # --- shifts with immediate shamt ------------------------------
+        _spec("sll", Format.SHIFT, 0x00, funct=0x00),
+        _spec("srl", Format.SHIFT, 0x00, funct=0x02),
+        _spec("sra", Format.SHIFT, 0x00, funct=0x03),
+        # --- control (R-format) ---------------------------------------
+        _spec("jr", Format.JR, 0x00, funct=0x08, is_jump=True),
+        _spec("jalr", Format.JALR, 0x00, funct=0x09, is_jump=True,
+              is_call=True),
+        _spec("syscall", Format.BARE, 0x00, funct=0x0C),
+        # --- float (coprocessor-style opcode, integer register file) --
+        _spec("fadd", Format.R3, 0x11, funct=0x00, is_float=True),
+        _spec("fsub", Format.R3, 0x11, funct=0x01, is_float=True),
+        _spec("fmul", Format.R3, 0x11, funct=0x02, is_float=True),
+        _spec("fdiv", Format.R3, 0x11, funct=0x03, is_float=True),
+        _spec("fneg", Format.R2, 0x11, funct=0x07, is_float=True),
+        _spec("fcvt", Format.R2, 0x11, funct=0x20, is_float=True),
+        _spec("ftrunc", Format.R2, 0x11, funct=0x24, is_float=True),
+        _spec("feq", Format.R3, 0x11, funct=0x32, is_float=True),
+        _spec("flt", Format.R3, 0x11, funct=0x3C, is_float=True),
+        _spec("fle", Format.R3, 0x11, funct=0x3E, is_float=True),
+        # --- I-format ALU ---------------------------------------------
+        _spec("addiu", Format.I_ARITH, 0x09),
+        _spec("slti", Format.I_ARITH, 0x0A),
+        _spec("sltiu", Format.I_ARITH, 0x0B),
+        _spec("andi", Format.I_ARITH, 0x0C, signed=False),
+        _spec("ori", Format.I_ARITH, 0x0D, signed=False),
+        _spec("xori", Format.I_ARITH, 0x0E, signed=False),
+        _spec("lui", Format.LUI, 0x0F, signed=False),
+        # --- loads ------------------------------------------------------
+        _spec("lb", Format.MEM, 0x20, is_load=True, width=1),
+        _spec("lh", Format.MEM, 0x21, is_load=True, width=2),
+        _spec("lw", Format.MEM, 0x23, is_load=True, width=4),
+        _spec("lbu", Format.MEM, 0x24, is_load=True, width=1, signed=False),
+        _spec("lhu", Format.MEM, 0x25, is_load=True, width=2, signed=False),
+        # --- prefetch (non-binding cache touch; no destination) --------
+        _spec("pref", Format.MEM, 0x33, is_prefetch=True),
+        # --- stores -----------------------------------------------------
+        _spec("sb", Format.MEM, 0x28, is_store=True, width=1),
+        _spec("sh", Format.MEM, 0x29, is_store=True, width=2),
+        _spec("sw", Format.MEM, 0x2B, is_store=True, width=4),
+        # --- branches ---------------------------------------------------
+        _spec("beq", Format.BRANCH2, 0x04, is_branch=True),
+        _spec("bne", Format.BRANCH2, 0x05, is_branch=True),
+        _spec("blez", Format.BRANCH1, 0x06, is_branch=True),
+        _spec("bgtz", Format.BRANCH1, 0x07, is_branch=True),
+        _spec("bltz", Format.BRANCH1, 0x01, rt_code=0x00, is_branch=True),
+        _spec("bgez", Format.BRANCH1, 0x01, rt_code=0x01, is_branch=True),
+        # --- jumps ------------------------------------------------------
+        _spec("j", Format.JUMP, 0x02, is_jump=True),
+        _spec("jal", Format.JUMP, 0x03, is_jump=True, is_call=True),
+    )
+}
+
+
+@dataclass
+class Instruction:
+    """One machine instruction.
+
+    Register operands are register *numbers*; ``imm`` holds ALU
+    immediates, memory offsets and resolved branch/jump byte targets.
+    ``label`` optionally carries the symbolic target for pretty-printing.
+    """
+
+    mnemonic: str
+    rd: Optional[int] = None
+    rs: Optional[int] = None
+    rt: Optional[int] = None
+    imm: Optional[int] = None
+    shamt: Optional[int] = None
+    label: Optional[str] = None
+    source_line: Optional[int] = None
+
+    @property
+    def spec(self) -> InstrSpec:
+        return SPECS[self.mnemonic]
+
+    # -- classification shortcuts ------------------------------------
+    @property
+    def is_load(self) -> bool:
+        return self.spec.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.spec.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.spec.is_branch
+
+    @property
+    def is_jump(self) -> bool:
+        return self.spec.is_jump
+
+    @property
+    def is_call(self) -> bool:
+        return self.spec.is_call
+
+    def is_control(self) -> bool:
+        """True if the instruction may transfer control."""
+        return self.spec.is_branch or self.spec.is_jump
+
+    # -- dataflow metadata --------------------------------------------
+    def defs(self) -> frozenset[int]:
+        """Registers written by this instruction (excluding $zero)."""
+        fmt = self.spec.fmt
+        out: set[int] = set()
+        if fmt in (Format.R3, Format.R2, Format.SHIFT, Format.JALR):
+            if self.rd is not None:
+                out.add(self.rd)
+        elif fmt in (Format.I_ARITH, Format.LUI):
+            if self.rt is not None:
+                out.add(self.rt)
+        elif fmt is Format.MEM and self.spec.is_load:
+            if self.rt is not None:
+                out.add(self.rt)
+        if self.spec.is_call:
+            out.add(RA)
+        out.discard(ZERO)
+        return frozenset(out)
+
+    def uses(self) -> frozenset[int]:
+        """Registers read by this instruction."""
+        fmt = self.spec.fmt
+        out: set[int] = set()
+        if fmt is Format.R3:
+            out.update((self.rs, self.rt))
+        elif fmt is Format.R2:
+            out.add(self.rs)
+        elif fmt is Format.SHIFT:
+            out.add(self.rt)
+        elif fmt is Format.I_ARITH:
+            out.add(self.rs)
+        elif fmt is Format.MEM:
+            out.add(self.rs)
+            if self.spec.is_store:
+                out.add(self.rt)
+        elif fmt is Format.BRANCH2:
+            out.update((self.rs, self.rt))
+        elif fmt is Format.BRANCH1:
+            out.add(self.rs)
+        elif fmt in (Format.JR, Format.JALR):
+            out.add(self.rs)
+        return frozenset(r for r in out if r is not None and r != ZERO)
+
+    # -- text form -------------------------------------------------------
+    def text(self) -> str:
+        """Render the instruction in assembly syntax."""
+        m = self.mnemonic
+        fmt = self.spec.fmt
+        if fmt is Format.R3:
+            return (f"{m} {register_name(self.rd)}, "
+                    f"{register_name(self.rs)}, {register_name(self.rt)}")
+        if fmt is Format.R2:
+            return f"{m} {register_name(self.rd)}, {register_name(self.rs)}"
+        if fmt is Format.SHIFT:
+            return (f"{m} {register_name(self.rd)}, "
+                    f"{register_name(self.rt)}, {self.shamt}")
+        if fmt is Format.I_ARITH:
+            return (f"{m} {register_name(self.rt)}, "
+                    f"{register_name(self.rs)}, {self.imm}")
+        if fmt is Format.LUI:
+            return f"{m} {register_name(self.rt)}, {self.imm}"
+        if fmt is Format.MEM:
+            if self.spec.is_prefetch:
+                return f"{m} {self.imm}({register_name(self.rs)})"
+            return (f"{m} {register_name(self.rt)}, "
+                    f"{self.imm}({register_name(self.rs)})")
+        if fmt is Format.BRANCH2:
+            target = self.label if self.label else f"0x{self.imm:08x}"
+            return (f"{m} {register_name(self.rs)}, "
+                    f"{register_name(self.rt)}, {target}")
+        if fmt is Format.BRANCH1:
+            target = self.label if self.label else f"0x{self.imm:08x}"
+            return f"{m} {register_name(self.rs)}, {target}"
+        if fmt is Format.JUMP:
+            target = self.label if self.label else f"0x{self.imm:08x}"
+            return f"{m} {target}"
+        if fmt is Format.JR:
+            return f"{m} {register_name(self.rs)}"
+        if fmt is Format.JALR:
+            return f"{m} {register_name(self.rd)}, {register_name(self.rs)}"
+        return m
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text()
+
+
+def branch_target(instr: Instruction) -> Optional[int]:
+    """Resolved byte address of a branch/jump target, if any."""
+    if instr.spec.is_branch or instr.spec.fmt is Format.JUMP:
+        return instr.imm
+    return None
+
+
+def mnemonics(predicate=None) -> list[str]:
+    """List mnemonics, optionally filtered by a predicate on the spec."""
+    if predicate is None:
+        return sorted(SPECS)
+    return sorted(m for m, s in SPECS.items() if predicate(s))

@@ -1,0 +1,95 @@
+"""Register file definitions for the MIPS-like ISA.
+
+The register set mirrors the MIPS R3000 integer register file, because the
+paper's address-pattern grammar is defined over MIPS conventions: ``$sp``
+(stack pointer), ``$gp`` (global pointer), ``$a0-$a3`` (parameter registers,
+``reg_param`` in the paper) and ``$v0-$v1`` (return-value registers,
+``reg_ret``).
+"""
+
+from __future__ import annotations
+
+NUM_REGISTERS = 32
+
+#: Canonical MIPS register names indexed by register number.
+REGISTER_NAMES: tuple[str, ...] = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+_NAME_TO_NUMBER = {name: idx for idx, name in enumerate(REGISTER_NAMES)}
+
+# Well-known register numbers.
+ZERO = 0
+AT = 1
+V0, V1 = 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+T0, T1, T2, T3, T4, T5, T6, T7 = 8, 9, 10, 11, 12, 13, 14, 15
+S0, S1, S2, S3, S4, S5, S6, S7 = 16, 17, 18, 19, 20, 21, 22, 23
+T8, T9 = 24, 25
+K0, K1 = 26, 27
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+#: Parameter-passing registers ($a0-$a3): the paper's ``reg_param`` bases.
+PARAM_REGISTERS = frozenset((A0, A1, A2, A3))
+
+#: Return-value registers ($v0-$v1): the paper's ``reg_ret`` bases.
+RETURN_REGISTERS = frozenset((V0, V1))
+
+#: Caller-saved temporaries, freely clobbered across calls.
+TEMP_REGISTERS = (T0, T1, T2, T3, T4, T5, T6, T7, T8, T9)
+
+#: Callee-saved registers.
+SAVED_REGISTERS = (S0, S1, S2, S3, S4, S5, S6, S7)
+
+#: Registers clobbered by a function call under our ABI.
+CALL_CLOBBERED = frozenset(
+    (V0, V1, A0, A1, A2, A3, RA, AT) + TEMP_REGISTERS
+)
+
+
+def register_number(name: str) -> int:
+    """Return the register number for ``name``.
+
+    Accepts canonical names with or without the ``$`` sigil and numeric
+    names such as ``$29``.
+
+    >>> register_number("$sp")
+    29
+    >>> register_number("t0")
+    8
+    """
+    stripped = name.lstrip("$")
+    if stripped in _NAME_TO_NUMBER:
+        return _NAME_TO_NUMBER[stripped]
+    if stripped.isdigit():
+        number = int(stripped)
+        if 0 <= number < NUM_REGISTERS:
+            return number
+    raise ValueError(f"unknown register: {name!r}")
+
+
+def register_name(number: int) -> str:
+    """Return the canonical ``$``-prefixed name for a register number.
+
+    >>> register_name(29)
+    '$sp'
+    """
+    if not 0 <= number < NUM_REGISTERS:
+        raise ValueError(f"register number out of range: {number}")
+    return "$" + REGISTER_NAMES[number]
+
+
+def is_param_register(number: int) -> bool:
+    """True for $a0-$a3 (the paper's ``reg_param``)."""
+    return number in PARAM_REGISTERS
+
+
+def is_return_register(number: int) -> bool:
+    """True for $v0-$v1 (the paper's ``reg_ret``)."""
+    return number in RETURN_REGISTERS

@@ -1,0 +1,201 @@
+"""Abstract syntax tree for MiniC.
+
+Expression nodes carry a ``ty`` attribute (a :class:`repro.lang.types.Type`)
+filled in by semantic analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang.types import Type
+
+
+@dataclass
+class Node:
+    line: int = 0
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+@dataclass
+class Expr(Node):
+    ty: Optional[Type] = None
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class CharLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None
+    right: Expr = None
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""           # "-", "!", "~"
+    operand: Expr = None
+
+
+@dataclass
+class Deref(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class AddressOf(Expr):
+    operand: Expr = None
+
+
+@dataclass
+class Index(Expr):
+    base: Expr = None
+    index: Expr = None
+
+
+@dataclass
+class Member(Expr):
+    base: Expr = None
+    name: str = ""
+    arrow: bool = False     # p->f vs s.f
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Cast(Expr):
+    target: Type = None
+    operand: Expr = None
+
+
+@dataclass
+class SizeOf(Expr):
+    target: Type = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    statements: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    type: Type = None
+    name: str = ""
+    init: Optional[Expr] = None
+    # Filled by sema/codegen: storage class and location.
+    is_global: bool = False
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None
+    value: Expr = None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None
+    then: Stmt = None
+    orelse: Optional[Stmt] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None
+    body: Stmt = None
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None       # Assign or VarDecl-free Assign
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None       # Assign
+    body: Stmt = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    type: Type = None
+    name: str = ""
+
+
+@dataclass
+class FuncDecl(Node):
+    ret_type: Type = None
+    name: str = ""
+    params: list[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class StructDecl(Node):
+    name: str = ""
+    # (name, type) pairs; types resolved by the parser via the type table.
+    members: list[tuple[str, Type]] = field(default_factory=list)
+
+
+@dataclass
+class TranslationUnit(Node):
+    structs: list[StructDecl] = field(default_factory=list)
+    globals: list[VarDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

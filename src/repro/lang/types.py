@@ -1,0 +1,180 @@
+"""MiniC type system.
+
+MiniC is the C subset the synthetic workloads are written in: ``int``,
+``char``, ``float``, ``void``, pointers, fixed-size (possibly nested)
+arrays, and named structs.  Word size is 4 bytes; structs are padded to
+4-byte alignment like the MIPS ABI the paper's compiler targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Type:
+    """Base class for MiniC types."""
+
+    size: int = 0
+
+    @property
+    def is_scalar(self) -> bool:
+        return isinstance(self, (IntType, CharType, FloatType, PointerType))
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return isinstance(self, (IntType, CharType, FloatType))
+
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, (IntType, CharType))
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def alignment(self) -> int:
+        return 1 if isinstance(self, CharType) else 4
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    size: int = 4
+
+    def __str__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class CharType(Type):
+    size: int = 1
+
+    def __str__(self) -> str:
+        return "char"
+
+
+@dataclass(frozen=True)
+class FloatType(Type):
+    size: int = 4
+
+    def __str__(self) -> str:
+        return "float"
+
+
+@dataclass(frozen=True)
+class VoidType(Type):
+    size: int = 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    target: Type = field(default_factory=IntType)
+    size: int = 4
+
+    def __str__(self) -> str:
+        return f"{self.target}*"
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    elem: Type = field(default_factory=IntType)
+    count: int = 0
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self.elem.size * self.count
+
+    @property
+    def alignment(self) -> int:
+        return self.elem.alignment
+
+    def decayed(self) -> PointerType:
+        return PointerType(self.elem)
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.count}]"
+
+
+@dataclass(frozen=True)
+class StructField:
+    name: str
+    type: Type
+    offset: int
+
+
+class StructType(Type):
+    """A named struct; mutable so self-referential types can be built."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.fields: dict[str, StructField] = {}
+        self._size = 0
+        self.complete = False
+
+    def set_fields(self, members: list[tuple[str, Type]]) -> None:
+        offset = 0
+        for fname, ftype in members:
+            align = ftype.alignment
+            offset = (offset + align - 1) & ~(align - 1)
+            self.fields[fname] = StructField(fname, ftype, offset)
+            offset += ftype.size
+        self._size = (offset + 3) & ~3
+        self.complete = True
+
+    @property
+    def size(self) -> int:  # type: ignore[override]
+        return self._size
+
+    def field(self, name: str) -> Optional[StructField]:
+        return self.fields.get(name)
+
+    def __str__(self) -> str:
+        return f"struct {self.name}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+
+INT = IntType()
+CHAR = CharType()
+FLOAT = FloatType()
+VOID = VoidType()
+
+
+def is_assignable(target: Type, value: Type) -> bool:
+    """Whether a value of type ``value`` may be assigned to ``target``."""
+    if target.is_arithmetic and value.is_arithmetic:
+        return True
+    if target.is_pointer and value.is_pointer:
+        return True  # permissive, like pre-ANSI C (void* interop)
+    if target.is_pointer and value.is_integer:
+        return True  # NULL / integer constants
+    if target.is_integer and value.is_pointer:
+        return True
+    return False
+
+
+def common_arithmetic(left: Type, right: Type) -> Type:
+    """Usual arithmetic conversions (char promotes to int)."""
+    if isinstance(left, FloatType) or isinstance(right, FloatType):
+        return FLOAT
+    return INT

@@ -1,0 +1,11 @@
+"""Machine-level exceptions."""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Raised on invalid execution (bad PC, unmapped jump, ...)."""
+
+
+class StepLimitExceeded(MachineError):
+    """The execution budget was exhausted before the program exited."""

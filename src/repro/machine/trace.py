@@ -1,0 +1,51 @@
+"""Compact memory-access traces.
+
+One program execution produces one :class:`MemoryTrace`; the cache model
+replays it under any number of cache configurations.  Storage is three
+parallel ``array`` columns (program counter, effective address, kind) to
+keep multi-million-access traces small.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Iterator
+
+LOAD = 0
+STORE = 1
+PREFETCH = 2
+
+
+@dataclass
+class MemoryTrace:
+    """Sequence of data-memory accesses in execution order."""
+
+    pcs: array = field(default_factory=lambda: array("I"))
+    addresses: array = field(default_factory=lambda: array("I"))
+    kinds: array = field(default_factory=lambda: array("B"))
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def append(self, pc: int, address: int, kind: int) -> None:
+        self.pcs.append(pc)
+        self.addresses.append(address)
+        self.kinds.append(kind)
+
+    def __iter__(self) -> Iterator[tuple[int, int, int]]:
+        return zip(self.pcs, self.addresses, self.kinds)
+
+    def loads(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(pc, address)`` for load accesses only."""
+        for pc, address, kind in self:
+            if kind == LOAD:
+                yield pc, address
+
+    @property
+    def load_count(self) -> int:
+        return sum(1 for kind in self.kinds if kind == LOAD)
+
+    @property
+    def store_count(self) -> int:
+        return len(self) - self.load_count

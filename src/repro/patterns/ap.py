@@ -1,0 +1,189 @@
+"""Address patterns (Section 5.1 of the paper).
+
+An address pattern summarizes the data-flow subgraph computing a load's
+effective address, expressed over the base registers ``gp``, ``sp``,
+``reg_param`` and ``reg_ret`` with arithmetic operators and a dereference
+operator.  The paper's grammar::
+
+    AP -> AP(AP) | AP * AP | AP + AP | AP - AP
+        | AP << AP | AP >> AP | const | BR
+    BR -> gp | sp | reg_param | reg_ret
+
+We extend it internally with bitwise operators (mask-based indexing is
+common and must not be silently dropped), an ``Opaque`` leaf for values the
+grammar cannot express (comparison results and the like), and a ``Rec``
+leaf marking the cut point of a recurrence (criterion H4).
+
+The pretty-printer reproduces the paper's notation: dereference is
+parenthesization, e.g. ``45(sp)+30`` is *load word at sp+45, plus 30*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# Base register kinds (the paper's BR nonterminal plus a catch-all).
+BR_GP = "gp"
+BR_SP = "sp"
+BR_PARAM = "reg_param"
+BR_RET = "reg_ret"
+BR_OTHER = "other"
+
+
+@dataclass(frozen=True)
+class Const:
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Base:
+    kind: str       # one of the BR_* constants
+
+    def __str__(self) -> str:
+        return self.kind
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str         # '+', '-', '*', '<<', '>>', '&', '|', '^'
+    left: "APNode"
+    right: "APNode"
+
+    def __str__(self) -> str:
+        return f"{_operand_str(self.left)}{self.op}{_operand_str(self.right)}"
+
+
+@dataclass(frozen=True)
+class Deref:
+    address: "APNode"
+
+    def __str__(self) -> str:
+        # MIPS-flavoured printing: Deref(base + const) -> "const(base)".
+        addr = self.address
+        if isinstance(addr, BinOp) and addr.op == "+" \
+                and isinstance(addr.right, Const):
+            return f"{addr.right.value}({addr.left})"
+        if isinstance(addr, BinOp) and addr.op == "+" \
+                and isinstance(addr.left, Const):
+            return f"{addr.left.value}({addr.right})"
+        return f"({addr})"
+
+
+@dataclass(frozen=True)
+class Rec:
+    """Marks where expansion was cut because the value recurs (H4)."""
+
+    def __str__(self) -> str:
+        return "<rec>"
+
+
+@dataclass(frozen=True)
+class Opaque:
+    """A value outside the AP grammar (e.g. a comparison result)."""
+
+    def __str__(self) -> str:
+        return "<opaque>"
+
+
+APNode = Union[Const, Base, BinOp, Deref, Rec, Opaque]
+
+_PRECEDENCE = {"*": 3, "<<": 1, ">>": 1, "+": 2, "-": 2,
+               "&": 0, "|": 0, "^": 0}
+
+
+def _operand_str(node: APNode) -> str:
+    if isinstance(node, BinOp):
+        return f"({node})" if _PRECEDENCE.get(node.op, 0) <= 1 else str(node)
+    return str(node)
+
+
+def add(left: APNode, right: APNode) -> APNode:
+    """Build ``left + right`` with light constant folding."""
+    if isinstance(left, Const) and left.value == 0:
+        return right
+    if isinstance(right, Const) and right.value == 0:
+        return left
+    if isinstance(left, Const) and isinstance(right, Const):
+        return Const(left.value + right.value)
+    # Keep constants to the right so the printer produces "off(base)".
+    if isinstance(left, Const):
+        return BinOp("+", right, left)
+    return BinOp("+", left, right)
+
+
+@dataclass(frozen=True)
+class APFeatures:
+    """Structural features of one address pattern, for classification."""
+
+    sp_count: int = 0
+    gp_count: int = 0
+    param_count: int = 0
+    ret_count: int = 0
+    other_count: int = 0
+    deref_depth: int = 0          # maximum nesting of Deref
+    deref_count: int = 0          # total number of Deref nodes
+    has_mul: bool = False
+    has_shift: bool = False
+    has_recurrence: bool = False
+    const_add_count: int = 0
+
+    @property
+    def base_count(self) -> int:
+        return (self.sp_count + self.gp_count + self.param_count
+                + self.ret_count + self.other_count)
+
+
+def features_of(pattern: APNode) -> APFeatures:
+    """Walk ``pattern`` and collect its classification features."""
+    counts = {BR_SP: 0, BR_GP: 0, BR_PARAM: 0, BR_RET: 0, BR_OTHER: 0}
+    state = {"mul": False, "shift": False, "rec": False, "max_depth": 0,
+             "derefs": 0, "const_adds": 0}
+
+    def walk(node: APNode, depth: int) -> None:
+        if isinstance(node, Base):
+            counts[node.kind] += 1
+        elif isinstance(node, Rec):
+            state["rec"] = True
+        elif isinstance(node, BinOp):
+            if node.op == "*":
+                state["mul"] = True
+            elif node.op in ("<<", ">>"):
+                state["shift"] = True
+            elif node.op == "+" and (isinstance(node.left, Const)
+                                     or isinstance(node.right, Const)):
+                state["const_adds"] += 1
+            walk(node.left, depth)
+            walk(node.right, depth)
+        elif isinstance(node, Deref):
+            state["derefs"] += 1
+            if depth + 1 > state["max_depth"]:
+                state["max_depth"] = depth + 1
+            walk(node.address, depth + 1)
+
+    walk(pattern, 0)
+    return APFeatures(
+        sp_count=counts[BR_SP],
+        gp_count=counts[BR_GP],
+        param_count=counts[BR_PARAM],
+        ret_count=counts[BR_RET],
+        other_count=counts[BR_OTHER],
+        deref_depth=state["max_depth"],
+        deref_count=state["derefs"],
+        has_mul=state["mul"],
+        has_shift=state["shift"],
+        has_recurrence=state["rec"],
+        const_add_count=state["const_adds"],
+    )
+
+
+def pattern_size(pattern: APNode) -> int:
+    """Number of nodes, used to cap expansion."""
+    if isinstance(pattern, BinOp):
+        return 1 + pattern_size(pattern.left) + pattern_size(pattern.right)
+    if isinstance(pattern, Deref):
+        return 1 + pattern_size(pattern.address)
+    return 1

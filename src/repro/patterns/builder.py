@@ -1,0 +1,252 @@
+"""Address-pattern construction by backward substitution.
+
+For each load, the address source operand (``off($rs)``) is expanded by
+walking reaching definitions backwards: intermediate registers are
+eliminated and the expression is rewritten over base registers (``sp``,
+``gp``, ``reg_param``, ``reg_ret``), constants, arithmetic and dereference
+nodes (loads encountered during expansion).  A load reached through
+multiple control paths gets one pattern per reaching-definition choice
+(capped), exactly as Section 5.1 describes.
+
+Recurrence (criterion H4) is detected two ways:
+
+* **register recurrences** — expansion revisits a definition already on
+  the expansion stack (an induction register in optimized code);
+* **stack/global-slot recurrences** — in unoptimized code induction
+  variables live in memory, so a separate analysis
+  (:mod:`repro.patterns.recurrence`) finds slots updated inside a loop as
+  a function of themselves, and any pattern dereferencing such a slot is
+  marked recurrent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.asm.program import Program
+from repro.cfg.blocks import BlockMap
+from repro.cfg.graph import FunctionCFG, build_function_cfgs
+from repro.dataflow.reachdefs import ENTRY, ReachingDefinitions
+from repro.isa.instructions import Instruction
+from repro.isa.registers import (
+    GP, SP, ZERO, is_param_register, is_return_register,
+)
+from repro.patterns import ap
+from repro.patterns.ap import (
+    APFeatures, APNode, Base, BinOp, Const, Deref, Opaque, Rec,
+    features_of,
+)
+from repro.patterns.recurrence import SlotRecurrence
+
+MAX_PATTERNS = 16
+MAX_DEPTH = 24
+MAX_SIZE = 80
+
+
+def _binop(op: str, left: APNode, right: APNode) -> APNode:
+    """Construct a binary node with constant folding."""
+    if isinstance(left, Const) and isinstance(right, Const):
+        folds = {
+            "+": left.value + right.value,
+            "-": left.value - right.value,
+            "*": left.value * right.value,
+            "<<": left.value << (right.value & 31),
+            ">>": left.value >> (right.value & 31),
+            "&": left.value & right.value,
+            "|": left.value | right.value,
+            "^": left.value ^ right.value,
+        }
+        if op in folds:
+            return Const(folds[op])
+    if op == "+":
+        return ap.add(left, right)
+    return BinOp(op, left, right)
+
+
+@dataclass
+class LoadInfo:
+    """Everything the classifiers need to know about one static load."""
+
+    address: int
+    function: str
+    instruction: Instruction
+    patterns: list[APNode] = field(default_factory=list)
+    features: list[APFeatures] = field(default_factory=list)
+
+    @property
+    def max_deref_depth(self) -> int:
+        return max((f.deref_depth for f in self.features), default=0)
+
+    @property
+    def has_recurrence(self) -> bool:
+        return any(f.has_recurrence for f in self.features)
+
+
+class PatternBuilder:
+    """Builds address patterns for every load in one function."""
+
+    def __init__(self, cfg: FunctionCFG,
+                 max_patterns: int = MAX_PATTERNS,
+                 max_depth: int = MAX_DEPTH,
+                 slot_recurrence: bool = True):
+        self.cfg = cfg
+        self.rd = ReachingDefinitions(cfg)
+        self.max_patterns = max_patterns
+        self.max_depth = max_depth
+        # Slot-aware recurrence is essential for -O0 code (induction
+        # variables live in memory); the flag exists for the ablation
+        # bench that quantifies exactly that.
+        self.slot_rec = SlotRecurrence(cfg, self.rd) \
+            if slot_recurrence else None
+
+    # ------------------------------------------------------------------
+    def load_info(self, address: int) -> LoadInfo:
+        instr = self.rd.instruction_at(address)
+        assert instr.is_load
+        base_patterns = self._expand_reg(instr.rs, address, ())
+        patterns: list[APNode] = []
+        seen: set[APNode] = set()
+        for base in base_patterns:
+            pattern = ap.add(base, Const(instr.imm)) if instr.imm \
+                else base
+            if pattern not in seen:
+                seen.add(pattern)
+                patterns.append(pattern)
+        patterns = patterns[:self.max_patterns]
+        features = [self._featurize(p, address) for p in patterns]
+        return LoadInfo(address=address, function=self.cfg.name,
+                        instruction=instr, patterns=patterns,
+                        features=features)
+
+    def _featurize(self, pattern: APNode, load_address: int) -> APFeatures:
+        feats = features_of(pattern)
+        if self.slot_rec is not None and not feats.has_recurrence \
+                and self.slot_rec.pattern_recurs(pattern, load_address):
+            feats = replace(feats, has_recurrence=True)
+        return feats
+
+    # -- expansion -----------------------------------------------------
+    def _expand_reg(self, reg: int, use_site: int,
+                    stack: tuple) -> list[APNode]:
+        if reg == ZERO:
+            return [Const(0)]
+        if reg == SP:
+            return [Base(ap.BR_SP)]
+        if reg == GP:
+            return [Base(ap.BR_GP)]
+        if len(stack) >= self.max_depth:
+            return [Opaque()]
+        results: list[APNode] = []
+        for site in sorted(self.rd.reaching(use_site, reg)):
+            if site == ENTRY:
+                results.append(self._entry_base(reg))
+                continue
+            key = (site, reg)
+            if key in stack:
+                results.append(Rec())
+                continue
+            instr = self.rd.instruction_at(site)
+            if instr.is_call:
+                results.append(Base(ap.BR_RET) if is_return_register(reg)
+                               else Base(ap.BR_OTHER))
+                continue
+            results.extend(
+                self._expand_def(instr, site, stack + (key,)))
+            if len(results) >= self.max_patterns:
+                break
+        deduped: list[APNode] = []
+        seen: set[APNode] = set()
+        for node in results:
+            if node not in seen and ap.pattern_size(node) <= MAX_SIZE:
+                seen.add(node)
+                deduped.append(node)
+        return deduped[:self.max_patterns] or [Opaque()]
+
+    @staticmethod
+    def _entry_base(reg: int) -> APNode:
+        if is_param_register(reg):
+            return Base(ap.BR_PARAM)
+        if is_return_register(reg):
+            return Base(ap.BR_RET)
+        return Base(ap.BR_OTHER)
+
+    def _expand_def(self, instr: Instruction, site: int,
+                    stack: tuple) -> list[APNode]:
+        m = instr.mnemonic
+        if m == "addiu":
+            return [_binop("+", p, Const(instr.imm))
+                    for p in self._expand_reg(instr.rs, site, stack)]
+        if m in ("addu", "subu", "mul", "and", "or", "xor"):
+            op = {"addu": "+", "subu": "-", "mul": "*",
+                  "and": "&", "or": "|", "xor": "^"}[m]
+            return self._cross(op,
+                               self._expand_reg(instr.rs, site, stack),
+                               self._expand_reg(instr.rt, site, stack))
+        if m in ("fadd", "fsub", "fmul"):
+            op = {"fadd": "+", "fsub": "-", "fmul": "*"}[m]
+            return self._cross(op,
+                               self._expand_reg(instr.rs, site, stack),
+                               self._expand_reg(instr.rt, site, stack))
+        if m in ("andi", "ori", "xori"):
+            op = {"andi": "&", "ori": "|", "xori": "^"}[m]
+            return [_binop(op, p, Const(instr.imm))
+                    for p in self._expand_reg(instr.rs, site, stack)]
+        if m in ("sll", "srl", "sra"):
+            op = "<<" if m == "sll" else ">>"
+            return [_binop(op, p, Const(instr.shamt))
+                    for p in self._expand_reg(instr.rt, site, stack)]
+        if m in ("sllv", "srlv", "srav"):
+            op = "<<" if m == "sllv" else ">>"
+            return self._cross(op,
+                               self._expand_reg(instr.rt, site, stack),
+                               self._expand_reg(instr.rs, site, stack))
+        if m == "lui":
+            return [Const((instr.imm << 16) & 0xFFFF_FFFF)]
+        if instr.is_load:
+            address_patterns = self._expand_reg(instr.rs, site, stack)
+            out: list[APNode] = []
+            for base in address_patterns:
+                out.append(Deref(ap.add(base, Const(instr.imm))
+                                 if instr.imm else base))
+            return out
+        if m in ("fneg", "fcvt", "ftrunc"):
+            return self._expand_reg(instr.rs, site, stack)
+        # Comparison results, division and anything else outside the
+        # grammar become opaque leaves.
+        return [Opaque()]
+
+    def _cross(self, op: str, lefts: list[APNode],
+               rights: list[APNode]) -> list[APNode]:
+        out: list[APNode] = []
+        for left in lefts:
+            for right in rights:
+                out.append(_binop(op, left, right))
+                if len(out) >= self.max_patterns:
+                    return out
+        return out
+
+
+def build_load_infos(program: Program,
+                     block_map: Optional[BlockMap] = None,
+                     max_patterns: int = MAX_PATTERNS,
+                     max_depth: int = MAX_DEPTH,
+                     slot_recurrence: bool = True) -> dict[int, LoadInfo]:
+    """Address patterns for every static load in ``program``.
+
+    Returns a mapping from load address to :class:`LoadInfo`, covering
+    benchmark code and runtime library alike (the paper analyzes "the
+    assembly code for the benchmark as well as any library functions").
+    """
+    block_map = block_map or BlockMap(program)
+    infos: dict[int, LoadInfo] = {}
+    for cfg in build_function_cfgs(program, block_map).values():
+        builder = PatternBuilder(cfg, max_patterns=max_patterns,
+                                 max_depth=max_depth,
+                                 slot_recurrence=slot_recurrence)
+        for block in cfg:
+            for offset, instr in enumerate(block.instructions):
+                if instr.is_load:
+                    address = block.start + 4 * offset
+                    infos[address] = builder.load_info(address)
+    return infos

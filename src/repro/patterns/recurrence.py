@@ -1,0 +1,165 @@
+"""Recurrence detection through memory slots (criterion H4).
+
+In unoptimized code induction variables live in stack slots (``i = i + 1``
+compiles to *load slot, add, store slot*) and list cursors can live in
+globals (``head = head->next``), so a purely register-level cycle check
+never sees the recurrence — it flows through memory.  This analysis finds,
+per natural loop, the set of ``sp``/``gp``-relative slots that are updated
+inside the loop as a (transitive) function of themselves; any address
+pattern that dereferences such a slot from inside that loop is recurrent.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.cfg.graph import FunctionCFG, Loop
+from repro.dataflow.reachdefs import ENTRY
+from repro.isa.instructions import Instruction
+from repro.isa.registers import GP, SP, ZERO
+from repro.patterns.ap import APNode, Base, BinOp, Const, Deref
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dataflow.reachdefs import ReachingDefinitions
+
+#: A memory slot addressed directly off a terminal base register.
+Slot = tuple[str, int]          # ("sp" | "gp", byte offset)
+
+_MAX_DEP_DEPTH = 16
+
+
+def slot_of_address(base_reg: int, offset: int) -> Optional[Slot]:
+    if base_reg == SP:
+        return ("sp", offset)
+    if base_reg == GP:
+        return ("gp", offset)
+    return None
+
+
+def slot_of_pattern(node: APNode) -> Optional[Slot]:
+    """The slot a ``Deref`` node reads, if its address is base+const."""
+    if isinstance(node, Base):
+        if node.kind in ("sp", "gp"):
+            return (node.kind, 0)
+        return None
+    if isinstance(node, BinOp) and node.op == "+":
+        if isinstance(node.left, Base) and isinstance(node.right, Const):
+            if node.left.kind in ("sp", "gp"):
+                return (node.left.kind, node.right.value)
+        if isinstance(node.right, Base) and isinstance(node.left, Const):
+            if node.right.kind in ("sp", "gp"):
+                return (node.right.kind, node.left.value)
+    return None
+
+
+def slots_dereferenced(pattern: APNode) -> set[Slot]:
+    """All sp/gp slots read by ``Deref`` nodes anywhere in the pattern."""
+    found: set[Slot] = set()
+
+    def walk(node: APNode) -> None:
+        if isinstance(node, Deref):
+            slot = slot_of_pattern(node.address)
+            if slot is not None:
+                found.add(slot)
+            walk(node.address)
+        elif isinstance(node, BinOp):
+            walk(node.left)
+            walk(node.right)
+
+    walk(pattern)
+    return found
+
+
+class SlotRecurrence:
+    """Per-loop recurrent-slot sets for one function."""
+
+    def __init__(self, cfg: FunctionCFG, rd: "ReachingDefinitions"):
+        self.cfg = cfg
+        self.rd = rd
+        self._cache: dict[tuple[int, int], frozenset[Slot]] = {}
+
+    # ------------------------------------------------------------------
+    def pattern_recurs(self, pattern: APNode, load_address: int) -> bool:
+        """True when ``pattern`` dereferences a slot that recurs in a loop
+        containing the load."""
+        loops = self.cfg.loops_containing(load_address)
+        if not loops:
+            return False
+        slots = slots_dereferenced(pattern)
+        if not slots:
+            return False
+        for loop in loops:
+            if slots & self.recurrent_slots(loop):
+                return True
+        return False
+
+    def recurrent_slots(self, loop: Loop) -> frozenset[Slot]:
+        key = (loop.header, loop.latch)
+        if key not in self._cache:
+            self._cache[key] = self._compute(loop)
+        return self._cache[key]
+
+    # ------------------------------------------------------------------
+    def _compute(self, loop: Loop) -> frozenset[Slot]:
+        # Edges: stored slot -> slots its stored value depends on.
+        edges: dict[Slot, set[Slot]] = {}
+        for leader in loop.body:
+            block = self.cfg.block(leader)
+            for offset, instr in enumerate(block.instructions):
+                if not instr.is_store:
+                    continue
+                slot = slot_of_address(instr.rs, instr.imm)
+                if slot is None:
+                    continue
+                address = block.start + 4 * offset
+                deps = self._slot_deps(instr.rt, address, ())
+                edges.setdefault(slot, set()).update(deps)
+        return frozenset(self._slots_on_cycles(edges))
+
+    @staticmethod
+    def _slots_on_cycles(edges: dict[Slot, set[Slot]]) -> set[Slot]:
+        recurrent: set[Slot] = set()
+        for start in edges:
+            # Is `start` reachable from itself?
+            stack = list(edges.get(start, ()))
+            seen: set[Slot] = set()
+            while stack:
+                node = stack.pop()
+                if node == start:
+                    recurrent.add(start)
+                    break
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(edges.get(node, ()))
+        return recurrent
+
+    def _slot_deps(self, reg: int, use_site: int,
+                   stack: tuple) -> set[Slot]:
+        """Slots the value of ``reg`` at ``use_site`` was derived from."""
+        if reg in (ZERO, SP, GP) or len(stack) >= _MAX_DEP_DEPTH:
+            return set()
+        deps: set[Slot] = set()
+        for site in self.rd.reaching(use_site, reg):
+            if site == ENTRY:
+                continue
+            key = (site, reg)
+            if key in stack:
+                continue
+            instr = self.rd.instruction_at(site)
+            if instr.is_call:
+                continue
+            deps.update(self._instr_deps(instr, site, stack + (key,)))
+        return deps
+
+    def _instr_deps(self, instr: Instruction, site: int,
+                    stack: tuple) -> set[Slot]:
+        if instr.is_load:
+            slot = slot_of_address(instr.rs, instr.imm)
+            if slot is not None:
+                return {slot}
+            return self._slot_deps(instr.rs, site, stack)
+        deps: set[Slot] = set()
+        for reg in instr.uses():
+            deps.update(self._slot_deps(reg, site, stack))
+        return deps

@@ -1,0 +1,243 @@
+"""End-to-end experiment pipeline.
+
+A :class:`Session` memoizes the expensive stages so the fourteen table
+experiments can share work:
+
+* **compile** — (workload, input, optimize) -> Program (cheap, memoized);
+* **analyze** — static address patterns per program (cheap, memoized);
+* **execute** — instruction-level run producing the block profile and the
+  memory trace (expensive; traces are held in a small LRU because they
+  dominate memory);
+* **cache-simulate** — trace x cache-config -> per-load miss counts
+  (moderately expensive; results are also persisted to a JSON disk cache
+  keyed by a content hash, so re-running a bench suite skips simulation
+  entirely).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.asm.program import Program
+from repro.cache.config import BASELINE_CONFIG, CacheConfig
+from repro.cache.model import CacheStats, simulate_trace
+from repro.compiler.driver import compile_source
+from repro.machine.simulator import Machine
+from repro.patterns.builder import LoadInfo, build_load_infos
+from repro.profiling.profile import BlockProfile
+from repro.workloads.base import Workload
+from repro.workloads.registry import get as get_workload
+
+_SCHEMA_VERSION = 3
+_TRACE_LRU = 2
+
+
+@dataclass(frozen=True)
+class RunKey:
+    workload: str
+    input_name: str
+    optimize: bool
+
+
+@dataclass
+class Measurement:
+    """Everything the experiments need for one (run, cache) pair."""
+
+    key: RunKey
+    cache_config: CacheConfig
+    program: Program
+    load_infos: dict[int, LoadInfo]
+    profile: BlockProfile
+    load_misses: dict[int, int]
+    load_exec: dict[int, int]
+    steps: int
+
+    @property
+    def num_loads(self) -> int:
+        return self.program.num_loads()
+
+    @property
+    def total_load_misses(self) -> int:
+        return sum(self.load_misses.values())
+
+
+class Session:
+    """Shared pipeline state for a set of experiments."""
+
+    def __init__(self, scale: float = 1.0,
+                 cache_dir: Optional[Path] = None,
+                 use_disk_cache: bool = True,
+                 max_steps: int = 300_000_000):
+        self.scale = scale
+        self.max_steps = max_steps
+        self.use_disk_cache = use_disk_cache
+        self.cache_dir = Path(cache_dir) if cache_dir is not None \
+            else Path(__file__).resolve().parents[3] / ".repro_cache"
+        self._sources: dict[tuple[str, str], str] = {}
+        self._programs: dict[RunKey, Program] = {}
+        self._analyses: dict[RunKey, dict[int, LoadInfo]] = {}
+        self._profiles: dict[RunKey, BlockProfile] = {}
+        self._steps: dict[RunKey, int] = {}
+        self._traces: OrderedDict = OrderedDict()
+        self._stats: dict[tuple[RunKey, CacheConfig], CacheStats] = {}
+
+    # -- stages ------------------------------------------------------
+    def source(self, workload: str, input_name: str = "input1") -> str:
+        key = (workload, input_name)
+        if key not in self._sources:
+            definition: Workload = get_workload(workload)
+            self._sources[key] = definition.generate(input_name,
+                                                     scale=self.scale)
+        return self._sources[key]
+
+    def program(self, workload: str, input_name: str = "input1",
+                optimize: bool = False) -> Program:
+        key = RunKey(workload, input_name, optimize)
+        if key not in self._programs:
+            self._programs[key] = compile_source(
+                self.source(workload, input_name), optimize=optimize)
+        return self._programs[key]
+
+    def load_infos(self, workload: str, input_name: str = "input1",
+                   optimize: bool = False) -> dict[int, LoadInfo]:
+        key = RunKey(workload, input_name, optimize)
+        if key not in self._analyses:
+            self._analyses[key] = build_load_infos(
+                self.program(workload, input_name, optimize))
+        return self._analyses[key]
+
+    def _execute(self, key: RunKey) -> None:
+        program = self.program(key.workload, key.input_name, key.optimize)
+        machine = Machine(program, trace_memory=True,
+                          max_steps=self.max_steps)
+        result = machine.run()
+        self._profiles[key] = BlockProfile.from_execution(program, result)
+        self._steps[key] = result.steps
+        self._traces[key] = result.trace
+        while len(self._traces) > _TRACE_LRU:
+            self._traces.popitem(last=False)
+
+    def profile(self, workload: str, input_name: str = "input1",
+                optimize: bool = False) -> BlockProfile:
+        key = RunKey(workload, input_name, optimize)
+        if key not in self._profiles:
+            loaded = self._load_disk(key, BASELINE_CONFIG,
+                                     profile_only=True)
+            if not loaded:
+                self._execute(key)
+        return self._profiles[key]
+
+    def stats(self, workload: str, input_name: str = "input1",
+              optimize: bool = False,
+              cache_config: CacheConfig = BASELINE_CONFIG) -> CacheStats:
+        key = RunKey(workload, input_name, optimize)
+        stats_key = (key, cache_config)
+        if stats_key in self._stats:
+            return self._stats[stats_key]
+        if self.use_disk_cache and self._load_disk(key, cache_config):
+            return self._stats[stats_key]
+        if key not in self._traces:
+            self._execute(key)
+        self._traces.move_to_end(key)
+        stats = simulate_trace(self._traces[key], cache_config)
+        self._stats[stats_key] = stats
+        if self.use_disk_cache:
+            self._store_disk(key, cache_config, stats)
+        return stats
+
+    def measurement(self, workload: str, input_name: str = "input1",
+                    optimize: bool = False,
+                    cache_config: CacheConfig = BASELINE_CONFIG
+                    ) -> Measurement:
+        key = RunKey(workload, input_name, optimize)
+        stats = self.stats(workload, input_name, optimize, cache_config)
+        profile = self.profile(workload, input_name, optimize)
+        return Measurement(
+            key=key,
+            cache_config=cache_config,
+            program=self.program(workload, input_name, optimize),
+            load_infos=self.load_infos(workload, input_name, optimize),
+            profile=profile,
+            load_misses=dict(stats.load_misses),
+            load_exec=profile.load_exec_counts(),
+            steps=self._steps.get(key, profile.total_cycles),
+        )
+
+    # -- disk cache ------------------------------------------------------
+    def _digest(self, key: RunKey, config: CacheConfig) -> str:
+        text = "|".join((
+            str(_SCHEMA_VERSION),
+            self.source(key.workload, key.input_name),
+            str(key.optimize),
+            config.describe(),
+            str(self.max_steps),
+        ))
+        return hashlib.sha1(text.encode()).hexdigest()
+
+    def _disk_path(self, key: RunKey, config: CacheConfig) -> Path:
+        safe = key.workload.replace(".", "_")
+        return self.cache_dir / f"{safe}-{self._digest(key, config)}.json"
+
+    def _store_disk(self, key: RunKey, config: CacheConfig,
+                    stats: CacheStats) -> None:
+        profile = self._profiles.get(key)
+        if profile is None:
+            return
+        payload = {
+            "version": _SCHEMA_VERSION,
+            "steps": self._steps.get(key, 0),
+            "load_misses": {str(a): m for a, m in
+                            stats.load_misses.items()},
+            "load_accesses": {str(a): m for a, m in
+                              stats.load_accesses.items()},
+            "store_misses": sum(stats.store_misses.values()),
+            "store_accesses": sum(stats.store_accesses.values()),
+            "block_counts": {str(a): c for a, c in
+                             profile.block_counts.items()},
+            "block_sizes": {str(a): s for a, s in
+                            profile.block_sizes.items()},
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self._disk_path(key, config).write_text(json.dumps(payload))
+        except OSError:
+            pass  # caching is best-effort
+
+    def _load_disk(self, key: RunKey, config: CacheConfig,
+                   profile_only: bool = False) -> bool:
+        if not self.use_disk_cache:
+            return False
+        path = self._disk_path(key, config)
+        if not path.exists():
+            return False
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return False
+        if payload.get("version") != _SCHEMA_VERSION:
+            return False
+        program = self.program(key.workload, key.input_name, key.optimize)
+        self._profiles[key] = BlockProfile(
+            program=program,
+            block_counts={int(a): c for a, c in
+                          payload["block_counts"].items()},
+            block_sizes={int(a): s for a, s in
+                         payload["block_sizes"].items()},
+        )
+        self._steps[key] = payload.get("steps", 0)
+        if profile_only:
+            return True
+        stats = CacheStats(
+            config=config,
+            load_accesses={int(a): m for a, m in
+                           payload["load_accesses"].items()},
+            load_misses={int(a): m for a, m in
+                         payload["load_misses"].items()},
+        )
+        self._stats[(key, config)] = stats
+        return True

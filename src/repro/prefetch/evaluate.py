@@ -1,0 +1,99 @@
+"""Evaluation harness for Delta-guided prefetching.
+
+Cycle model: ``cycles = instructions + penalty * (load misses + store
+misses)`` — the simple stall model the profiling extension also uses.
+``compare_policies`` measures the three policies the paper's introduction
+contrasts: prefetch nothing, prefetch only Delta, prefetch every load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.cache.config import BASELINE_CONFIG, CacheConfig
+from repro.cache.model import simulate_trace
+from repro.machine.simulator import Machine
+from repro.prefetch.pass_ import apply_prefetching
+
+DEFAULT_PENALTY = 30
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Measured outcome of one prefetch policy."""
+
+    policy: str
+    instructions: int
+    load_misses: int
+    store_misses: int
+    prefetch_ops: int
+    cycles: int
+
+    @property
+    def total_misses(self) -> int:
+        return self.load_misses + self.store_misses
+
+
+@dataclass
+class PrefetchComparison:
+    none: PolicyResult
+    delta: PolicyResult
+    all_loads: PolicyResult
+
+    def speedup(self, policy: PolicyResult) -> float:
+        return self.none.cycles / policy.cycles if policy.cycles else 0.0
+
+    def miss_reduction(self, policy: PolicyResult) -> float:
+        base = self.none.load_misses
+        if base == 0:
+            return 0.0
+        return 1.0 - policy.load_misses / base
+
+    def render(self) -> str:
+        rows = [f"{'policy':16s} {'instructions':>13} {'ld misses':>10} "
+                f"{'pref ops':>9} {'cycles':>12} {'speedup':>8}"]
+        for result in (self.none, self.delta, self.all_loads):
+            rows.append(
+                f"{result.policy:16s} {result.instructions:>13,} "
+                f"{result.load_misses:>10,} {result.prefetch_ops:>9,} "
+                f"{result.cycles:>12,} {self.speedup(result):>7.2f}x")
+        return "\n".join(rows)
+
+
+def measure_policy(program: Program, policy: str,
+                   cache: CacheConfig = BASELINE_CONFIG,
+                   penalty: int = DEFAULT_PENALTY,
+                   max_steps: int = 300_000_000) -> PolicyResult:
+    """Execute ``program`` and evaluate it under the cycle model."""
+    result = Machine(program, max_steps=max_steps).run()
+    stats = simulate_trace(result.trace, cache)
+    load_misses = stats.total_load_misses
+    store_misses = stats.total_store_misses
+    cycles = result.steps + penalty * (load_misses + store_misses)
+    return PolicyResult(
+        policy=policy,
+        instructions=result.steps,
+        load_misses=load_misses,
+        store_misses=store_misses,
+        prefetch_ops=stats.prefetch_ops,
+        cycles=cycles,
+    )
+
+
+def compare_policies(program: Program,
+                     delta: set[int],
+                     cache: CacheConfig = BASELINE_CONFIG,
+                     penalty: int = DEFAULT_PENALTY,
+                     max_steps: int = 300_000_000) -> PrefetchComparison:
+    """Prefetch nothing vs Delta-only vs every load."""
+    baseline = measure_policy(program, "none", cache, penalty, max_steps)
+    delta_program = apply_prefetching(program, delta).program
+    delta_result = measure_policy(delta_program, "delta-guided", cache,
+                                  penalty, max_steps)
+    every = set(program.load_addresses())
+    all_program = apply_prefetching(program, every).program
+    all_result = measure_policy(all_program, "all-loads", cache,
+                                penalty, max_steps)
+    return PrefetchComparison(none=baseline, delta=delta_result,
+                              all_loads=all_result)

@@ -1,0 +1,85 @@
+"""Delta-guided software prefetching (the paper's motivating client).
+
+"The key to containing the overhead is the correct identification of the
+load instructions that are most likely to benefit from the prefetch
+operation" — this pass is that client, built on the binary rewriter:
+
+* for every *selected* load ``lw rt, off(rs)`` it inserts
+  ``pref (off+K)(rs)`` immediately before the load, using the same base
+  register (always live at that point, so the insertion is trivially
+  safe);
+* the lookahead ``K`` is chosen from the load's address pattern:
+  strided/indexed patterns prefetch a couple of blocks ahead, pointer
+  dereferences prefetch the next line of the pointee.
+
+This is deliberately the simplest next-K-bytes scheme: sophisticated
+stride analysis is out of scope, and the evaluation's point is the
+paper's — Delta-guided prefetching captures most of the benefit of
+prefetching *every* load at a fraction of the instruction overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.asm.program import Program
+from repro.isa.instructions import Instruction
+from repro.patterns.builder import LoadInfo, build_load_infos
+from repro.rewrite.inserter import RewriteResult, insert_instructions
+
+_IMM_MAX = 0x7FFF
+
+
+@dataclass
+class PrefetchPlan:
+    """Chosen lookahead per selected load (address -> byte delta)."""
+
+    lookaheads: dict[int, int] = field(default_factory=dict)
+    skipped: list[int] = field(default_factory=list)   # offset overflow
+
+    def __len__(self) -> int:
+        return len(self.lookaheads)
+
+
+def plan_prefetches(program: Program,
+                    delta: set[int],
+                    load_infos: Optional[Mapping[int, LoadInfo]] = None,
+                    block_size: int = 32,
+                    stride_blocks: int = 2) -> PrefetchPlan:
+    """Decide the prefetch lookahead for every load in ``delta``."""
+    load_infos = load_infos or build_load_infos(program)
+    plan = PrefetchPlan()
+    for address in sorted(delta):
+        info = load_infos.get(address)
+        if info is None or not info.instruction.is_load:
+            continue
+        strided = any((f.has_mul or f.has_shift) and f.has_recurrence
+                      for f in info.features)
+        indexed = any(f.has_mul or f.has_shift for f in info.features)
+        if strided or indexed:
+            lookahead = stride_blocks * block_size
+        else:
+            lookahead = block_size          # next-line for pointer chains
+        offset = info.instruction.imm + lookahead
+        if offset > _IMM_MAX:
+            plan.skipped.append(address)
+            continue
+        plan.lookaheads[address] = lookahead
+    return plan
+
+
+def apply_prefetching(program: Program,
+                      delta: set[int],
+                      load_infos: Optional[Mapping[int, LoadInfo]] = None,
+                      block_size: int = 32,
+                      stride_blocks: int = 2) -> RewriteResult:
+    """Rewrite ``program`` with prefetches for the loads in ``delta``."""
+    plan = plan_prefetches(program, delta, load_infos, block_size,
+                           stride_blocks)
+    insertions: dict[int, list[Instruction]] = {}
+    for address, lookahead in plan.lookaheads.items():
+        load = program.instruction_at(address)
+        insertions[address] = [Instruction(
+            "pref", rt=0, rs=load.rs, imm=load.imm + lookahead)]
+    return insert_instructions(program, insertions)

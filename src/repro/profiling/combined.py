@@ -1,0 +1,57 @@
+"""Combining the heuristic with basic-block profiling (Section 9).
+
+With Delta_P the profiling set and Delta_H the heuristic set, the combined
+scheme reports::
+
+    (Delta_P intersect Delta_H)  union  Delta_eps
+
+where Delta_eps holds the ``eps * |Delta_d|`` highest-scoring loads of
+``Delta_d = Delta_H - (Delta_P intersect Delta_H)`` — the heuristic both
+sharpens the profile (intersection) and re-adds a small fraction of
+high-scoring loads living outside the hotspots.
+
+``random_hotspot_coverage`` computes the paper's rho* control: the
+coverage achieved by randomly labelling the same number of hotspot loads,
+averaged over three sampling runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Mapping
+
+from repro.heuristic.classifier import HeuristicResult
+from repro.metrics.measures import coverage
+
+
+def combined_delta(profile_delta: set[int],
+                   heuristic: HeuristicResult,
+                   epsilon: float = 0.0) -> set[int]:
+    """The Section 9 combined delinquent set for one epsilon factor."""
+    heuristic_delta = heuristic.delinquent_set
+    intersection = profile_delta & heuristic_delta
+    leftovers = heuristic_delta - intersection
+    if epsilon <= 0.0 or not leftovers:
+        return intersection
+    scores = heuristic.scores()
+    ranked = sorted(leftovers, key=lambda a: (-scores.get(a, 0.0), a))
+    take = int(epsilon * len(ranked))
+    return intersection | set(ranked[:take])
+
+
+def random_hotspot_coverage(profile_delta: set[int],
+                            size: int,
+                            load_misses: Mapping[int, int],
+                            runs: int = 3,
+                            seed: int = 0xC60) -> float:
+    """rho*: mean coverage of ``runs`` random same-size hotspot samples."""
+    pool = sorted(profile_delta)
+    if not pool or size <= 0:
+        return 0.0
+    size = min(size, len(pool))
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(runs):
+        sample = rng.sample(pool, size)
+        total += coverage(sample, load_misses)
+    return total / runs

@@ -1,0 +1,52 @@
+"""Sampled basic-block profiling (Section 4's practicality caveat).
+
+The paper profiles inside the simulator with the same input — "a high
+level of fidelity ... generally not reproducible in practice" — and cites
+Sastry et al.'s stratified sampling as the realistic alternative.  This
+module models that reality: a sampled profile keeps each block-entry
+event with probability ``rate`` (deterministic per seed), and the
+downstream hotspot/frequency machinery runs on the thinned counts.
+
+Used by the ablation bench to show the combined scheme of Section 9
+degrades gracefully as profile fidelity drops.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.profiling.profile import BlockProfile
+
+
+def sampled_profile(profile: BlockProfile, rate: float,
+                    seed: int = 0x5A17) -> BlockProfile:
+    """A statistically thinned copy of ``profile``.
+
+    Each of a block's entries survives independently with probability
+    ``rate`` (binomial thinning, deterministic in ``seed``) — the count
+    distribution a timer/stratified sampler would observe, scaled back
+    up by ``1/rate`` so thresholds remain comparable.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError(f"sampling rate out of (0, 1]: {rate}")
+    if rate == 1.0:
+        return profile
+    rng = random.Random(seed)
+    thinned: dict[int, int] = {}
+    scale = 1.0 / rate
+    for leader, count in profile.block_counts.items():
+        if count == 0:
+            thinned[leader] = 0
+            continue
+        if count > 10_000:
+            # normal approximation keeps thinning O(1) per block
+            mean = count * rate
+            std = (count * rate * (1 - rate)) ** 0.5
+            observed = max(0, round(rng.gauss(mean, std)))
+        else:
+            observed = sum(1 for _ in range(count)
+                           if rng.random() < rate)
+        thinned[leader] = round(observed * scale)
+    return BlockProfile(program=profile.program,
+                        block_counts=thinned,
+                        block_sizes=dict(profile.block_sizes))

@@ -1,0 +1,135 @@
+"""Binary rewriting: insert instructions into an assembled program.
+
+The prefetching pass (and any future instrumentation pass) needs to
+splice instructions into an existing :class:`Program`.  Insertion shifts
+every downstream address, so the rewriter:
+
+* rebuilds the instruction list with the insertions applied,
+* remaps every branch/jump target through the old->new address map,
+* remaps text symbols and the debug records' function extents.
+
+Limitations (checked, not silently ignored): programs materializing text
+addresses as data (``lta``-built function pointers, ``.word`` of a text
+label) cannot be safely rewritten — the MiniC compiler never emits
+either, and the rewriter raises if it finds a data word that looks like
+a text address reference recorded in the symbol table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Mapping, Sequence
+
+from dataclasses import dataclass
+
+from repro.asm.program import Program
+from repro.asm.symtab import FunctionInfo, SymbolTable
+from repro.isa.instructions import Format, Instruction
+
+
+class RewriteError(Exception):
+    pass
+
+
+@dataclass
+class RewriteResult:
+    """A rewritten program plus the old->new instruction-address map
+    (so analysis results keyed by address can be carried across)."""
+
+    program: Program
+    address_map: dict[int, int]
+
+    def remap(self, addresses) -> set[int]:
+        return {self.address_map[a] for a in addresses}
+
+
+def _check_rewritable(program: Program) -> None:
+    """Refuse programs whose data segment may embed text addresses."""
+    text_symbols = {
+        name for name, address in program.symbols.items()
+        if program.text_base <= address < program.text_end
+    }
+    data = program.data
+    for offset in range(0, len(data) - 3, 4):
+        word = int.from_bytes(data[offset:offset + 4], "little")
+        if program.text_base <= word < program.text_end \
+                and word % 4 == 0:
+            # a data word pointing into text: could be a function pointer
+            raise RewriteError(
+                f"data word at +{offset} looks like a text address "
+                f"({word:#x}); rewriting would corrupt it")
+
+
+def insert_instructions(program: Program,
+                        insertions: Mapping[int, Sequence[Instruction]],
+                        check: bool = True) -> RewriteResult:
+    """Insert instructions *before* the given addresses.
+
+    ``insertions`` maps an existing instruction address to the new
+    instructions placed immediately before it.  Returns a
+    :class:`RewriteResult`; the original program is untouched.
+    """
+    if check:
+        _check_rewritable(program)
+    for address in insertions:
+        program.index_of(address)      # validates alignment/range
+
+    # Pass 1: lay out the new instruction stream and the address map.
+    new_instructions: list[Instruction] = []
+    address_map: dict[int, int] = {}
+    for index, instr in enumerate(program.instructions):
+        old_address = program.address_of(index)
+        for extra in insertions.get(old_address, ()):
+            new_instructions.append(dc_replace(extra))
+        address_map[old_address] = program.text_base \
+            + 4 * len(new_instructions)
+        new_instructions.append(dc_replace(instr))
+    # one-past-the-end maps too (function extents use it)
+    address_map[program.text_end] = program.text_base \
+        + 4 * len(new_instructions)
+
+    # Pass 2: retarget control transfers.
+    for instr in new_instructions:
+        if instr.spec.is_branch or instr.spec.fmt is Format.JUMP:
+            if instr.imm is not None:
+                target = address_map.get(instr.imm)
+                if target is None:
+                    raise RewriteError(
+                        f"control target {instr.imm:#x} is not an "
+                        f"instruction boundary")
+                instr.imm = target
+
+    # Pass 3: remap symbols and debug info.
+    new_symbols = {}
+    for name, address in program.symbols.items():
+        if program.text_base <= address < program.text_end:
+            new_symbols[name] = address_map[address]
+        else:
+            new_symbols[name] = address
+
+    new_symtab = SymbolTable(
+        globals=dict(program.symtab.globals),
+        structs=dict(program.symtab.structs),
+    )
+    for name, info in program.symtab.functions.items():
+        new_symtab.functions[name] = FunctionInfo(
+            name=info.name,
+            start=address_map.get(info.start, info.start),
+            end=address_map.get(info.end, info.end),
+            frame_size=info.frame_size,
+            locals=list(info.locals),
+            param_types=list(info.param_types),
+            return_type=info.return_type,
+        )
+
+    rewritten = Program(
+        instructions=new_instructions,
+        data=bytearray(program.data),
+        symbols=new_symbols,
+        symtab=new_symtab,
+        text_base=program.text_base,
+        data_base=program.data_base,
+        entry=address_map[program.entry],
+        source=program.source,
+    )
+    return RewriteResult(program=rewritten, address_map=address_map)

@@ -1,0 +1,120 @@
+"""188.ammp analogue: molecular dynamics with neighbor lists.
+
+ammp computes pairwise forces over atoms gathered through neighbor index
+lists — float struct-array loads driven by indirection, with periodic
+neighbor-list rebuilds.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(atoms: int, neighbors: int, steps: int, seed: int) -> str:
+    cold = coldcode.block("amp")
+    return f"""
+struct atom {{
+    float x;
+    float y;
+    float z;
+    float fx;
+    float fy;
+    float fz;
+    int serial;
+}};
+
+struct atom *atoms_arr;
+int *neighbor_idx;
+int checksum;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+float frand() {{
+    return (float) (rand() & 1023) / 64.0;
+}}
+
+void build() {{
+    int i;
+    int k;
+    atoms_arr = (struct atom*) malloc({atoms} * sizeof(struct atom));
+    neighbor_idx = (int*) malloc({atoms} * {neighbors} * 4);
+    for (i = 0; i < {atoms}; i = i + 1) {{
+        atoms_arr[i].x = frand();
+        atoms_arr[i].y = frand();
+        atoms_arr[i].z = frand();
+        atoms_arr[i].fx = 0.0;
+        atoms_arr[i].fy = 0.0;
+        atoms_arr[i].fz = 0.0;
+        atoms_arr[i].serial = i;
+    }}
+    for (i = 0; i < {atoms}; i = i + 1)
+        for (k = 0; k < {neighbors}; k = k + 1)
+            neighbor_idx[i * {neighbors} + k] = big_rand() % {atoms};
+}}
+
+void forces() {{
+    int i;
+    int k;
+    int j;
+    float dx;
+    float dy;
+    float dz;
+    float r2;
+    for (i = 0; i < {atoms}; i = i + 1) {{
+        for (k = 0; k < {neighbors}; k = k + 1) {{
+            j = neighbor_idx[i * {neighbors} + k];
+            dx = atoms_arr[j].x - atoms_arr[i].x;
+            dy = atoms_arr[j].y - atoms_arr[i].y;
+            dz = atoms_arr[j].z - atoms_arr[i].z;
+            r2 = dx * dx + dy * dy + dz * dz + 1.0;
+            atoms_arr[i].fx = atoms_arr[i].fx + dx / r2;
+            atoms_arr[i].fy = atoms_arr[i].fy + dy / r2;
+            atoms_arr[i].fz = atoms_arr[i].fz + dz / r2;
+            {cold.guard('(int) (r2 * 256.0)', 'i')}
+            {cold.warm_guard('(int) (r2 * 32.0)', 'i')}
+        }}
+    }}
+}}
+
+void integrate() {{
+    int i;
+    for (i = 0; i < {atoms}; i = i + 1) {{
+        atoms_arr[i].x = atoms_arr[i].x + atoms_arr[i].fx * 0.01;
+        atoms_arr[i].y = atoms_arr[i].y + atoms_arr[i].fy * 0.01;
+        atoms_arr[i].z = atoms_arr[i].z + atoms_arr[i].fz * 0.01;
+    }}
+}}
+
+{cold.functions}
+
+int main() {{
+    int s;
+    srand({seed});
+    build();
+    for (s = 0; s < {steps}; s = s + 1) {{
+        forces();
+        integrate();
+    }}
+    checksum = (int) (atoms_arr[0].x + atoms_arr[{atoms} - 1].y);
+    print_int(checksum);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="188.ammp",
+    category=TRAINING,
+    description="molecular dynamics: neighbor-list indirection into a "
+                "float atom-struct array",
+    source=source,
+    inputs=make_inputs(
+        {"atoms": 2500, "neighbors": 8, "steps": 3, "seed": 188},
+        {"atoms": 2000, "neighbors": 10, "steps": 3, "seed": 881},
+    ),
+    scale_keys=("steps",),
+)

@@ -1,0 +1,98 @@
+"""179.art analogue: adaptive-resonance neural network over float arrays.
+
+art streams through large float weight matrices (bottom-up and top-down)
+for every presented pattern — long unit-stride scans with multiply-
+accumulate, the canonical strided-FP delinquent loads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(f1_size: int, f2_size: int, patterns: int, seed: int) -> str:
+    cold = coldcode.block("art")
+    return f"""
+float *bus;        /* bottom-up weights, f2 x f1 */
+float *tds;        /* top-down weights, f2 x f1 */
+float *f1_act;
+float *f2_act;
+int winner_hist;
+{cold.declarations}
+
+float frand() {{
+    return (float) (rand() & 1023) / 1024.0;
+}}
+
+void init() {{
+    int i;
+    int j;
+    bus = (float*) malloc({f1_size} * {f2_size} * 4);
+    tds = (float*) malloc({f1_size} * {f2_size} * 4);
+    f1_act = (float*) malloc({f1_size} * 4);
+    f2_act = (float*) malloc({f2_size} * 4);
+    for (i = 0; i < {f2_size}; i = i + 1) {{
+        for (j = 0; j < {f1_size}; j = j + 1) {{
+            bus[i * {f1_size} + j] = frand();
+            tds[i * {f1_size} + j] = frand();
+        }}
+    }}
+}}
+
+int present() {{
+    int i;
+    int j;
+    int winner;
+    float best;
+    float acc;
+    for (j = 0; j < {f1_size}; j = j + 1)
+        f1_act[j] = frand();
+    winner = 0;
+    best = 0.0 - 1.0;
+    for (i = 0; i < {f2_size}; i = i + 1) {{
+        acc = 0.0;
+        for (j = 0; j < {f1_size}; j = j + 1)
+            acc = acc + bus[i * {f1_size} + j] * f1_act[j];
+        f2_act[i] = acc;
+        {cold.guard('(int) (acc * 512.0)', 'i')}
+        {cold.warm_guard('(int) (acc * 64.0)', 'i')}
+        if (acc > best) {{
+            best = acc;
+            winner = i;
+        }}
+    }}
+    for (j = 0; j < {f1_size}; j = j + 1) {{
+        tds[winner * {f1_size} + j] =
+            tds[winner * {f1_size} + j] * 0.9 + f1_act[j] * 0.1;
+    }}
+    return winner;
+}}
+
+{cold.functions}
+
+int main() {{
+    int p;
+    srand({seed});
+    winner_hist = 0;
+    init();
+    for (p = 0; p < {patterns}; p = p + 1)
+        winner_hist = winner_hist + present();
+    print_int(winner_hist);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="179.art",
+    category=TRAINING,
+    description="neural-net recognition: unit-stride scans of float "
+                "weight matrices much larger than L1",
+    source=source,
+    inputs=make_inputs(
+        {"f1_size": 500, "f2_size": 24, "patterns": 24, "seed": 42},
+        {"f1_size": 400, "f2_size": 30, "patterns": 28, "seed": 4242},
+    ),
+    scale_keys=("patterns",),
+)

@@ -1,0 +1,69 @@
+"""Workload framework.
+
+A workload is a MiniC program generator: given input parameters (sizes,
+seeds, iteration counts) it produces source text with those parameters
+baked in as constants — the analogue of running a SPEC benchmark on a
+particular input file.  Every workload declares two canonical inputs
+(paper Table 6 trains on Input 1 and tests stability on Input 2) and a
+``scale`` knob lets tests run miniature instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+TRAINING = "training"
+TEST = "test"
+
+
+@dataclass(frozen=True)
+class WorkloadInput:
+    """One named parameterization of a workload."""
+
+    name: str
+    params: tuple[tuple[str, int], ...]
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self.params)
+
+    def scaled(self, scale: float,
+               scale_keys: tuple[str, ...]) -> dict[str, int]:
+        values = self.as_dict()
+        if scale != 1.0:
+            for key in scale_keys:
+                if key in values:
+                    values[key] = max(1, int(values[key] * scale))
+        return values
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named benchmark: source generator plus its two inputs."""
+
+    name: str                       # SPEC-style name, e.g. "181.mcf"
+    category: str                   # TRAINING or TEST
+    description: str
+    source: Callable[..., str]      # kwargs = input params
+    inputs: tuple[WorkloadInput, WorkloadInput]
+    scale_keys: tuple[str, ...] = ()   # params that scale with Session.scale
+
+    def generate(self, input_name: str = "input1",
+                 scale: float = 1.0) -> str:
+        for candidate in self.inputs:
+            if candidate.name == input_name:
+                return self.source(**candidate.scaled(scale,
+                                                      self.scale_keys))
+        raise KeyError(f"{self.name} has no input {input_name!r}")
+
+    def input_names(self) -> list[str]:
+        return [i.name for i in self.inputs]
+
+
+def make_inputs(input1: dict[str, int],
+                input2: dict[str, int]) -> tuple[WorkloadInput,
+                                                 WorkloadInput]:
+    return (
+        WorkloadInput("input1", tuple(sorted(input1.items()))),
+        WorkloadInput("input2", tuple(sorted(input2.items()))),
+    )

@@ -1,0 +1,90 @@
+"""129.compress analogue: LZW-style hash-table compression.
+
+The real compress is dominated by probes into a large open-addressed hash
+table (``htab``/``codetab``): an index computed by shifting and XOR, then
+a secondary-probe loop.  Misses concentrate on the two table loads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(table_bits: int, symbols: int, seed: int) -> str:
+    cold = coldcode.block("cmp")
+    table_size = 1 << table_bits
+    return f"""
+int *htab;
+int *codetab;
+int free_code;
+int filled;
+int matched;
+{cold.declarations}
+
+int probe(int key) {{
+    int h;
+    int step;
+    h = (key ^ (key >> 6)) & {table_size - 1};
+    step = (key >> 4 | 1) & 255;
+    while (htab[h] != 0) {{
+        if (htab[h] == key)
+            return codetab[h];
+        h = (h + step) & {table_size - 1};
+    }}
+    /* keep the table at most half full so probes always terminate
+       (real compress emits a CLEAR code instead) */
+    if (filled < {table_size // 2}) {{
+        htab[h] = key;
+        codetab[h] = free_code;
+        free_code = free_code + 1;
+        filled = filled + 1;
+    }}
+    return 0 - 1;
+}}
+
+{cold.functions}
+
+int main() {{
+    int i;
+    int code;
+    int prefix;
+    int found;
+    srand({seed});
+    htab = (int*) calloc({table_size}, 4);
+    codetab = (int*) calloc({table_size}, 4);
+    free_code = 256;
+    filled = 0;
+    matched = 0;
+    prefix = rand() & 255;
+    for (i = 0; i < {symbols}; i = i + 1) {{
+        code = rand() & 255;
+        {cold.guard('(prefix << 9) + code', 'i')}
+        {cold.warm_guard('(prefix << 3) + code', 'i')}
+        found = probe((prefix << 9) + code + 1);
+        if (found >= 0) {{
+            prefix = found & 255;
+            matched = matched + 1;
+        }} else {{
+            prefix = code;
+        }}
+    }}
+    print_int(matched);
+    print_int(free_code);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="129.compress",
+    category=TRAINING,
+    description="LZW hash-table probing: shift/xor indexed table loads "
+                "with secondary probing over a table larger than L1",
+    source=source,
+    inputs=make_inputs(
+        {"table_bits": 15, "symbols": 40000, "seed": 31},
+        {"table_bits": 15, "symbols": 48000, "seed": 1234},
+    ),
+    scale_keys=("symbols",),
+)

@@ -1,0 +1,102 @@
+"""183.equake analogue: sparse matrix-vector products (CSR).
+
+equake's kernel is an earthquake FEM solve: repeated sparse matvecs whose
+column-index indirection (``value[k] * x[col[k]]``) produces scattered
+loads — the classic indirect-indexing delinquent load.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(rows: int, nnz_per_row: int, iterations: int, seed: int) -> str:
+    cold = coldcode.block("eq")
+    nnz = rows * nnz_per_row
+    return f"""
+int *row_ptr;
+int *col_idx;
+float *values;
+float *x;
+float *y;
+int checksum;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void build() {{
+    int r;
+    int k;
+    int idx;
+    row_ptr = (int*) malloc(({rows} + 1) * 4);
+    col_idx = (int*) malloc({nnz} * 4);
+    values = (float*) malloc({nnz} * 4);
+    x = (float*) malloc({rows} * 4);
+    y = (float*) malloc({rows} * 4);
+    idx = 0;
+    for (r = 0; r < {rows}; r = r + 1) {{
+        row_ptr[r] = idx;
+        for (k = 0; k < {nnz_per_row}; k = k + 1) {{
+            col_idx[idx] = big_rand() % {rows};
+            values[idx] = (float) (rand() & 255) / 256.0;
+            idx = idx + 1;
+        }}
+        x[r] = (float) (rand() & 255) / 128.0;
+    }}
+    row_ptr[{rows}] = idx;
+}}
+
+void matvec() {{
+    int r;
+    int k;
+    int last;
+    float acc;
+    for (r = 0; r < {rows}; r = r + 1) {{
+        acc = 0.0;
+        last = row_ptr[r + 1];
+        for (k = row_ptr[r]; k < last; k = k + 1)
+            acc = acc + values[k] * x[col_idx[k]];
+        y[r] = acc;
+        {cold.guard('(int) (acc * 1024.0)', 'r')}
+        {cold.warm_guard('(int) (acc * 128.0)', 'r')}
+    }}
+}}
+
+void smooth() {{
+    int r;
+    for (r = 0; r < {rows}; r = r + 1)
+        x[r] = x[r] * 0.5 + y[r] * 0.5;
+}}
+
+{cold.functions}
+
+int main() {{
+    int it;
+    srand({seed});
+    build();
+    for (it = 0; it < {iterations}; it = it + 1) {{
+        matvec();
+        smooth();
+    }}
+    checksum = (int) (x[0] * 1000.0) + (int) (x[{rows} - 1] * 1000.0);
+    print_int(checksum);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="183.equake",
+    category=TRAINING,
+    description="CSR sparse matvec: indirect x[col[k]] gathers over a "
+                "vector larger than L1",
+    source=source,
+    inputs=make_inputs(
+        {"rows": 4000, "nnz_per_row": 7, "iterations": 8, "seed": 99},
+        {"rows": 3000, "nnz_per_row": 9, "iterations": 7, "seed": 5150},
+    ),
+    scale_keys=("iterations",),
+)

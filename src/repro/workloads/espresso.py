@@ -1,0 +1,111 @@
+"""008.espresso analogue: two-level logic minimization over bit-vector
+cubes.
+
+espresso manipulates covers: arrays of multi-word bit vectors combined
+with AND/OR sweeps, distance tests and popcount table lookups — word-
+strided integer loads over a mid-sized working set.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(cubes: int, words: int, passes: int, seed: int) -> str:
+    cold = coldcode.block("esp")
+    return f"""
+int *cover;          /* cubes x words bit-vectors */
+int popcount_tab[256];
+int kept;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void init_tables() {{
+    int v;
+    int bits;
+    int x;
+    for (v = 0; v < 256; v = v + 1) {{
+        bits = 0;
+        x = v;
+        while (x != 0) {{
+            bits = bits + (x & 1);
+            x = x >> 1;
+        }}
+        popcount_tab[v] = bits;
+    }}
+}}
+
+void init_cover() {{
+    int c;
+    int w;
+    cover = (int*) malloc({cubes} * {words} * 4);
+    for (c = 0; c < {cubes}; c = c + 1)
+        for (w = 0; w < {words}; w = w + 1)
+            cover[c * {words} + w] = big_rand();
+}}
+
+int distance(int a, int b) {{
+    int w;
+    int x;
+    int d;
+    d = 0;
+    for (w = 0; w < {words}; w = w + 1) {{
+        x = cover[a * {words} + w] ^ cover[b * {words} + w];
+        d = d + popcount_tab[x & 255];
+        d = d + popcount_tab[(x >> 8) & 255];
+        d = d + popcount_tab[(x >> 16) & 255];
+        d = d + popcount_tab[(x >> 24) & 255];
+    }}
+    return d;
+}}
+
+void absorb(int a, int b) {{
+    int w;
+    for (w = 0; w < {words}; w = w + 1)
+        cover[a * {words} + w] =
+            cover[a * {words} + w] & cover[b * {words} + w];
+}}
+
+{cold.functions}
+
+int main() {{
+    int pass;
+    int c;
+    int other;
+    srand({seed});
+    init_tables();
+    init_cover();
+    kept = 0;
+    for (pass = 0; pass < {passes}; pass = pass + 1) {{
+        for (c = 0; c < {cubes}; c = c + 1) {{
+            other = big_rand() % {cubes};
+            {cold.guard('other * 31 + c', 'pass')}
+            {cold.warm_guard('other + c', 'pass')}
+            if (distance(c, other) < {words} * 12)
+                absorb(c, other);
+            else
+                kept = kept + 1;
+        }}
+    }}
+    print_int(kept);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="008.espresso",
+    category=TRAINING,
+    description="bit-vector cover minimization: strided word scans, "
+                "XOR distance with popcount table lookups",
+    source=source,
+    inputs=make_inputs(
+        {"cubes": 600, "words": 16, "passes": 10, "seed": 8},
+        {"cubes": 800, "words": 12, "passes": 9, "seed": 88},
+    ),
+    scale_keys=("passes",),
+)

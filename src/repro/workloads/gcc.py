@@ -1,0 +1,141 @@
+"""126.gcc analogue: expression-tree construction and repeated walks.
+
+gcc's memory behaviour is dominated by tree/rtl node allocation and
+traversal: heterogeneous structs, child pointers, and visitation loops —
+a large, irregularly linked heap.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(nodes: int, walks: int, seed: int) -> str:
+    cold = coldcode.block("gcc")
+    n_stats = 48
+    stat_decls = "\n".join(
+        f"int stat_{k}; int stat_pad_{k}[7];" for k in range(n_stats))
+    tally_chain = "\n".join(
+        f"    {'if' if k == 0 else 'else if'} (code == {k}) "
+        f"stat_{k} = stat_{k} + 1;"
+        for k in range(n_stats))
+    return f"""
+struct tree {{
+    int code;
+    int value;
+    struct tree *left;
+    struct tree *right;
+}};
+
+struct tree **pool;
+int pool_top;
+int folded;
+{cold.declarations}
+
+/* per-opcode statistics counters, like real gcc's global bookkeeping:
+   plain gp-relative scalar loads that still miss under heap churn */
+{stat_decls}
+
+void tally(int code) {{
+{tally_chain}
+}}
+
+{cold.functions}
+
+struct tree *mknode(int code, int value) {{
+    struct tree *t;
+    t = (struct tree*) malloc(sizeof(struct tree));
+    t->code = code;
+    t->value = value;
+    t->left = NULL;
+    t->right = NULL;
+    pool[pool_top] = t;
+    pool_top = pool_top + 1;
+    return t;
+}}
+
+struct tree *random_expr(int depth) {{
+    struct tree *t;
+    if (depth <= 0 || (rand() & 7) == 0)
+        return mknode(0, rand() % 1000);
+    t = mknode(1 + rand() % 4, 0);
+    t->left = random_expr(depth - 1);
+    t->right = random_expr(depth - 1);
+    return t;
+}}
+
+int eval(struct tree *t) {{
+    int a;
+    int b;
+    tally(t->value & 47);
+    if (t->code == 0)
+        return t->value;
+    a = eval(t->left);
+    b = eval(t->right);
+    if (t->code == 1)
+        return a + b;
+    if (t->code == 2)
+        return a - b;
+    if (t->code == 3)
+        return a ^ b;
+    return (a & 1023) * (b & 7);
+}}
+
+int fold(struct tree *t) {{
+    int n;
+    if (t->code == 0)
+        return 0;
+    n = fold(t->left) + fold(t->right);
+    if (t->left->code == 0 && t->right->code == 0) {{
+        t->value = eval(t);
+        t->code = 0;
+        n = n + 1;
+    }}
+    return n;
+}}
+
+int main() {{
+    int w;
+    int total;
+    int n_roots;
+    int i;
+    struct tree **roots;
+    srand({seed});
+    pool = (struct tree**) malloc({nodes} * 8);
+    pool_top = 0;
+    folded = 0;
+    n_roots = 32;
+    roots = (struct tree**) malloc(n_roots * 4);
+    for (i = 0; i < n_roots; i = i + 1)
+        roots[i] = random_expr(9);
+    total = 0;
+    for (w = 0; w < {walks}; w = w + 1) {{
+        i = rand() % n_roots;
+        total = total + eval(roots[i]);
+        {cold.guard('total', 'w')}
+        {cold.warm_guard('total >> 3', 'w')}
+        if ((w & 15) == 0)
+            folded = folded + fold(roots[i]);
+        if ((w & 63) == 0 && pool_top < {nodes} - 1200)
+            roots[i] = random_expr(9);
+    }}
+    print_int(total & 1048575);
+    print_int(folded);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="126.gcc",
+    category=TEST,
+    description="compiler trees: recursive build, eval and constant-fold "
+                "walks over a pointer-linked heap",
+    source=source,
+    inputs=make_inputs(
+        {"nodes": 60000, "walks": 700, "seed": 126},
+        {"nodes": 50000, "walks": 800, "seed": 621},
+    ),
+    scale_keys=("walks",),
+)

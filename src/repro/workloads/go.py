@@ -1,0 +1,135 @@
+"""099.go analogue: board-game position evaluation.
+
+go evaluates positions on a small board with heavy control flow: neighbor
+scans, iterative flood fill of groups, and liberty counting — short,
+branchy loops over arrays that mostly fit in cache (the paper's go also
+shows mediocre precision: many loads look alike).
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(board_size: int, moves: int, seed: int) -> str:
+    cold = coldcode.block("go")
+    cells = board_size * board_size
+    return f"""
+int board[{cells}];
+int group_id[{cells}];
+int liberties[{cells}];
+int stack_buf[{cells}];
+int *pattern_tab;          /* position-hash pattern library */
+int *history;              /* game record of hashed positions */
+int score;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+int pattern_value(int pos, int color) {{
+    int h;
+    h = (pos * 2654435761 + color * 40503) & 65535;
+    return pattern_tab[h];
+}}
+
+{cold.functions}
+
+int flood(int start, int color) {{
+    int top;
+    int size;
+    int pos;
+    int next;
+    int d;
+    int deltas[4];
+    deltas[0] = 1;
+    deltas[1] = 0 - 1;
+    deltas[2] = {board_size};
+    deltas[3] = 0 - {board_size};
+    top = 0;
+    size = 0;
+    stack_buf[top] = start;
+    top = top + 1;
+    group_id[start] = start + 1;
+    while (top > 0) {{
+        top = top - 1;
+        pos = stack_buf[top];
+        size = size + 1;
+        for (d = 0; d < 4; d = d + 1) {{
+            next = pos + deltas[d];
+            if (next >= 0 && next < {cells}) {{
+                if (board[next] == color && group_id[next] != start + 1) {{
+                    group_id[next] = start + 1;
+                    if (top < {cells}) {{
+                        stack_buf[top] = next;
+                        top = top + 1;
+                    }}
+                }}
+                if (board[next] == 0)
+                    liberties[start] = liberties[start] + 1;
+            }}
+        }}
+    }}
+    return size;
+}}
+
+void clear_groups() {{
+    int i;
+    for (i = 0; i < {cells}; i = i + 1) {{
+        group_id[i] = 0;
+        liberties[i] = 0;
+    }}
+}}
+
+int main() {{
+    int m;
+    int pos;
+    int color;
+    int i;
+    srand({seed});
+    score = 0;
+    pattern_tab = (int*) malloc(65536 * 4);
+    history = (int*) malloc({moves} * 4);
+    for (i = 0; i < 65536; i = i + 1)
+        pattern_tab[i] = big_rand() & 255;
+    for (i = 0; i < {cells}; i = i + 1)
+        board[i] = 0;
+    for (m = 0; m < {moves}; m = m + 1) {{
+        pos = rand() % {cells};
+        color = 1 + (m & 1);
+        score = score + pattern_value(pos, color);
+        history[m] = pos * 4 + color;
+        {cold.guard('score + pos', 'm')}
+        {cold.warm_guard('score', 'm')}
+        if (m > 16 && history[m - (rand() & 15)] == history[m])
+            score = score - 1;
+        if (board[pos] == 0)
+            board[pos] = color;
+        if ((m & 7) == 0) {{
+            clear_groups();
+            for (i = 0; i < {cells}; i = i + 1) {{
+                if (board[i] != 0 && group_id[i] == 0)
+                    score = score + flood(i, board[i]);
+            }}
+        }}
+    }}
+    print_int(score);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="099.go",
+    category=TRAINING,
+    description="board evaluation: branchy neighbor scans and iterative "
+                "flood fill over small arrays",
+    source=source,
+    inputs=make_inputs(
+        {"board_size": 19, "moves": 1100, "seed": 50},
+        {"board_size": 21, "moves": 1200, "seed": 60},
+    ),
+    scale_keys=("moves",),
+)

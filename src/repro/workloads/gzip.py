@@ -1,0 +1,119 @@
+"""164.gzip analogue: LZ77 longest-match search over a sliding window.
+
+gzip's hot loop hashes three-byte sequences, then follows ``prev[]``
+chains comparing window bytes — byte loads from a 32 KB window plus chain
+loads from a table that together exceed L1.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(window_bits: int, input_len: int, max_chain: int,
+           seed: int) -> str:
+    cold = coldcode.block("gz")
+    window_size = 1 << window_bits
+    hash_size = 1 << 12
+    return f"""
+char *window;
+int *head;
+int *prev;
+int match_total;
+{cold.declarations}
+
+void fill_window() {{
+    int i;
+    int value;
+    value = rand() & 255;
+    for (i = 0; i < {window_size}; i = i + 1) {{
+        if ((rand() & 7) == 0)
+            value = rand() & 255;
+        window[i] = value & 255;
+    }}
+}}
+
+int hash3(int pos) {{
+    int a;
+    int b;
+    int c;
+    a = window[pos];
+    b = window[pos + 1];
+    c = window[pos + 2];
+    return ((a << 7) ^ (b << 3) ^ c) & {hash_size - 1};
+}}
+
+int longest_match(int pos, int cur) {{
+    int best;
+    int length;
+    int chain;
+    int probe;
+    best = 0;
+    chain = 0;
+    probe = cur;
+    while (probe >= 0 && chain < {max_chain}) {{
+        length = 0;
+        while (length < 64
+               && window[probe + length] == window[pos + length]
+               && pos + length < {window_size} - 1)
+            length = length + 1;
+        if (length > best)
+            best = length;
+        probe = prev[probe & {window_size - 1}];
+        chain = chain + 1;
+    }}
+    return best;
+}}
+
+{cold.functions}
+
+int main() {{
+    int pos;
+    int h;
+    int cur;
+    srand({seed});
+    window = (char*) malloc({window_size} + 64);
+    head = (int*) calloc({hash_size}, 4);
+    prev = (int*) calloc({window_size}, 4);
+    match_total = 0;
+    fill_window();
+    {{
+        int i;
+        for (i = 0; i < {hash_size}; i = i + 1)
+            head[i] = 0 - 1;
+        for (i = 0; i < {window_size}; i = i + 1)
+            prev[i] = 0 - 1;
+    }}
+    for (pos = 0; pos < {input_len}; pos = pos + 1) {{
+        int at;
+        at = pos & {window_size - 1};
+        h = hash3(at);
+        {cold.guard('h + pos', 'pos')}
+        {cold.warm_guard('h + at', 'pos')}
+        cur = head[h];
+        if (cur >= 0)
+            match_total = match_total + longest_match(at, cur);
+        prev[at] = head[h];
+        head[h] = at;
+    }}
+    print_int(match_total);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="164.gzip",
+    category=TRAINING,
+    description="LZ77 matching: hashed head/prev chain walks plus byte "
+                "compares in a 32KB window",
+    source=source,
+    inputs=make_inputs(
+        {"window_bits": 15, "input_len": 8000, "max_chain": 8,
+         "seed": 1001},
+        {"window_bits": 15, "input_len": 9000, "max_chain": 6,
+         "seed": 2002},
+    ),
+    scale_keys=("input_len",),
+)

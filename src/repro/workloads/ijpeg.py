@@ -1,0 +1,120 @@
+"""132.ijpeg analogue: blocked 8x8 image transform and quantization.
+
+ijpeg processes an image in 8x8 blocks: a separable butterfly transform,
+quantization against a coefficient table, and a zig-zag-ish accumulation —
+blocked strided integer loads with small-table lookups.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(width: int, height: int, passes: int, seed: int) -> str:
+    cold = coldcode.block("jpg")
+    n_stats = 32
+    stat_decls = "\n".join(
+        f"int huff_count_{k}; int huff_pad_{k}[7];"
+        for k in range(n_stats))
+    tally_chain = "\n".join(
+        f"    {'if' if k == 0 else 'else if'} (bucket == {k}) "
+        f"huff_count_{k} = huff_count_{k} + 1;"
+        for k in range(n_stats))
+    return f"""
+int *image;
+int quant_tab[64];
+int zigzag[64];
+int energy;
+{cold.declarations}
+
+/* per-symbol entropy-coder statistics: plain global scalars whose loads
+   the heuristic cannot flag, but which miss under image streaming */
+{stat_decls}
+
+void record_symbol(int bucket) {{
+{tally_chain}
+}}
+
+void init() {{
+    int i;
+    image = (int*) malloc({width} * {height} * 4);
+    for (i = 0; i < {width} * {height}; i = i + 1)
+        image[i] = rand() & 255;
+    for (i = 0; i < 64; i = i + 1) {{
+        quant_tab[i] = 1 + (i / 8) + (i % 8);
+        zigzag[i] = ((i * 19) + 7) & 63;
+    }}
+}}
+
+void transform_block(int bx, int by) {{
+    int workspace[64];
+    int r;
+    int c;
+    int sum;
+    int diff;
+    for (r = 0; r < 8; r = r + 1) {{
+        for (c = 0; c < 8; c = c + 1)
+            workspace[r * 8 + c] =
+                image[(by * 8 + r) * {width} + bx * 8 + c];
+    }}
+    for (r = 0; r < 8; r = r + 1) {{
+        for (c = 0; c < 4; c = c + 1) {{
+            sum = workspace[r * 8 + c] + workspace[r * 8 + 7 - c];
+            diff = workspace[r * 8 + c] - workspace[r * 8 + 7 - c];
+            workspace[r * 8 + c] = sum;
+            workspace[r * 8 + 7 - c] = diff;
+        }}
+    }}
+    for (c = 0; c < 8; c = c + 1) {{
+        for (r = 0; r < 4; r = r + 1) {{
+            sum = workspace[r * 8 + c] + workspace[(7 - r) * 8 + c];
+            diff = workspace[r * 8 + c] - workspace[(7 - r) * 8 + c];
+            workspace[r * 8 + c] = sum;
+            workspace[(7 - r) * 8 + c] = diff;
+        }}
+    }}
+    for (r = 0; r < 64; r = r + 1) {{
+        energy = energy
+            + (workspace[zigzag[r]] / quant_tab[r]) * (r & 3);
+        image[(by * 8 + r / 8) * {width} + bx * 8 + r % 8] =
+            workspace[r] / quant_tab[r];
+    }}
+    record_symbol(workspace[0] & 31);
+    {cold.guard('energy + workspace[1]', 'bx')}
+    {cold.warm_guard('energy', 'bx')}
+    record_symbol((workspace[9] >> 2) & 31);
+}}
+
+{cold.functions}
+
+int main() {{
+    int p;
+    int bx;
+    int by;
+    srand({seed});
+    energy = 0;
+    init();
+    for (p = 0; p < {passes}; p = p + 1) {{
+        for (by = 0; by < {height} / 8; by = by + 1)
+            for (bx = 0; bx < {width} / 8; bx = bx + 1)
+                transform_block(bx, by);
+    }}
+    print_int(energy & 1048575);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="132.ijpeg",
+    category=TEST,
+    description="blocked 8x8 image transform: strided block gathers, "
+                "butterfly passes and quantization-table lookups",
+    source=source,
+    inputs=make_inputs(
+        {"width": 192, "height": 128, "passes": 2, "seed": 132},
+        {"width": 160, "height": 120, "passes": 2, "seed": 231},
+    ),
+    scale_keys=("passes",),
+)

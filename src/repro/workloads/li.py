@@ -1,0 +1,123 @@
+"""022.li analogue: lisp interpreter cons-cell churn.
+
+xlisp's hot loads chase car/cdr pointers through cons cells allocated all
+over the heap: list construction, traversal, reversal and association-
+list lookups.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(cells: int, rounds: int, seed: int) -> str:
+    cold = coldcode.block("li")
+    return f"""
+struct cons {{
+    int tag;
+    int value;
+    struct cons *car;
+    struct cons *cdr;
+}};
+
+struct cons **roots;
+int reductions;
+{cold.declarations}
+
+{cold.functions}
+
+struct cons *make_cell(int value) {{
+    struct cons *c;
+    c = (struct cons*) malloc(sizeof(struct cons));
+    c->tag = 1;
+    c->value = value;
+    c->car = NULL;
+    c->cdr = NULL;
+    return c;
+}}
+
+struct cons *build_list(int length, int base) {{
+    struct cons *head;
+    struct cons *c;
+    int i;
+    head = NULL;
+    for (i = 0; i < length; i = i + 1) {{
+        c = make_cell(base + i);
+        c->cdr = head;
+        head = c;
+    }}
+    return head;
+}}
+
+int sum_list(struct cons *list) {{
+    int total;
+    total = 0;
+    while (list != NULL) {{
+        total = total + list->value;
+        list = list->cdr;
+    }}
+    return total;
+}}
+
+struct cons *reverse_list(struct cons *list) {{
+    struct cons *out;
+    struct cons *next;
+    out = NULL;
+    while (list != NULL) {{
+        next = list->cdr;
+        list->cdr = out;
+        out = list;
+        list = next;
+    }}
+    return out;
+}}
+
+struct cons *assoc(struct cons *list, int key) {{
+    while (list != NULL) {{
+        if (list->value == key)
+            return list;
+        list = list->cdr;
+    }}
+    return NULL;
+}}
+
+int main() {{
+    int r;
+    int n_roots;
+    int i;
+    struct cons *hit;
+    srand({seed});
+    n_roots = 40;
+    roots = (struct cons**) calloc(n_roots, 4);
+    reductions = 0;
+    for (i = 0; i < n_roots; i = i + 1)
+        roots[i] = build_list({cells} / 40, i * 100);
+    for (r = 0; r < {rounds}; r = r + 1) {{
+        i = rand() % n_roots;
+        reductions = reductions + sum_list(roots[i]);
+        {cold.guard('reductions', 'r')}
+        {cold.warm_guard('reductions >> 1', 'r')}
+        roots[i] = reverse_list(roots[i]);
+        hit = assoc(roots[i], (i * 100) + (rand() % 50));
+        if (hit != NULL)
+            reductions = reductions + 1;
+    }}
+    print_int(reductions & 1048575);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="022.li",
+    category=TEST,
+    description="lisp cons cells: car/cdr chasing through list sums, "
+                "reversals and assoc scans",
+    source=source,
+    inputs=make_inputs(
+        {"cells": 16000, "rounds": 420, "seed": 22},
+        {"cells": 12000, "rounds": 480, "seed": 220},
+    ),
+    scale_keys=("rounds",),
+)

@@ -1,0 +1,103 @@
+"""124.m88ksim analogue: an instruction-set simulator simulating itself.
+
+m88ksim decodes and dispatches a synthetic instruction stream against a
+register file and small data memory — table-driven dispatch with good
+locality (the paper's m88ksim is the case where block profiling covers
+poorly: execution spreads over many lukewarm blocks).
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(imem_words: int, steps: int, seed: int) -> str:
+    cold = coldcode.block("m88")
+    return f"""
+int *imem;
+int *dmem;
+int regs[32];
+int cycle_count;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void boot() {{
+    int i;
+    imem = (int*) malloc({imem_words} * 4);
+    dmem = (int*) calloc(4096, 4);
+    for (i = 0; i < {imem_words}; i = i + 1)
+        imem[i] = big_rand();
+    for (i = 0; i < 32; i = i + 1)
+        regs[i] = i * 7;
+}}
+
+int step(int pc) {{
+    int word;
+    int op;
+    int rd;
+    int rs;
+    int rt;
+    word = imem[pc % {imem_words}];
+    op = (word >> 26) & 7;
+    rd = (word >> 21) & 31;
+    rs = (word >> 16) & 31;
+    rt = (word >> 11) & 31;
+    if (op == 0)
+        regs[rd] = regs[rs] + regs[rt];
+    else if (op == 1)
+        regs[rd] = regs[rs] - regs[rt];
+    else if (op == 2)
+        regs[rd] = regs[rs] & regs[rt];
+    else if (op == 3)
+        regs[rd] = dmem[(regs[rs] + word) & 4095];
+    else if (op == 4)
+        dmem[(regs[rs] + word) & 4095] = regs[rt];
+    else if (op == 5)
+        regs[rd] = regs[rs] << (word & 15);
+    else if (op == 6) {{
+        if (regs[rs] > regs[rt])
+            return (pc + (word & 255)) % {imem_words};
+    }} else
+        regs[rd] = word & 65535;
+    regs[0] = 0;
+    return pc + 1;
+}}
+
+{cold.functions}
+
+int main() {{
+    int pc;
+    int s;
+    srand({seed});
+    boot();
+    pc = 0;
+    cycle_count = 0;
+    for (s = 0; s < {steps}; s = s + 1) {{
+        pc = step(pc);
+        {cold.guard('regs[pc & 31] + pc', 's')}
+        {cold.warm_guard('pc + s', 's')}
+        cycle_count = cycle_count + 1;
+    }}
+    print_int(cycle_count);
+    print_int(regs[5] & 65535);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="124.m88ksim",
+    category=TEST,
+    description="ISA simulator: decode/dispatch over an instruction "
+                "array with register-file and small-memory traffic",
+    source=source,
+    inputs=make_inputs(
+        {"imem_words": 20000, "steps": 60000, "seed": 124},
+        {"imem_words": 16000, "steps": 70000, "seed": 421},
+    ),
+    scale_keys=("steps",),
+)

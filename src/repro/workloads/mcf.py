@@ -1,0 +1,126 @@
+"""181.mcf analogue: network-simplex style pointer chasing.
+
+The real mcf spends its time dereferencing node/arc structs scattered over
+a large heap: reduced-cost computation touches ``arc->tail->potential``
+(two-level dereferencing) and tree maintenance chases parent chains.  Both
+idioms are reproduced here over a randomly wired forest.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(nodes: int, arcs: int, passes: int, seed: int) -> str:
+    cold = coldcode.block("mcf")
+    return f"""
+struct node {{
+    int potential;
+    int depth;
+    struct node *parent;
+    struct node *mark;
+}};
+
+struct arc {{
+    int cost;
+    int flow;
+    struct node *tail;
+    struct node *head;
+}};
+
+struct node **nodes;
+struct arc **arcs;
+int total;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void build() {{
+    int i;
+    struct node *n;
+    struct arc *a;
+    nodes = (struct node**) malloc({nodes} * 4);
+    arcs = (struct arc**) malloc({arcs} * 4);
+    for (i = 0; i < {nodes}; i = i + 1) {{
+        n = (struct node*) malloc(sizeof(struct node));
+        n->potential = rand() % 1000;
+        n->depth = 0;
+        n->parent = NULL;
+        nodes[i] = n;
+        if (i > 0)
+            n->parent = nodes[big_rand() % i];
+    }}
+    for (i = 0; i < {arcs}; i = i + 1) {{
+        a = (struct arc*) malloc(sizeof(struct arc));
+        a->cost = rand() % 2000 - 1000;
+        a->flow = 0;
+        a->tail = nodes[big_rand() % {nodes}];
+        a->head = nodes[big_rand() % {nodes}];
+        arcs[i] = a;
+    }}
+}}
+
+void price_pass() {{
+    int j;
+    int rc;
+    struct arc *a;
+    for (j = 0; j < {arcs}; j = j + 1) {{
+        a = arcs[j];
+        rc = a->cost + a->tail->potential - a->head->potential;
+        if (rc < 0) {{
+        {cold.guard('rc + a->cost', 'j')}
+        {cold.warm_guard('rc', 'j')}
+            a->flow = a->flow + 1;
+            total = total - rc;
+            a->head->potential = a->head->potential + 1;
+        }}
+    }}
+}}
+
+void chase_pass() {{
+    int i;
+    int d;
+    struct node *p;
+    for (i = 0; i < {nodes}; i = i + 1) {{
+        p = nodes[i];
+        d = 0;
+        while (p->parent != NULL && d < 24) {{
+            p = p->parent;
+            d = d + 1;
+        }}
+        nodes[i]->depth = d;
+    }}
+}}
+
+{cold.functions}
+
+int main() {{
+    int pass;
+    srand({seed});
+    total = 0;
+    build();
+    for (pass = 0; pass < {passes}; pass = pass + 1) {{
+        price_pass();
+        chase_pass();
+    }}
+    print_int(total);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="181.mcf",
+    category=TRAINING,
+    description="network-simplex pricing: 2-level struct dereferencing "
+                "and parent-chain pointer chasing over a large heap",
+    source=source,
+    inputs=make_inputs(
+        {"nodes": 3000, "arcs": 6000, "passes": 6, "seed": 7001},
+        {"nodes": 2200, "arcs": 8000, "passes": 5, "seed": 917},
+    ),
+    scale_keys=("passes",),
+)

@@ -1,0 +1,107 @@
+"""197.parser analogue: dictionary lookups over hashed linked chains.
+
+The link-grammar parser hammers its word dictionary: hash a token, walk a
+bucket's linked list comparing entries, occasionally insert.  Misses pile
+onto the chain-following loads.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(buckets: int, vocabulary: int, lookups: int, seed: int) -> str:
+    cold = coldcode.block("par")
+    return f"""
+struct entry {{
+    int key;
+    int count;
+    int length;
+    struct entry *next;
+}};
+
+struct entry **table;
+int hits;
+int inserted;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+int hash_key(int key) {{
+    int h;
+    h = key * 2654435761;
+    if (h < 0)
+        h = 0 - h;
+    return h % {buckets};
+}}
+
+struct entry *find(int key) {{
+    struct entry *e;
+    e = table[hash_key(key)];
+    while (e != NULL) {{
+        if (e->key == key)
+            return e;
+        e = e->next;
+    }}
+    return NULL;
+}}
+
+void insert(int key) {{
+    struct entry *e;
+    int h;
+    e = (struct entry*) malloc(sizeof(struct entry));
+    h = hash_key(key);
+    e->key = key;
+    e->count = 0;
+    e->length = key & 15;
+    e->next = table[h];
+    table[h] = e;
+    inserted = inserted + 1;
+}}
+
+{cold.functions}
+
+int main() {{
+    int i;
+    int key;
+    struct entry *e;
+    srand({seed});
+    table = (struct entry**) calloc({buckets}, 4);
+    hits = 0;
+    inserted = 0;
+    for (i = 0; i < {vocabulary}; i = i + 1)
+        insert(big_rand() % {vocabulary * 4});
+    for (i = 0; i < {lookups}; i = i + 1) {{
+        key = big_rand() % {vocabulary * 4};
+        {cold.guard('key', 'i')}
+        {cold.warm_guard('key >> 2', 'i')}
+        e = find(key);
+        if (e != NULL) {{
+            e->count = e->count + 1;
+            hits = hits + 1;
+        }} else if ((i & 63) == 0) {{
+            insert(key);
+        }}
+    }}
+    print_int(hits);
+    print_int(inserted);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="197.parser",
+    category=TRAINING,
+    description="dictionary hashing: bucket-chain pointer walks with "
+                "occasional inserts into a growing heap",
+    source=source,
+    inputs=make_inputs(
+        {"buckets": 1024, "vocabulary": 6000, "lookups": 30000, "seed": 5},
+        {"buckets": 512, "vocabulary": 8000, "lookups": 26000, "seed": 77},
+    ),
+    scale_keys=("lookups",),
+)

@@ -1,0 +1,117 @@
+"""072.sc analogue: spreadsheet recalculation.
+
+sc recomputes a grid of cells whose formulas reference other cells; each
+recalc walks the sheet and gathers referenced cell values through a small
+dependency list — indexed struct loads with one level of indirection.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(rows: int, cols: int, recalcs: int, seed: int) -> str:
+    cold = coldcode.block("sc")
+    cells = rows * cols
+    n_stats = 32
+    stat_decls = "\n".join(
+        f"int col_count_{k}; int col_pad_{k}[7];" for k in range(n_stats))
+    tally_chain = "\n".join(
+        f"    {'if' if k == 0 else 'else if'} (col == {k}) "
+        f"col_count_{k} = col_count_{k} + 1;"
+        for k in range(n_stats))
+    return f"""
+struct cell {{
+    int value;
+    int formula;
+    int dep0;
+    int dep1;
+    int dep2;
+}};
+
+struct cell *sheet;
+int recalc_count;
+{cold.declarations}
+
+/* per-column usage counters: sc-style global bookkeeping scalars whose
+   plain gp-relative loads still miss under sheet streaming */
+{stat_decls}
+
+void count_column(int col) {{
+{tally_chain}
+}}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void build() {{
+    int i;
+    sheet = (struct cell*) malloc({cells} * sizeof(struct cell));
+    for (i = 0; i < {cells}; i = i + 1) {{
+        sheet[i].value = rand() % 100;
+        sheet[i].formula = rand() & 3;
+        sheet[i].dep0 = big_rand() % {cells};
+        sheet[i].dep1 = big_rand() % {cells};
+        sheet[i].dep2 = big_rand() % {cells};
+    }}
+}}
+
+int eval_cell(int i) {{
+    int f;
+    int a;
+    int b;
+    int c;
+    f = sheet[i].formula;
+    a = sheet[sheet[i].dep0].value;
+    b = sheet[sheet[i].dep1].value;
+    if (f == 0)
+        return a + b;
+    if (f == 1)
+        return a - b;
+    c = sheet[sheet[i].dep2].value;
+    if (f == 2)
+        return a + b + c;
+    return (a + b + c) / 3;
+}}
+
+{cold.functions}
+
+int main() {{
+    int pass;
+    int i;
+    int total;
+    srand({seed});
+    build();
+    recalc_count = 0;
+    total = 0;
+    for (pass = 0; pass < {recalcs}; pass = pass + 1) {{
+        for (i = 0; i < {cells}; i = i + 1) {{
+            sheet[i].value = eval_cell(i) & 1023;
+            count_column(sheet[i].dep0 & 31);
+            recalc_count = recalc_count + 1;
+            {cold.guard('sheet[i].value + i', 'pass')}
+            {cold.warm_guard('sheet[i].value', 'pass')}
+        }}
+        total = total + sheet[big_rand() % {cells}].value;
+    }}
+    print_int(total);
+    print_int(recalc_count);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="072.sc",
+    category=TEST,
+    description="spreadsheet recalc: double-indexed cell loads "
+                "(sheet[sheet[i].dep].value)",
+    source=source,
+    inputs=make_inputs(
+        {"rows": 80, "cols": 40, "recalcs": 10, "seed": 72},
+        {"rows": 64, "cols": 48, "recalcs": 11, "seed": 27},
+    ),
+    scale_keys=("recalcs",),
+)

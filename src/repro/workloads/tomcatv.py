@@ -1,0 +1,95 @@
+"""101.tomcatv analogue: vectorized mesh generation (Fortran via f2c).
+
+tomcatv iterates stencil updates over 2D float meshes: pure unit- and
+row-strided FP loads across arrays several times larger than L1.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(mesh: int, iterations: int, seed: int) -> str:
+    cold = coldcode.block("tom")
+    return f"""
+float *xg;
+float *yg;
+float *rxg;
+float *ryg;
+int residual;
+{cold.declarations}
+
+float frand() {{
+    return (float) (rand() & 2047) / 2048.0;
+}}
+
+void init() {{
+    int i;
+    int j;
+    xg = (float*) malloc({mesh} * {mesh} * 4);
+    yg = (float*) malloc({mesh} * {mesh} * 4);
+    rxg = (float*) malloc({mesh} * {mesh} * 4);
+    ryg = (float*) malloc({mesh} * {mesh} * 4);
+    for (i = 0; i < {mesh}; i = i + 1) {{
+        for (j = 0; j < {mesh}; j = j + 1) {{
+            xg[i * {mesh} + j] = (float) i + frand();
+            yg[i * {mesh} + j] = (float) j + frand();
+        }}
+    }}
+}}
+
+void relax() {{
+    int i;
+    int j;
+    float cx;
+    float cy;
+    for (i = 1; i < {mesh} - 1; i = i + 1) {{
+        for (j = 1; j < {mesh} - 1; j = j + 1) {{
+            cx = xg[(i - 1) * {mesh} + j] + xg[(i + 1) * {mesh} + j]
+               + xg[i * {mesh} + j - 1] + xg[i * {mesh} + j + 1];
+            cy = yg[(i - 1) * {mesh} + j] + yg[(i + 1) * {mesh} + j]
+               + yg[i * {mesh} + j - 1] + yg[i * {mesh} + j + 1];
+            rxg[i * {mesh} + j] = cx * 0.25 - xg[i * {mesh} + j];
+            ryg[i * {mesh} + j] = cy * 0.25 - yg[i * {mesh} + j];
+            {cold.guard('(int) (cx * 128.0) + j', 'i')}
+            {cold.warm_guard('(int) (cy * 16.0)', 'i')}
+        }}
+    }}
+    for (i = 1; i < {mesh} - 1; i = i + 1) {{
+        for (j = 1; j < {mesh} - 1; j = j + 1) {{
+            xg[i * {mesh} + j] = xg[i * {mesh} + j]
+                + rxg[i * {mesh} + j] * 0.7;
+            yg[i * {mesh} + j] = yg[i * {mesh} + j]
+                + ryg[i * {mesh} + j] * 0.7;
+        }}
+    }}
+}}
+
+{cold.functions}
+
+int main() {{
+    int it;
+    srand({seed});
+    init();
+    for (it = 0; it < {iterations}; it = it + 1)
+        relax();
+    residual = (int) (rxg[{mesh} + 1] * 1000.0)
+             + (int) (ryg[{mesh} + 2] * 1000.0);
+    print_int(residual);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="101.tomcatv",
+    category=TEST,
+    description="2D stencil relaxation over float meshes larger than L1",
+    source=source,
+    inputs=make_inputs(
+        {"mesh": 96, "iterations": 6, "seed": 101},
+        {"mesh": 80, "iterations": 7, "seed": 110},
+    ),
+    scale_keys=("iterations",),
+)

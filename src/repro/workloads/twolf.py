@@ -1,0 +1,116 @@
+"""300.twolf analogue: standard-cell placement cost evaluation.
+
+twolf's inner loops walk cells and their net pins, recomputing wire
+penalties after random swaps — struct-array loads, pin indirection and a
+dense occupancy grid.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TEST, Workload, make_inputs
+
+
+def source(cells: int, pins: int, grid: int, sweeps: int,
+           seed: int) -> str:
+    cold = coldcode.block("twf")
+    return f"""
+struct pin {{
+    int net;
+    int offset;
+}};
+
+struct cellrec {{
+    int x;
+    int y;
+    int width;
+    struct pin *pins;
+}};
+
+struct cellrec *cells_arr;
+int *occupancy;
+int *net_span;
+int penalty;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void build() {{
+    int i;
+    int p;
+    cells_arr = (struct cellrec*) malloc({cells} * sizeof(struct cellrec));
+    occupancy = (int*) calloc({grid} * {grid}, 4);
+    net_span = (int*) calloc({cells}, 4);
+    for (i = 0; i < {cells}; i = i + 1) {{
+        cells_arr[i].x = rand() % {grid};
+        cells_arr[i].y = rand() % {grid};
+        cells_arr[i].width = 1 + (rand() & 3);
+        cells_arr[i].pins = (struct pin*) malloc({pins} * sizeof(struct pin));
+        for (p = 0; p < {pins}; p = p + 1) {{
+            cells_arr[i].pins[p].net = big_rand() % {cells};
+            cells_arr[i].pins[p].offset = rand() & 7;
+        }}
+    }}
+}}
+
+int cell_penalty(int i) {{
+    int p;
+    int net;
+    int dx;
+    int dy;
+    int cost;
+    struct pin *pp;
+    cost = 0;
+    pp = cells_arr[i].pins;
+    for (p = 0; p < {pins}; p = p + 1) {{
+        net = pp[p].net;
+        dx = cells_arr[i].x - cells_arr[net].x;
+        dy = cells_arr[i].y - cells_arr[net].y;
+        if (dx < 0) dx = 0 - dx;
+        if (dy < 0) dy = 0 - dy;
+        cost = cost + dx + dy + pp[p].offset;
+        net_span[net] = dx + dy;
+    }}
+    return cost;
+}}
+
+{cold.functions}
+
+int main() {{
+    int s;
+    int i;
+    int victim;
+    srand({seed});
+    build();
+    penalty = 0;
+    for (s = 0; s < {sweeps}; s = s + 1) {{
+        for (i = 0; i < {cells}; i = i + 1) {{
+            occupancy[cells_arr[i].y * {grid} + cells_arr[i].x] = i;
+            penalty = penalty + cell_penalty(i);
+            {cold.guard('penalty + i', 's')}
+            {cold.warm_guard('penalty', 's')}
+        }}
+        victim = big_rand() % {cells};
+        cells_arr[victim].x = rand() % {grid};
+        cells_arr[victim].y = rand() % {grid};
+    }}
+    print_int(penalty & 1048575);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="300.twolf",
+    category=TEST,
+    description="cell placement: pin-list indirection between cell "
+                "structs plus an occupancy grid",
+    source=source,
+    inputs=make_inputs(
+        {"cells": 3500, "pins": 5, "grid": 64, "sweeps": 6, "seed": 300},
+        {"cells": 3000, "pins": 6, "grid": 48, "sweeps": 6, "seed": 3},
+    ),
+    scale_keys=("sweeps",),
+)

@@ -1,0 +1,120 @@
+"""147.vortex analogue: object-oriented database transactions.
+
+vortex manages portfolios of linked objects: record lookup through an
+index, then field accesses and sub-object chains.  Loads mix indexed
+table accesses with multi-level dereferencing.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(records: int, transactions: int, seed: int) -> str:
+    cold = coldcode.block("vtx")
+    return f"""
+struct part {{
+    int weight;
+    int cost;
+    struct part *component;
+}};
+
+struct record {{
+    int key;
+    int status;
+    int balance;
+    struct part *root_part;
+    struct record *link;
+}};
+
+struct record **index_tab;
+int committed;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void populate() {{
+    int i;
+    struct record *r;
+    struct part *p;
+    struct part *q;
+    index_tab = (struct record**) malloc({records} * 4);
+    for (i = 0; i < {records}; i = i + 1) {{
+        r = (struct record*) malloc(sizeof(struct record));
+        r->key = i;
+        r->status = 0;
+        r->balance = rand() % 10000;
+        p = (struct part*) malloc(sizeof(struct part));
+        p->weight = rand() % 100;
+        p->cost = rand() % 500;
+        q = (struct part*) malloc(sizeof(struct part));
+        q->weight = rand() % 100;
+        q->cost = rand() % 500;
+        q->component = NULL;
+        p->component = q;
+        r->root_part = p;
+        r->link = NULL;
+        if (i > 0)
+            r->link = index_tab[big_rand() % i];
+        index_tab[i] = r;
+    }}
+}}
+
+int transact(int key) {{
+    struct record *r;
+    struct part *p;
+    int value;
+    int hops;
+    r = index_tab[key];
+    value = r->balance;
+    p = r->root_part;
+    while (p != NULL) {{
+        value = value + p->cost * p->weight;
+        p = p->component;
+    }}
+    hops = 0;
+    while (r->link != NULL && hops < 6) {{
+        r = r->link;
+        value = value + r->balance;
+        hops = hops + 1;
+    }}
+    return value;
+}}
+
+{cold.functions}
+
+int main() {{
+    int t;
+    int total;
+    srand({seed});
+    populate();
+    total = 0;
+    committed = 0;
+    for (t = 0; t < {transactions}; t = t + 1) {{
+        total = total + transact(big_rand() % {records});
+        {cold.guard('total', 't')}
+        {cold.warm_guard('total >> 1', 't')}
+        committed = committed + 1;
+    }}
+    print_int(committed);
+    print_int(total & 65535);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="147.vortex",
+    category=TRAINING,
+    description="object database: index-table loads followed by record "
+                "and sub-part pointer chains",
+    source=source,
+    inputs=make_inputs(
+        {"records": 4000, "transactions": 12000, "seed": 147},
+        {"records": 3000, "transactions": 15000, "seed": 741},
+    ),
+    scale_keys=("transactions",),
+)

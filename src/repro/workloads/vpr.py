@@ -1,0 +1,110 @@
+"""175.vpr analogue: FPGA placement by simulated annealing.
+
+vpr evaluates bounding-box wiring cost for nets whose terminals live in
+block structs, and perturbs placements randomly — indexed struct-array
+accesses plus indirection through net terminal lists.
+"""
+
+from __future__ import annotations
+
+from repro.workloads import coldcode
+from repro.workloads.base import TRAINING, Workload, make_inputs
+
+
+def source(blocks: int, nets: int, terminals: int, sweeps: int,
+           seed: int) -> str:
+    cold = coldcode.block("vpr")
+    return f"""
+struct block {{
+    int x;
+    int y;
+    int kind;
+}};
+
+struct net {{
+    int cost;
+    int *terms;
+}};
+
+struct block *blocks_arr;
+struct net *nets_arr;
+int total_cost;
+{cold.declarations}
+
+int big_rand() {{
+    return rand() * 32768 + rand();
+}}
+
+void build() {{
+    int i;
+    int t;
+    blocks_arr = (struct block*) malloc({blocks} * sizeof(struct block));
+    nets_arr = (struct net*) malloc({nets} * sizeof(struct net));
+    for (i = 0; i < {blocks}; i = i + 1) {{
+        blocks_arr[i].x = rand() % 64;
+        blocks_arr[i].y = rand() % 64;
+        blocks_arr[i].kind = rand() & 3;
+    }}
+    for (i = 0; i < {nets}; i = i + 1) {{
+        nets_arr[i].terms = (int*) malloc({terminals} * 4);
+        for (t = 0; t < {terminals}; t = t + 1)
+            nets_arr[i].terms[t] = big_rand() % {blocks};
+        nets_arr[i].cost = 0;
+    }}
+}}
+
+int net_cost(int n) {{
+    int t;
+    int minx; int maxx; int miny; int maxy;
+    int b;
+    minx = 1000; maxx = 0 - 1000; miny = 1000; maxy = 0 - 1000;
+    for (t = 0; t < {terminals}; t = t + 1) {{
+        b = nets_arr[n].terms[t];
+        if (blocks_arr[b].x < minx) minx = blocks_arr[b].x;
+        if (blocks_arr[b].x > maxx) maxx = blocks_arr[b].x;
+        if (blocks_arr[b].y < miny) miny = blocks_arr[b].y;
+        if (blocks_arr[b].y > maxy) maxy = blocks_arr[b].y;
+    }}
+    return (maxx - minx) + (maxy - miny);
+}}
+
+{cold.functions}
+
+int main() {{
+    int s;
+    int n;
+    int victim;
+    srand({seed});
+    build();
+    total_cost = 0;
+    for (s = 0; s < {sweeps}; s = s + 1) {{
+        for (n = 0; n < {nets}; n = n + 1) {{
+            nets_arr[n].cost = net_cost(n);
+            total_cost = total_cost + nets_arr[n].cost;
+            {cold.guard('total_cost + n', 's')}
+            {cold.warm_guard('total_cost', 's')}
+        }}
+        victim = big_rand() % {blocks};
+        blocks_arr[victim].x = rand() % 64;
+        blocks_arr[victim].y = rand() % 64;
+    }}
+    print_int(total_cost & 1048575);
+    return 0;
+}}
+"""
+
+
+WORKLOAD = Workload(
+    name="175.vpr",
+    category=TRAINING,
+    description="placement cost evaluation: net terminal indirection "
+                "into a block-struct array",
+    source=source,
+    inputs=make_inputs(
+        {"blocks": 5000, "nets": 2500, "terminals": 5, "sweeps": 8,
+         "seed": 175},
+        {"blocks": 4000, "nets": 3000, "terminals": 4, "sweeps": 8,
+         "seed": 571},
+    ),
+    scale_keys=("sweeps",),
+)

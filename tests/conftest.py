@@ -1,0 +1,82 @@
+"""Shared fixtures: small compiled programs reused across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.driver import compile_source
+from repro.machine.simulator import run_program
+
+#: A program exercising arrays, structs, pointers, loops and calls —
+#: the common subject for integration-level assertions.
+SAMPLE_SOURCE = r"""
+struct node { int value; struct node *next; };
+int table[64];
+struct node *head;
+
+int push(int v) {
+    struct node *n;
+    n = (struct node*) malloc(sizeof(struct node));
+    n->value = v;
+    n->next = head;
+    head = n;
+    return v;
+}
+
+int walk() {
+    struct node *p;
+    int sum;
+    sum = 0;
+    p = head;
+    while (p != NULL) {
+        sum = sum + p->value;
+        p = p->next;
+    }
+    return sum;
+}
+
+int main() {
+    int i;
+    int sum;
+    for (i = 0; i < 40; i = i + 1) {
+        push(i * 3);
+        table[i & 63] = i * i;
+    }
+    sum = walk();
+    for (i = 0; i < 40; i = i + 1)
+        sum = sum + table[i];
+    print_int(sum);
+    return 0;
+}
+"""
+
+SAMPLE_EXPECTED = sum(i * 3 for i in range(40)) + sum(i * i
+                                                      for i in range(40))
+
+
+@pytest.fixture(scope="session")
+def sample_program():
+    return compile_source(SAMPLE_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def sample_program_opt():
+    return compile_source(SAMPLE_SOURCE, optimize=True)
+
+
+@pytest.fixture(scope="session")
+def sample_result(sample_program):
+    return run_program(sample_program)
+
+
+@pytest.fixture(scope="session")
+def sample_result_opt(sample_program_opt):
+    return run_program(sample_program_opt)
+
+
+def compile_and_run(source: str, optimize: bool = False,
+                    max_steps: int = 50_000_000, args=()):
+    """Compile, run, and return (program, result)."""
+    program = compile_source(source, optimize=optimize)
+    result = run_program(program, max_steps=max_steps, args=args)
+    return program, result

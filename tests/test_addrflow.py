@@ -1,0 +1,120 @@
+"""Dedicated tests for the address-flow analysis (load -> later address
+def-use edges) that powers the baselines' chain inclusion and the BDH
+pointer inference."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.compiler.driver import compile_source
+from repro.dataflow.addrflow import AddressFlow
+
+
+def flow_of(asm_source):
+    program = assemble(asm_source)
+    return program, AddressFlow(program)
+
+
+class TestDirectEdges:
+    def test_load_feeding_load_base(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"        # A: loads a pointer
+               "lw $t1, 4($t0)\n"        # B: uses it as a base
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        a, b = program.address_of(0), program.address_of(1)
+        assert a in flow.address_source_loads
+        assert b in flow.feeds[a]
+
+    def test_load_feeding_store_address(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"
+               "sw $t1, 8($t0)\n"
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        assert program.address_of(0) in flow.address_source_loads
+
+    def test_value_only_load_excluded(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"        # loaded value only added, then
+               "addu $t1, $t0, $t0\n"    # never used as an address
+               "sw $t1, 4($sp)\n"        # stored as *data*, not address
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        assert program.address_of(0) not in flow.address_source_loads
+
+
+class TestTransitiveEdges:
+    def test_through_arithmetic(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"        # index
+               "sll $t1, $t0, 2\n"
+               "addiu $t2, $gp, -32768\n"
+               "addu $t2, $t2, $t1\n"
+               "lw $t3, 0($t2)\n"        # consumer
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        index_load = program.address_of(0)
+        consumer = program.address_of(4)
+        assert consumer in flow.feeds[index_load]
+
+    def test_chain_of_loads(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"        # p
+               "lw $t0, 8($t0)\n"        # p->next
+               "lw $t1, 0($t0)\n"        # p->next->v
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        assert program.address_of(0) in flow.address_source_loads
+        assert program.address_of(1) in flow.address_source_loads
+        assert program.address_of(2) not in flow.address_source_loads
+
+    def test_chain_members_filter(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"
+               "lw $t1, 4($t0)\n"
+               "lw $t2, 8($sp)\n"        # unrelated scalar
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        consumer = program.address_of(1)
+        members = flow.chain_members({consumer})
+        assert members == {program.address_of(0)}
+        assert flow.chain_members(set()) == set()
+
+
+class TestScopeAndLimits:
+    def test_sp_gp_bases_not_traced(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"
+               "lw $t1, 0($gp)\n"
+               "jr $ra\n.end f\n")
+            # neither load's base depends on another load
+        program, flow = flow_of(src)
+        assert flow.address_source_loads == set()
+
+    def test_calls_cut_tracing(self):
+        src = (".text\n.ent f\nf:\n"
+               "lw $t0, 0($sp)\n"
+               "jal g\n"                 # clobbers $t0
+               "lw $t1, 0($t0)\n"        # base comes from the call, not A
+               "jr $ra\n.end f\n"
+               ".ent g\ng: jr $ra\n.end g\n")
+        program, flow = flow_of(src)
+        assert program.address_of(0) not in flow.address_source_loads
+
+    def test_loop_cycles_terminate(self):
+        src = (".text\n.ent f\nf:\n"
+               "loop:\n"
+               "lw $t0, 0($t0)\n"        # self-dependent pointer chase
+               "bnez $t0, loop\n"
+               "jr $ra\n.end f\n")
+        program, flow = flow_of(src)
+        # the chasing load feeds itself across iterations
+        chase = program.address_of(0)
+        assert chase in flow.address_source_loads
+
+    def test_on_compiled_program(self, sample_program):
+        flow = AddressFlow(sample_program)
+        loads = set(sample_program.load_addresses())
+        assert flow.address_source_loads <= loads
+        # unoptimized pointer code must exhibit chains
+        assert flow.address_source_loads

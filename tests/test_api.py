@@ -1,0 +1,84 @@
+"""High-level API tests (analyze_program / AnalysisReport)."""
+
+import pytest
+
+from repro import analyze_program
+from repro.cache.config import CacheConfig
+from repro.heuristic.classes import Weights
+from tests.conftest import SAMPLE_SOURCE
+
+POINTER_SRC = r"""
+struct n { int v; struct n *next; };
+struct n *head;
+int main() {
+    struct n *p;
+    int i; int s;
+    head = NULL;
+    for (i = 0; i < 2000; i = i + 1) {
+        p = (struct n*) malloc(sizeof(struct n));
+        p->v = i;
+        p->next = head;
+        head = p;
+    }
+    s = 0;
+    p = head;
+    while (p != NULL) { s = s + p->v; p = p->next; }
+    print_int(s);
+    return 0;
+}
+"""
+
+
+class TestAnalyzeProgram:
+    def test_full_run(self):
+        report = analyze_program(POINTER_SRC)
+        assert report.execution is not None
+        assert report.execution.output == [sum(range(2000))]
+        assert report.delinquent_loads
+        assert 0.0 < report.pi < 1.0
+        assert report.rho is not None and report.rho > 0.5
+
+    def test_static_only(self):
+        report = analyze_program(POINTER_SRC, execute=False)
+        assert report.execution is None
+        assert report.rho is None
+        assert report.delinquent_loads     # still classifies statically
+
+    def test_pointer_walk_is_covered(self):
+        report = analyze_program(POINTER_SRC)
+        # the miss-heaviest load must be in Delta
+        heaviest = max(report.cache_stats.load_misses.items(),
+                       key=lambda item: item[1])[0]
+        assert heaviest in report.delinquent_loads
+
+    def test_custom_cache(self):
+        small = analyze_program(POINTER_SRC,
+                                cache=CacheConfig(1024, 2, 32))
+        big = analyze_program(POINTER_SRC,
+                              cache=CacheConfig(64 * 1024, 8, 32))
+        assert small.cache_stats.total_load_misses \
+            >= big.cache_stats.total_load_misses
+
+    def test_custom_weights_and_delta(self):
+        silent = Weights.from_dict({})
+        report = analyze_program(POINTER_SRC, weights=silent,
+                                 delta=0.5)
+        assert report.delinquent_loads == set()
+
+    def test_optimize_mode(self):
+        report = analyze_program(POINTER_SRC, optimize=True)
+        assert report.execution.output == [sum(range(2000))]
+        assert report.delinquent_loads
+
+    def test_describe_load(self):
+        report = analyze_program(POINTER_SRC)
+        address = next(iter(report.delinquent_loads))
+        text = report.describe_load(address)
+        assert "phi" in text
+        assert "pattern:" in text
+        assert "possibly delinquent" in text
+
+    def test_sample_program(self):
+        report = analyze_program(SAMPLE_SOURCE)
+        assert set(report.load_infos) \
+            == set(report.program.load_addresses())

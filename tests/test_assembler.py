@@ -1,0 +1,203 @@
+"""Assembler tests: directives, pseudo-instructions, relocation, errors."""
+
+import pytest
+
+from repro.asm.assembler import AssemblerError, assemble
+from repro.asm.program import DATA_BASE, GP_OFFSET, TEXT_BASE
+from repro.isa.registers import AT, GP, ZERO
+
+
+def asm(body: str):
+    return assemble(body)
+
+
+class TestDirectives:
+    def test_word_data(self):
+        p = asm(".data\nvals: .word 1, -2, 0x10\n.text\nmain: jr $ra\n")
+        assert p.data[0:4] == (1).to_bytes(4, "little")
+        assert p.data[4:8] == (-2).to_bytes(4, "little", signed=True)
+        assert p.data[8:12] == (16).to_bytes(4, "little")
+
+    def test_space(self):
+        p = asm(".data\nbuf: .space 40\n.text\nmain: jr $ra\n")
+        assert len(p.data) == 40
+        assert p.symbols["buf"] == DATA_BASE
+
+    def test_byte_and_align(self):
+        p = asm(".data\nb: .byte 1, 2, 3\n.align 2\nw: .word 9\n"
+                ".text\nmain: jr $ra\n")
+        assert p.symbols["w"] == DATA_BASE + 4
+
+    def test_asciiz(self):
+        p = asm('.data\ns: .asciiz "hi"\n.text\nmain: jr $ra\n')
+        assert bytes(p.data[:3]) == b"hi\0"
+
+    def test_float_directive(self):
+        import struct
+        p = asm(".data\nf: .float 1.5\n.text\nmain: jr $ra\n")
+        assert struct.unpack("<f", p.data[:4])[0] == 1.5
+
+    def test_half(self):
+        p = asm(".data\nh: .half -1, 2\n.text\nmain: jr $ra\n")
+        assert p.data[0:2] == b"\xff\xff"
+
+    def test_word_with_symbol_reference(self):
+        p = asm(".data\nx: .word 7\nptr: .word x\n.text\nmain: jr $ra\n")
+        stored = int.from_bytes(p.data[4:8], "little")
+        assert stored == p.symbols["x"]
+
+    def test_unknown_directive_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".bogus 1\n")
+
+    def test_ent_end_records_function(self):
+        p = asm(".text\n.ent f\nf: jr $ra\n.end f\n")
+        info = p.symtab.functions["f"]
+        assert info.start == TEXT_BASE
+        assert info.end == TEXT_BASE + 4
+
+    def test_unmatched_end_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".text\n.ent f\nf: jr $ra\n.end g\n")
+
+    def test_unterminated_ent_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".text\n.ent f\nf: jr $ra\n")
+
+
+class TestLabels:
+    def test_duplicate_label_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".text\na: jr $ra\na: jr $ra\n")
+
+    def test_undefined_symbol_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".text\nmain: j nowhere\n")
+
+    def test_forward_reference(self):
+        p = asm(".text\nmain: j done\nnop\ndone: jr $ra\n")
+        assert p.instructions[0].imm == p.symbols["done"]
+
+    def test_label_on_own_line(self):
+        p = asm(".text\nmain:\n  jr $ra\n")
+        assert p.symbols["main"] == TEXT_BASE
+
+    def test_multiple_labels_same_address(self):
+        p = asm(".text\na: b: jr $ra\n")
+        assert p.symbols["a"] == p.symbols["b"]
+
+
+class TestPseudos:
+    def test_nop(self):
+        p = asm(".text\nmain: nop\njr $ra\n")
+        i = p.instructions[0]
+        assert i.mnemonic == "sll" and i.rd == ZERO
+
+    def test_move(self):
+        p = asm(".text\nmain: move $t0, $t1\njr $ra\n")
+        i = p.instructions[0]
+        assert (i.mnemonic, i.rt) == ("addu", ZERO)
+
+    def test_li_small(self):
+        p = asm(".text\nmain: li $t0, 42\njr $ra\n")
+        assert p.instructions[0].mnemonic == "addiu"
+        assert p.instructions[0].imm == 42
+
+    def test_li_negative(self):
+        p = asm(".text\nmain: li $t0, -5\njr $ra\n")
+        assert p.instructions[0].imm == -5
+
+    def test_li_unsigned16(self):
+        p = asm(".text\nmain: li $t0, 40000\njr $ra\n")
+        assert p.instructions[0].mnemonic == "ori"
+
+    def test_li_large_expands_to_two(self):
+        p = asm(".text\nmain: li $t0, 0x12345678\njr $ra\n")
+        assert [i.mnemonic for i in p.instructions[:2]] == ["lui", "ori"]
+
+    def test_li_large_round_value_single_lui(self):
+        p = asm(".text\nmain: li $t0, 0x10000\njr $ra\n")
+        assert p.instructions[0].mnemonic == "lui"
+        assert p.instructions[1].mnemonic == "jr"
+
+    def test_la_is_gp_relative(self):
+        p = asm(".data\nv: .word 0\n.text\nmain: la $t0, v\njr $ra\n")
+        i = p.instructions[0]
+        assert i.mnemonic == "addiu" and i.rs == GP
+        assert i.imm == p.symbols["v"] - p.gp_value
+
+    def test_lta_is_absolute(self):
+        p = asm(".text\nmain: lta $t0, main\njr $ra\n")
+        assert [i.mnemonic for i in p.instructions[:2]] == ["lui", "ori"]
+
+    def test_direct_global_load(self):
+        p = asm(".data\ncounter: .word 0\n.text\n"
+                "main: lw $t0, counter\njr $ra\n")
+        i = p.instructions[0]
+        assert i.rs == GP
+        assert i.imm == p.symbols["counter"] - p.gp_value
+
+    def test_compare_branches_use_at(self):
+        p = asm(".text\nmain: blt $t0, $t1, main\njr $ra\n")
+        assert p.instructions[0].mnemonic == "slt"
+        assert p.instructions[0].rd == AT
+        assert p.instructions[1].mnemonic == "bne"
+
+    def test_bge_uses_beq(self):
+        p = asm(".text\nmain: bge $t0, $t1, main\njr $ra\n")
+        assert p.instructions[1].mnemonic == "beq"
+
+    def test_bgt_swaps_operands(self):
+        p = asm(".text\nmain: bgt $t0, $t1, main\njr $ra\n")
+        slt = p.instructions[0]
+        assert (slt.rs, slt.rt) == (9, 8)  # $t1, $t0 swapped
+
+    def test_beqz_bnez(self):
+        p = asm(".text\nmain: beqz $t0, main\nbnez $t0, main\njr $ra\n")
+        assert p.instructions[0].mnemonic == "beq"
+        assert p.instructions[1].mnemonic == "bne"
+
+    def test_neg_not(self):
+        p = asm(".text\nmain: neg $t0, $t1\nnot $t2, $t3\njr $ra\n")
+        assert p.instructions[0].mnemonic == "subu"
+        assert p.instructions[1].mnemonic == "nor"
+
+
+class TestProgramStructure:
+    def test_entry_prefers_start(self):
+        p = asm(".text\nmain: jr $ra\n__start: jr $ra\n")
+        assert p.entry == p.symbols["__start"]
+
+    def test_entry_falls_back_to_main(self):
+        p = asm(".text\nmain: jr $ra\n")
+        assert p.entry == p.symbols["main"]
+
+    def test_comments_ignored(self):
+        p = asm(".text\n# full line\nmain: jr $ra  # trailing\n")
+        assert len(p.instructions) == 1
+
+    def test_gp_value(self):
+        p = asm(".text\nmain: jr $ra\n")
+        assert p.gp_value == DATA_BASE + GP_OFFSET
+
+    def test_heap_base_above_data(self):
+        p = asm(".data\nbuf: .space 100\n.text\nmain: jr $ra\n")
+        assert p.heap_base >= p.data_end
+        assert p.heap_base % 0x1000 == 0
+
+    def test_num_loads(self):
+        p = asm(".text\nmain: lw $t0, 0($sp)\nlb $t1, 1($sp)\n"
+                "sw $t0, 4($sp)\njr $ra\n")
+        assert p.num_loads() == 2
+
+    def test_instruction_outside_text_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".data\naddu $t0, $t1, $t2\n")
+
+    def test_bad_operand_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".text\nmain: addu $t0, $t1\n")
+
+    def test_unknown_mnemonic_raises(self):
+        with pytest.raises(AssemblerError):
+            asm(".text\nmain: frobnicate $t0\n")

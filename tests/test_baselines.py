@@ -1,0 +1,196 @@
+"""Baseline classifier tests: OKN categories and the static BDH
+region/kind/type analysis."""
+
+import pytest
+
+from repro.baselines import bdh, okn
+from repro.compiler.driver import compile_source
+from repro.dataflow.addrflow import AddressFlow
+from repro.patterns.builder import build_load_infos
+
+POINTER_SRC = r"""
+struct n { int v; struct n *next; };
+struct n *head;
+int main() {
+    struct n *p;
+    int s;
+    s = 0;
+    p = head;
+    while (p != NULL) { s = s + p->v; p = p->next; }
+    return s;
+}
+"""
+
+ARRAY_SRC = r"""
+int a[128];
+int main() {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 128; i = i + 1) s = s + a[i];
+    return s;
+}
+"""
+
+HEAP_SRC = r"""
+struct rec { int x; int *buf; };
+int main() {
+    struct rec *r;
+    int i; int s;
+    r = (struct rec*) malloc(sizeof(struct rec));
+    r->buf = (int*) malloc(64);
+    r->x = 3;
+    s = 0;
+    for (i = 0; i < 16; i = i + 1)
+        s = s + r->buf[i] + r->x;
+    return s;
+}
+"""
+
+
+def classify_okn(source, optimize=False, include_chain=True):
+    program = compile_source(source, optimize=optimize)
+    infos = build_load_infos(program)
+    return program, infos, okn.classify(infos, program,
+                                        include_chain=include_chain)
+
+
+def classify_bdh(source, optimize=False, include_chain=True):
+    program = compile_source(source, optimize=optimize)
+    infos = build_load_infos(program)
+    return program, infos, bdh.classify(program, infos,
+                                        include_chain=include_chain)
+
+
+class TestAddressFlow:
+    def test_pointer_load_feeds_address(self):
+        program = compile_source(POINTER_SRC)
+        flow = AddressFlow(program)
+        # at -O0 the reload of `p` feeds the p->v / p->next addresses
+        assert flow.address_source_loads
+
+    def test_chain_members_of_targets(self):
+        program = compile_source(POINTER_SRC)
+        flow = AddressFlow(program)
+        all_consumers = set()
+        for consumers in flow.feeds.values():
+            all_consumers |= consumers
+        chain = flow.chain_members(all_consumers)
+        assert chain == flow.address_source_loads
+
+
+class TestOKN:
+    def test_pointer_chase_flagged(self):
+        _, infos, result = classify_okn(POINTER_SRC)
+        kinds = set(result.categories.values())
+        assert okn.KIND_POINTER in kinds
+        assert result.delinquent_set
+
+    def test_array_scan_flagged(self):
+        _, infos, result = classify_okn(ARRAY_SRC)
+        assert result.delinquent_set
+
+    def test_chain_inclusion_increases_selection(self):
+        _, _, with_chain = classify_okn(POINTER_SRC, include_chain=True)
+        _, _, without = classify_okn(POINTER_SRC, include_chain=False)
+        assert without.delinquent_set <= with_chain.delinquent_set
+        assert len(with_chain.delinquent_set) \
+            > len(without.delinquent_set)
+
+    def test_plain_scalar_not_flagged_without_chain(self):
+        src = "int main() { int x; x = 2; return x + x; }"
+        _, infos, result = classify_okn(src, include_chain=False)
+        mains = {a for a, i in infos.items() if i.function == "main"}
+        assert not (result.delinquent_set & mains)
+
+    def test_strided_category_on_promoted_walk(self):
+        # optimized pointer walk: recurrence without memory deref chain
+        src = ("int main(int n) { int i; int s; s = 0;\n"
+               "  for (i = 0; i < n; i = i + 1) s = s + i;\n"
+               "  return s; }")
+        _, infos, result = classify_okn(src, optimize=True,
+                                        include_chain=False)
+        assert okn.KIND_OTHER in set(result.categories.values()) \
+            or result.categories  # no loads at all is fine too
+
+    def test_counts_histogram(self):
+        _, _, result = classify_okn(POINTER_SRC)
+        counts = result.counts()
+        assert sum(counts.values()) == len(result.categories)
+
+
+class TestBDHRegions:
+    def test_heap_via_malloc_propagation(self):
+        program, infos, result = classify_bdh(HEAP_SRC, optimize=True)
+        regions = {name[0] for name in result.classes.values()}
+        assert "H" in regions
+
+    def test_global_array_region(self):
+        _, infos, result = classify_bdh(ARRAY_SRC)
+        g_classes = [name for addr, name in result.classes.items()
+                     if infos[addr].function == "main"
+                     and name.startswith("G")]
+        assert g_classes, "global array access should classify G"
+
+    def test_stack_scalar_region(self):
+        src = "int main() { int x; x = 1; return x + x; }"
+        _, infos, result = classify_bdh(src)
+        s_classes = [name for addr, name in result.classes.items()
+                     if infos[addr].function == "main"]
+        assert any(name.startswith("S") for name in s_classes)
+
+
+class TestBDHKindsAndTypes:
+    def test_array_kind(self):
+        _, infos, result = classify_bdh(ARRAY_SRC)
+        kinds = {name[1] for addr, name in result.classes.items()
+                 if infos[addr].function == "main"}
+        assert "A" in kinds
+
+    def test_field_kind_on_arrow(self):
+        _, infos, result = classify_bdh(POINTER_SRC)
+        kinds = {name[1] for addr, name in result.classes.items()
+                 if infos[addr].function == "main"}
+        assert "F" in kinds
+
+    def test_pointer_type_on_next_field(self):
+        _, infos, result = classify_bdh(POINTER_SRC)
+        types = {name[2] for addr, name in result.classes.items()
+                 if infos[addr].function == "main"}
+        assert "P" in types
+
+    def test_class_strings_wellformed(self):
+        _, _, result = classify_bdh(HEAP_SRC)
+        for name in result.classes.values():
+            assert len(name) == 3
+            assert name[0] in "SHG"
+            assert name[1] in "SAF"
+            assert name[2] in "PN"
+
+
+class TestBDHSelection:
+    def test_delinquent_union(self):
+        _, _, result = classify_bdh(POINTER_SRC)
+        for address in result.delinquent_set - result.chain:
+            assert result.classes[address] in bdh.DELINQUENT_CLASSES
+
+    def test_chain_inclusion_monotone(self):
+        _, _, with_chain = classify_bdh(POINTER_SRC, include_chain=True)
+        _, _, without = classify_bdh(POINTER_SRC, include_chain=False)
+        assert without.delinquent_set <= with_chain.delinquent_set
+
+    def test_counts(self):
+        _, _, result = classify_bdh(ARRAY_SRC)
+        assert sum(result.counts().values()) == len(result.classes)
+
+
+class TestBaselinesOnSample(object):
+    def test_baselines_flag_more_than_heuristic(self, sample_program):
+        from repro.heuristic.classifier import DelinquencyClassifier
+        infos = build_load_infos(sample_program)
+        ours = DelinquencyClassifier(use_frequency=False).classify(infos)
+        okn_result = okn.classify(infos, sample_program)
+        bdh_result = bdh.classify(sample_program, infos)
+        assert len(okn_result.delinquent_set) \
+            >= len(ours.delinquent_set)
+        assert len(bdh_result.delinquent_set) \
+            >= len(ours.delinquent_set)

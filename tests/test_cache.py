@@ -1,0 +1,223 @@
+"""Cache model tests: geometry, LRU/FIFO/random policies, per-PC stats,
+and hypothesis invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.config import (
+    BASELINE_CONFIG, TRAINING_CONFIG, CacheConfig, associativity_sweep,
+    size_sweep,
+)
+from repro.cache.model import Cache, CacheStats, simulate_trace
+from repro.machine.trace import LOAD, STORE, MemoryTrace
+
+
+def trace_of(accesses):
+    """accesses: iterable of (pc, addr, kind)."""
+    trace = MemoryTrace()
+    for pc, addr, kind in accesses:
+        trace.append(pc, addr, kind)
+    return trace
+
+
+class TestConfig:
+    def test_num_sets(self):
+        assert CacheConfig(8192, 4, 32).num_sets == 64
+        assert TRAINING_CONFIG.num_sets == 256
+
+    def test_paper_training_config_is_256_sets_4way_32B(self):
+        assert TRAINING_CONFIG.assoc == 4
+        assert TRAINING_CONFIG.block_size == 32
+        assert TRAINING_CONFIG.size == 256 * 4 * 32
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(8192, 3, 32)
+        with pytest.raises(ValueError):
+            CacheConfig(size=96 * 5, assoc=1, block_size=32)
+
+    def test_invalid_replacement_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(8192, 4, 32, replacement="plru")
+
+    def test_sweeps(self):
+        assert [c.assoc for c in associativity_sweep()] == [2, 4, 8]
+        assert [c.size for c in size_sweep()] == [8192, 16384, 32768,
+                                                  65536]
+
+    def test_describe(self):
+        assert "8KB" in BASELINE_CONFIG.describe()
+        assert "LRU" in BASELINE_CONFIG.describe()
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache(CacheConfig(1024, 2, 32))
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.access(31) is True     # same block
+        assert cache.access(32) is False    # next block
+
+    def test_lru_eviction_order(self):
+        # 2-way set: A, B fill; touching A makes B the LRU victim.
+        config = CacheConfig(size=2 * 32, assoc=2, block_size=32)
+        cache = Cache(config)
+        a, b, c = 0, 32, 64          # all map to the single set
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)              # A most recent
+        cache.access(c)              # evicts B
+        assert cache.contains(a)
+        assert not cache.contains(b)
+        assert cache.contains(c)
+
+    def test_fifo_ignores_recency(self):
+        config = CacheConfig(size=2 * 32, assoc=2, block_size=32,
+                             replacement="fifo")
+        cache = Cache(config)
+        a, b, c = 0, 32, 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)              # does not refresh under FIFO
+        cache.access(c)              # evicts A (oldest inserted)
+        assert not cache.contains(a)
+        assert cache.contains(b)
+
+    def test_random_policy_deterministic(self):
+        config = CacheConfig(size=2 * 32, assoc=2, block_size=32,
+                             replacement="random")
+        def run():
+            cache = Cache(config)
+            results = []
+            for addr in (0, 32, 64, 0, 96, 32, 128):
+                results.append(cache.access(addr))
+            return results
+        assert run() == run()
+
+    def test_reset(self):
+        cache = Cache(BASELINE_CONFIG)
+        cache.access(0)
+        cache.reset()
+        assert not cache.contains(0)
+
+    def test_set_isolation(self):
+        # addresses in different sets never evict each other
+        config = CacheConfig(size=4 * 32, assoc=1, block_size=32)
+        cache = Cache(config)
+        cache.access(0)      # set 0
+        cache.access(32)     # set 1
+        cache.access(64)     # set 2
+        assert cache.contains(0) and cache.contains(32)
+
+
+class TestTraceSimulation:
+    def test_per_pc_attribution(self):
+        trace = trace_of([(100, 0, LOAD), (100, 0, LOAD),
+                          (200, 4096, LOAD)])
+        stats = simulate_trace(trace, BASELINE_CONFIG)
+        assert stats.load_accesses == {100: 2, 200: 1}
+        assert stats.load_misses == {100: 1, 200: 1}
+
+    def test_store_allocation_serves_later_load(self):
+        trace = trace_of([(1, 64, STORE), (2, 64, LOAD)])
+        stats = simulate_trace(trace, BASELINE_CONFIG)
+        assert stats.load_misses.get(2, 0) == 0
+        assert stats.store_misses == {1: 1}
+
+    def test_totals(self):
+        trace = trace_of([(1, i * 64, LOAD) for i in range(10)])
+        stats = simulate_trace(trace, BASELINE_CONFIG)
+        assert stats.total_load_accesses == 10
+        assert stats.total_load_misses == 10
+        assert stats.miss_rate() == 1.0
+
+    def test_loads_by_misses_sorted(self):
+        trace = trace_of(
+            [(1, i * 4096, LOAD) for i in range(4)]
+            + [(2, 0x100000, LOAD)])
+        stats = simulate_trace(trace, BASELINE_CONFIG)
+        ranked = stats.loads_by_misses()
+        assert ranked[0][0] == 1
+        misses = [m for _, m in ranked]
+        assert misses == sorted(misses, reverse=True)
+
+    def test_misses_of_set(self):
+        trace = trace_of([(1, 0, LOAD), (2, 4096, LOAD)])
+        stats = simulate_trace(trace, BASELINE_CONFIG)
+        assert stats.misses_of({1}) == 1
+        assert stats.misses_of({1, 2}) == 2
+        assert stats.misses_of(set()) == 0
+
+    def test_capacity_effect(self):
+        # Working set of 16KB misses in an 8KB cache but fits in 32KB.
+        addrs = [i * 32 for i in range(512)]    # 16KB of blocks
+        accesses = [(1, a, LOAD) for a in addrs] * 3
+        small = simulate_trace(trace_of(accesses),
+                               CacheConfig(8 * 1024, 4, 32))
+        large = simulate_trace(trace_of(accesses),
+                               CacheConfig(32 * 1024, 4, 32))
+        assert small.total_load_misses > large.total_load_misses
+        assert large.total_load_misses == 512   # cold misses only
+
+    def test_associativity_resolves_conflicts(self):
+        # Two blocks 8KB apart conflict direct-mapped, coexist 2-way.
+        direct = CacheConfig(8 * 1024, 1, 32)
+        twoway = CacheConfig(8 * 1024, 2, 32)
+        accesses = [(1, 0, LOAD), (1, 8 * 1024, LOAD)] * 50
+        conflicted = simulate_trace(trace_of(accesses), direct)
+        resolved = simulate_trace(trace_of(accesses), twoway)
+        assert conflicted.total_load_misses == 100
+        assert resolved.total_load_misses == 2
+
+
+# -- hypothesis invariants --------------------------------------------------
+
+_addresses = st.lists(
+    st.integers(min_value=0, max_value=1 << 20), min_size=1,
+    max_size=300)
+
+
+@given(_addresses)
+@settings(max_examples=50, deadline=None)
+def test_misses_bounded_by_accesses(addresses):
+    trace = trace_of([(1, a, LOAD) for a in addresses])
+    stats = simulate_trace(trace, CacheConfig(1024, 2, 32))
+    assert 0 <= stats.total_load_misses <= len(addresses)
+    blocks = {a // 32 for a in addresses}
+    assert stats.total_load_misses >= min(len(blocks), 1)
+
+
+@given(_addresses)
+@settings(max_examples=50, deadline=None)
+def test_misses_at_least_distinct_blocks_cold(addresses):
+    """Cold misses: first touch of every block must miss."""
+    trace = trace_of([(1, a, LOAD) for a in addresses])
+    stats = simulate_trace(trace, CacheConfig(64 * 1024, 8, 32))
+    blocks = {a // 32 for a in addresses}
+    # A large cache never evicts within this footprint:
+    assert stats.total_load_misses == len(blocks)
+
+
+@given(_addresses)
+@settings(max_examples=30, deadline=None)
+def test_larger_cache_never_misses_more_lru(addresses):
+    """LRU inclusion property along the size axis (same assoc scaling)."""
+    trace = trace_of([(1, a, LOAD) for a in addresses])
+    small = simulate_trace(trace, CacheConfig(1024, 32, 32))
+    large = simulate_trace(trace, CacheConfig(2048, 64, 32))
+    # Fully-associative LRU caches are inclusive: bigger never misses
+    # more.
+    assert large.total_load_misses <= small.total_load_misses
+
+
+@given(_addresses)
+@settings(max_examples=30, deadline=None)
+def test_policies_agree_on_cold_start_misses(addresses):
+    trace = trace_of([(1, a, LOAD) for a in addresses])
+    distinct = len({a // 32 for a in addresses})
+    for policy in ("lru", "fifo", "random"):
+        stats = simulate_trace(
+            trace, CacheConfig(1024, 2, 32, replacement=policy))
+        # every distinct block cold-misses at least once, any policy
+        assert stats.total_load_misses >= distinct

@@ -1,0 +1,191 @@
+"""CFG tests: leaders, block partition, edges, dominators, natural loops."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.cfg.blocks import BlockMap, leader_addresses
+from repro.cfg.graph import build_function_cfgs
+
+LOOP_ASM = r"""
+.text
+.ent main
+main:
+    li $t0, 0
+    li $t1, 10
+loop:
+    addiu $t0, $t0, 1
+    blt $t0, $t1, loop
+    jr $ra
+.end main
+"""
+
+DIAMOND_ASM = r"""
+.text
+.ent main
+main:
+    beqz $a0, else_br
+    li $v0, 1
+    b done
+else_br:
+    li $v0, 2
+done:
+    jr $ra
+.end main
+"""
+
+NESTED_ASM = r"""
+.text
+.ent main
+main:
+    li $t0, 0
+outer:
+    li $t1, 0
+inner:
+    addiu $t1, $t1, 1
+    li $t3, 3
+    blt $t1, $t3, inner
+    addiu $t0, $t0, 1
+    li $t3, 5
+    blt $t0, $t3, outer
+    jr $ra
+.end main
+"""
+
+
+def cfg_of(source, name="main"):
+    program = assemble(source)
+    return program, build_function_cfgs(program)[name]
+
+
+class TestLeaders:
+    def test_entry_is_leader(self):
+        program = assemble(LOOP_ASM)
+        assert program.entry in leader_addresses(program)
+
+    def test_branch_targets_are_leaders(self):
+        program = assemble(LOOP_ASM)
+        assert program.symbols["loop"] in leader_addresses(program)
+
+    def test_post_branch_is_leader(self):
+        program = assemble(DIAMOND_ASM)
+        leaders = leader_addresses(program)
+        # the instruction after beqz starts a block
+        assert program.entry + 4 in leaders
+
+
+class TestBlocks:
+    def test_partition_covers_text(self):
+        program = assemble(LOOP_ASM)
+        block_map = BlockMap(program)
+        covered = sum(b.size for b in block_map)
+        assert covered == len(program.instructions)
+
+    def test_block_of(self):
+        program = assemble(LOOP_ASM)
+        block_map = BlockMap(program)
+        loop_addr = program.symbols["loop"]
+        block = block_map.block_of(loop_addr + 4)
+        assert block.start == loop_addr
+
+    def test_block_of_bad_address(self):
+        program = assemble(LOOP_ASM)
+        block_map = BlockMap(program)
+        with pytest.raises(ValueError):
+            block_map.block_of(0x100)
+
+    def test_diamond_edges(self):
+        program, cfg = cfg_of(DIAMOND_ASM)
+        entry = cfg.block(cfg.entry)
+        assert len(entry.successors) == 2
+        done = program.symbols["done"]
+        preds = cfg.predecessors(done)
+        assert len(preds) == 2
+
+    def test_fallthrough_edge(self):
+        program, cfg = cfg_of(LOOP_ASM)
+        loop = program.symbols["loop"]
+        # loop block branches back to itself and falls through to exit
+        succs = cfg.successors(loop)
+        # the compare pseudo splits the block; find the branch block
+        found_back_edge = any(
+            loop in cfg.successors(leader) for leader in cfg.blocks)
+        assert found_back_edge
+
+    def test_return_has_no_successors(self):
+        program, cfg = cfg_of(DIAMOND_ASM)
+        done = program.symbols["done"]
+        assert cfg.successors(done) == []
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        _, cfg = cfg_of(DIAMOND_ASM)
+        dom = cfg.dominators()
+        for leader in cfg.blocks:
+            assert cfg.entry in dom[leader]
+
+    def test_self_domination(self):
+        _, cfg = cfg_of(DIAMOND_ASM)
+        for leader, doms in cfg.dominators().items():
+            assert leader in doms
+
+    def test_branch_arms_not_dominating_join(self):
+        program, cfg = cfg_of(DIAMOND_ASM)
+        dom = cfg.dominators()
+        done = program.symbols["done"]
+        else_br = program.symbols["else_br"]
+        assert else_br not in dom[done]
+
+
+class TestLoops:
+    def test_simple_loop_found(self):
+        program, cfg = cfg_of(LOOP_ASM)
+        loops = cfg.natural_loops()
+        assert len(loops) == 1
+        assert loops[0].header == program.symbols["loop"]
+
+    def test_loop_body_membership(self):
+        program, cfg = cfg_of(LOOP_ASM)
+        loop = cfg.natural_loops()[0]
+        assert loop.header in loop.body
+        assert loop.latch in loop.body
+
+    def test_nested_loops(self):
+        program, cfg = cfg_of(NESTED_ASM)
+        loops = cfg.natural_loops()
+        assert len(loops) == 2
+        inner = next(l for l in loops
+                     if l.header == program.symbols["inner"])
+        outer = next(l for l in loops
+                     if l.header == program.symbols["outer"])
+        assert inner.body < outer.body
+
+    def test_loops_containing(self):
+        program, cfg = cfg_of(NESTED_ASM)
+        inner_addr = program.symbols["inner"]
+        loops = cfg.loops_containing(inner_addr)
+        assert len(loops) == 2          # inner block is in both loops
+
+    def test_no_loops_in_straightline(self):
+        _, cfg = cfg_of(DIAMOND_ASM)
+        assert cfg.natural_loops() == []
+
+
+class TestFunctionPartition:
+    def test_per_function_cfgs(self, sample_program):
+        cfgs = build_function_cfgs(sample_program)
+        assert {"main", "walk", "push", "malloc"} <= set(cfgs)
+
+    def test_function_blocks_within_extent(self, sample_program):
+        cfgs = build_function_cfgs(sample_program)
+        for name, cfg in cfgs.items():
+            info = sample_program.symtab.functions[name]
+            for leader in cfg.blocks:
+                assert info.start <= leader < info.end
+
+    def test_reverse_postorder_starts_at_entry(self, sample_program):
+        cfgs = build_function_cfgs(sample_program)
+        for cfg in cfgs.values():
+            order = cfg.reverse_postorder()
+            assert order[0] == cfg.entry
+            assert set(order) == set(cfg.blocks)

@@ -1,0 +1,113 @@
+"""Property-based CFG tests: dominator and natural-loop invariants over
+randomly generated control-flow graphs.
+
+Graphs are generated as assembly functions — a chain of blocks where
+each block may branch to a random earlier/later block — so the
+invariants are checked through the same reconstruction path production
+code uses.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asm.assembler import assemble
+from repro.cfg.graph import build_function_cfgs
+
+
+@st.composite
+def random_function(draw):
+    """Assembly for one function with n blocks and random branches."""
+    n_blocks = draw(st.integers(min_value=2, max_value=10))
+    lines = [".text", ".ent f", "f:"]
+    for block in range(n_blocks):
+        lines.append(f"B{block}:")
+        lines.append(f"addiu $t0, $t0, {block + 1}")
+        # optional conditional branch to a random block
+        if draw(st.booleans()):
+            target = draw(st.integers(min_value=0,
+                                      max_value=n_blocks - 1))
+            lines.append(f"beqz $t1, B{target}")
+        # occasional unconditional jump (creates unreachable tails)
+        if block < n_blocks - 1 and draw(st.integers(0, 3)) == 0:
+            target = draw(st.integers(min_value=0,
+                                      max_value=n_blocks - 1))
+            lines.append(f"b B{target}")
+    lines.append("jr $ra")
+    lines.append(".end f")
+    return "\n".join(lines)
+
+
+def cfg_of(source):
+    return build_function_cfgs(assemble(source))["f"]
+
+
+@given(random_function())
+@settings(max_examples=120, deadline=None)
+def test_entry_dominates_every_reachable_block(source):
+    cfg = cfg_of(source)
+    dom = cfg.dominators()
+    reachable = _reachable(cfg)
+    for leader in reachable:
+        assert cfg.entry in dom[leader]
+        assert leader in dom[leader]
+
+
+@given(random_function())
+@settings(max_examples=120, deadline=None)
+def test_dominators_are_consistent(source):
+    """d dom n implies every path property surrogate: d's dominators are
+    a subset of n's dominators (dominance is transitive and tree-like
+    on reachable nodes)."""
+    cfg = cfg_of(source)
+    dom = cfg.dominators()
+    reachable = _reachable(cfg)
+    for node in reachable:
+        for dominator in dom[node]:
+            if dominator in reachable:
+                assert dom[dominator] <= dom[node] | {node}
+
+
+@given(random_function())
+@settings(max_examples=120, deadline=None)
+def test_natural_loop_invariants(source):
+    cfg = cfg_of(source)
+    dom = cfg.dominators()
+    for loop in cfg.natural_loops():
+        # back edge: the latch is dominated by the header
+        assert loop.header in dom[loop.latch]
+        # header and latch belong to the body
+        assert loop.header in loop.body
+        assert loop.latch in loop.body
+        # body closed under predecessors, except through the header
+        for node in loop.body:
+            if node == loop.header:
+                continue
+            for pred in cfg.predecessors(node):
+                assert pred in loop.body, (
+                    f"{pred:#x} -> {node:#x} enters the loop "
+                    f"bypassing header {loop.header:#x}")
+
+
+@given(random_function())
+@settings(max_examples=100, deadline=None)
+def test_block_partition_total(source):
+    cfg = cfg_of(source)
+    sizes = sum(block.size for block in cfg)
+    program = assemble(source)
+    assert sizes == len(program.instructions)
+    # successors stay within the function
+    for block in cfg:
+        for succ in cfg.successors(block.start):
+            assert succ in cfg.blocks
+
+
+def _reachable(cfg) -> set[int]:
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        node = stack.pop()
+        for succ in cfg.successors(node):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen

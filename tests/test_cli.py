@@ -1,0 +1,120 @@
+"""CLI tests for python -m repro."""
+
+import pytest
+
+from repro.__main__ import main
+
+PROG = r"""
+int a[512];
+int main(int n) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 512; i = i + 1)
+        a[i] = i;
+    for (i = 0; i < 512; i = i + 1)
+        s = s + a[i];
+    print_int(s + n);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROG)
+    return str(path)
+
+
+class TestRun:
+    def test_run_prints_output(self, source_file, capsys):
+        code = main(["run", source_file])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == \
+            str(sum(range(512)))
+
+    def test_run_with_args(self, source_file, capsys):
+        main(["run", source_file, "--args", "10"])
+        assert capsys.readouterr().out.strip() == \
+            str(sum(range(512)) + 10)
+
+    def test_run_optimized(self, source_file, capsys):
+        main(["run", source_file, "-O"])
+        assert capsys.readouterr().out.strip() == \
+            str(sum(range(512)))
+
+
+class TestAnalyze:
+    def test_analyze_output(self, source_file, capsys):
+        code = main(["analyze", source_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "|Lambda|" in out
+        assert "pi =" in out
+        assert "rho" in out
+        assert "pattern:" in out
+
+    def test_analyze_static(self, source_file, capsys):
+        code = main(["analyze", source_file, "--static"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "rho" not in out          # no execution, no coverage
+        assert "|Delta|" in out
+
+    def test_analyze_delta(self, source_file, capsys):
+        main(["analyze", source_file, "--delta", "9.9"])
+        out = capsys.readouterr().out
+        assert "|Delta| = 0" in out
+
+
+class TestCodeViews:
+    def test_disasm(self, source_file, capsys):
+        assert main(["disasm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "<main>" in out
+        assert "lw $" in out
+
+    def test_asm(self, source_file, capsys):
+        assert main(["asm", source_file]) == 0
+        out = capsys.readouterr().out
+        assert ".ent main" in out
+        assert "%gp(a)" in out
+
+
+class TestTables:
+    def test_tables_forwarding(self, capsys):
+        code = main(["tables", "--tables", "6", "--scale", "0.05",
+                     "--no-disk-cache"])
+        assert code == 0
+        assert "Table 6" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestJsonExport:
+    def test_analyze_json(self, source_file, capsys):
+        import json
+        code = main(["analyze", source_file, "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["summary"]["num_loads"] > 0
+        assert isinstance(payload["loads"], list)
+
+    def test_analyze_json_static(self, source_file, capsys):
+        import json
+        main(["analyze", source_file, "--json", "--static"])
+        payload = json.loads(capsys.readouterr().out)
+        assert "rho" not in payload["summary"]
+
+
+class TestVerify:
+    def test_verify_clean(self, source_file, capsys):
+        code = main(["verify", source_file])
+        assert code == 0
+        assert "0 issue(s)" in capsys.readouterr().out
+
+    def test_verify_optimized(self, source_file, capsys):
+        assert main(["verify", source_file, "-O"]) == 0

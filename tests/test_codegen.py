@@ -1,0 +1,481 @@
+"""Code generator tests: compiled programs must compute what C computes.
+
+Each case runs in both compilation modes (unoptimized and optimized) and
+checks the printed/returned values against a Python model of the same
+computation.
+"""
+
+import pytest
+
+from tests.conftest import SAMPLE_EXPECTED, SAMPLE_SOURCE, compile_and_run
+from repro.compiler.codegen import CodegenError
+from repro.compiler.driver import compile_source, generate_assembly
+
+MODES = [False, True]
+
+
+def outputs(source, optimize, args=()):
+    _, result = compile_and_run(source, optimize=optimize, args=args)
+    return result.output
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestArithmetic:
+    def test_operator_zoo(self, optimize):
+        src = r"""
+        int main() {
+            print_int(7 + 3 * 2);
+            print_int((7 - 10) * 4);
+            print_int(17 / 5);
+            print_int(17 % 5);
+            print_int(-17 / 5);
+            print_int(5 & 3);
+            print_int(5 | 3);
+            print_int(5 ^ 3);
+            print_int(~5);
+            print_int(1 << 10);
+            print_int(-64 >> 3);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [
+            13, -12, 3, 2, -3, 1, 7, 6, -6, 1024, -8]
+
+    def test_variable_arithmetic(self, optimize):
+        src = r"""
+        int main() {
+            int a; int b;
+            a = 13; b = -4;
+            print_int(a * b);
+            print_int(a / b);
+            print_int(a % b);
+            print_int(a << 2);
+            print_int(b >> 1);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [-52, -3, 1, 52, -2]
+
+    def test_comparisons(self, optimize):
+        src = r"""
+        int main() {
+            int a; int b;
+            a = 3; b = 5;
+            print_int(a < b);
+            print_int(a > b);
+            print_int(a <= 3);
+            print_int(a >= 4);
+            print_int(a == 3);
+            print_int(a != 3);
+            print_int(-1 < 1);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [1, 0, 1, 0, 1, 0, 1]
+
+    def test_logical_short_circuit(self, optimize):
+        src = r"""
+        int hits;
+        int bump() { hits = hits + 1; return 1; }
+        int main() {
+            hits = 0;
+            print_int(0 && bump());
+            print_int(hits);
+            print_int(1 || bump());
+            print_int(hits);
+            print_int(1 && bump());
+            print_int(hits);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [0, 0, 1, 0, 1, 1]
+
+    def test_unary(self, optimize):
+        src = r"""
+        int main() {
+            int x;
+            x = 9;
+            print_int(-x);
+            print_int(!x);
+            print_int(!0);
+            print_int(~x);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [-9, 0, 1, -10]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestControlFlow:
+    def test_nested_loops(self, optimize):
+        src = r"""
+        int main() {
+            int i; int j; int s;
+            s = 0;
+            for (i = 0; i < 5; i = i + 1)
+                for (j = 0; j < i; j = j + 1)
+                    s = s + i * j;
+            print_int(s);
+            return 0;
+        }
+        """
+        expected = sum(i * j for i in range(5) for j in range(i))
+        assert outputs(src, optimize) == [expected]
+
+    def test_while_with_break_continue(self, optimize):
+        src = r"""
+        int main() {
+            int i; int s;
+            i = 0; s = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 20) break;
+                if (i % 2 == 0) continue;
+                s = s + i;
+            }
+            print_int(s);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [sum(range(1, 21, 2))]
+
+    def test_if_chain(self, optimize):
+        src = r"""
+        int grade(int x) {
+            if (x >= 90) return 4;
+            else if (x >= 80) return 3;
+            else if (x >= 70) return 2;
+            else return 0;
+        }
+        int main() {
+            print_int(grade(95));
+            print_int(grade(85));
+            print_int(grade(75));
+            print_int(grade(5));
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [4, 3, 2, 0]
+
+    def test_recursion(self, optimize):
+        src = r"""
+        int fib(int n) {
+            if (n < 2) return n;
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main() {
+            print_int(fib(12));
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [144]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestData:
+    def test_global_arrays_2d(self, optimize):
+        src = r"""
+        int m[3][4];
+        int main() {
+            int i; int j; int s;
+            for (i = 0; i < 3; i = i + 1)
+                for (j = 0; j < 4; j = j + 1)
+                    m[i][j] = i * 10 + j;
+            s = 0;
+            for (i = 0; i < 3; i = i + 1)
+                for (j = 0; j < 4; j = j + 1)
+                    s = s + m[i][j];
+            print_int(s);
+            print_int(m[2][3]);
+            return 0;
+        }
+        """
+        expected = sum(i * 10 + j for i in range(3) for j in range(4))
+        assert outputs(src, optimize) == [expected, 23]
+
+    def test_local_array(self, optimize):
+        src = r"""
+        int main() {
+            int buf[8];
+            int i; int s;
+            for (i = 0; i < 8; i = i + 1)
+                buf[i] = i * i;
+            s = 0;
+            for (i = 0; i < 8; i = i + 1)
+                s = s + buf[i];
+            print_int(s);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [sum(i * i for i in range(8))]
+
+    def test_struct_fields(self, optimize):
+        src = r"""
+        struct point { int x; int y; char tag; };
+        struct point g;
+        int main() {
+            struct point local;
+            g.x = 5; g.y = 7; g.tag = 'g';
+            local.x = 1; local.y = 2; local.tag = 'l';
+            print_int(g.x + g.y);
+            print_int(local.x + local.y);
+            print_int(g.tag);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [12, 3, ord("g")]
+
+    def test_heap_linked_list(self, optimize):
+        src = r"""
+        struct n { int v; struct n *next; };
+        int main() {
+            struct n *head;
+            struct n *p;
+            int i; int s;
+            head = NULL;
+            for (i = 0; i < 10; i = i + 1) {
+                p = (struct n*) malloc(sizeof(struct n));
+                p->v = i;
+                p->next = head;
+                head = p;
+            }
+            s = 0;
+            p = head;
+            while (p != NULL) { s = s + p->v; p = p->next; }
+            print_int(s);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [45]
+
+    def test_pointer_arithmetic(self, optimize):
+        src = r"""
+        int a[10];
+        int main() {
+            int *p;
+            int *q;
+            int i;
+            for (i = 0; i < 10; i = i + 1) a[i] = i;
+            p = a;
+            q = p + 7;
+            print_int(*q);
+            print_int(*(q - 3));
+            print_int(q - p);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [7, 4, 7]
+
+    def test_address_of_scalar(self, optimize):
+        src = r"""
+        void bump(int *p) { *p = *p + 1; }
+        int main() {
+            int x;
+            x = 41;
+            bump(&x);
+            print_int(x);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [42]
+
+    def test_char_array_bytes(self, optimize):
+        src = r"""
+        char buf[16];
+        int main() {
+            int i;
+            for (i = 0; i < 16; i = i + 1)
+                buf[i] = (i * 37) % 256;
+            print_int(buf[3]);
+            print_int(buf[7]);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [111, 3]  # 259 wraps to 3 (signed)
+
+    def test_global_initializers(self, optimize):
+        src = r"""
+        int scalar = 77;
+        int table[5] = {1, 2, 3};
+        float pi = 3.5;
+        int main() {
+            print_int(scalar);
+            print_int(table[0] + table[1] + table[2] + table[3]);
+            print_int((int)(pi * 2.0));
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [77, 6, 7]
+
+    def test_calloc_zeroes(self, optimize):
+        src = r"""
+        int main() {
+            int *p;
+            int i; int s;
+            p = (int*) calloc(10, 4);
+            s = 0;
+            for (i = 0; i < 10; i = i + 1) s = s + p[i];
+            print_int(s);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [0]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestFloats:
+    def test_float_arithmetic(self, optimize):
+        src = r"""
+        int main() {
+            float a; float b;
+            a = 1.5; b = 2.25;
+            print_int((int)(a + b));
+            print_int((int)(a * b * 100.0));
+            print_int((int)(b / a * 10.0));
+            print_int((int)(a - b));
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [3, 337, 15, 0]
+
+    def test_float_compare_and_convert(self, optimize):
+        src = r"""
+        int main() {
+            float x;
+            int i;
+            x = 0.0;
+            for (i = 0; i < 10; i = i + 1)
+                x = x + 0.5;
+            print_int(x > 4.9);
+            print_int(x < 5.1);
+            print_int((int) x);
+            print_int((int)(x + (float) i));
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [1, 1, 5, 15]
+
+    def test_mixed_int_float(self, optimize):
+        src = r"""
+        float scale;
+        int main() {
+            int n;
+            scale = 0.25;
+            n = 100;
+            print_int((int)(n * scale));
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [25]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestRuntime:
+    def test_rand_deterministic_with_seed(self, optimize):
+        src = r"""
+        int main() {
+            srand(7);
+            print_int(rand());
+            print_int(rand());
+            srand(7);
+            print_int(rand());
+            return 0;
+        }
+        """
+        out = outputs(src, optimize)
+        assert out[0] == out[2]
+        assert all(0 <= v < 32768 for v in out)
+
+    def test_rand_spread(self, optimize):
+        src = r"""
+        int main() {
+            int i; int acc;
+            srand(123);
+            acc = 0;
+            for (i = 0; i < 50; i = i + 1)
+                acc = acc | rand();
+            print_int(acc > 16000);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [1]
+
+    def test_malloc_distinct_chunks(self, optimize):
+        src = r"""
+        int main() {
+            int *a; int *b;
+            a = (int*) malloc(8);
+            b = (int*) malloc(8);
+            *a = 1; *b = 2;
+            print_int(*a);
+            print_int(b != a);
+            return 0;
+        }
+        """
+        assert outputs(src, optimize) == [1, 1]
+
+    def test_main_receives_machine_args(self, optimize):
+        src = "int main(int n) { print_int(n * 2); return 0; }"
+        assert outputs(src, optimize, args=(21,)) == [42]
+
+
+class TestSampleProgram:
+    def test_unoptimized(self, sample_result):
+        assert sample_result.output == [SAMPLE_EXPECTED]
+
+    def test_optimized(self, sample_result_opt):
+        assert sample_result_opt.output == [SAMPLE_EXPECTED]
+
+    def test_optimized_runs_fewer_loads(self, sample_result,
+                                        sample_result_opt):
+        assert sample_result_opt.trace.load_count \
+            < sample_result.trace.load_count
+
+
+class TestCodegenStructure:
+    def test_assembly_contains_gp_globals(self):
+        asm = generate_assembly("int g; int main() { g = 1; return g; }")
+        assert "%gp(g)($gp)" in asm
+
+    def test_unoptimized_locals_on_stack(self):
+        asm = generate_assembly(
+            "int main() { int x; x = 1; return x; }")
+        assert "($sp)" in asm
+
+    def test_optimized_promotes_locals(self):
+        asm = generate_assembly(
+            "int main() { int x; x = 1; return x + x; }", optimize=True)
+        assert "$s0" in asm
+
+    def test_scaling_uses_shift_for_pow2(self):
+        asm = generate_assembly(
+            "int a[8]; int main(int i) { return a[i]; }")
+        assert "sll" in asm
+
+    def test_scaling_uses_mul_for_non_pow2(self):
+        src = ("struct odd { int a; int b; int c; };\n"
+               "struct odd arr[4];\n"
+               "int main(int i) { return arr[i].b; }")
+        asm = generate_assembly(src)
+        assert "mul" in asm
+
+    def test_too_many_params_rejected(self):
+        src = ("int f(int a, int b, int c, int d, int e) { return a; }\n"
+               "int main() { return f(1,2,3,4,5); }")
+        with pytest.raises(CodegenError):
+            compile_source(src)
+
+    def test_runtime_functions_present(self, sample_program):
+        for name in ("malloc", "calloc", "free", "rand", "srand",
+                     "__start"):
+            assert name in sample_program.symtab.functions
+
+    def test_debug_info_locals(self, sample_program):
+        info = sample_program.symtab.functions["walk"]
+        names = {v.name for v in info.locals}
+        assert {"p", "sum"} <= names
+
+    def test_global_gp_offsets_filled(self, sample_program):
+        table = sample_program.symtab.globals["table"]
+        address = sample_program.symbols["table"]
+        assert table.offset == address - sample_program.gp_value

@@ -1,0 +1,351 @@
+"""Codegen stress tests: the paths most likely to harbour bugs —
+temporaries surviving calls (spill/reload), deep expressions, nested
+calls as arguments, recursion depth, mixed-type expressions."""
+
+import pytest
+
+from repro.compiler.codegen import CodegenError
+from repro.compiler.driver import compile_source
+from tests.conftest import compile_and_run
+
+MODES = [False, True]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestCallsInExpressions:
+    def test_nested_calls_as_arguments(self, optimize):
+        src = r"""
+        int add(int a, int b) { return a + b; }
+        int double_(int x) { return x * 2; }
+        int main() {
+            print_int(add(double_(3), double_(4)));
+            print_int(add(add(1, 2), add(3, add(4, 5))));
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [14, 15]
+
+    def test_live_temp_across_call(self, optimize):
+        # a*b must survive the call to f() in a caller-saved world
+        src = r"""
+        int f() { return 100; }
+        int main() {
+            int a; int b;
+            a = 6; b = 7;
+            print_int(a * b + f());
+            print_int(f() + a * b);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [142, 142]
+
+    def test_many_live_temps_across_call(self, optimize):
+        src = r"""
+        int f() { return 1; }
+        int main() {
+            int a;
+            a = 2;
+            print_int(a + a * 2 + a * 3 + a * 4 + f());
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [2 + 4 + 6 + 8 + 1]
+
+    def test_call_in_condition(self, optimize):
+        src = r"""
+        int positive(int x) { return x > 0; }
+        int main() {
+            int n;
+            n = 0;
+            while (positive(10 - n))
+                n = n + 1;
+            print_int(n);
+            if (positive(-1)) print_int(111); else print_int(222);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [10, 222]
+
+    def test_call_result_indexes_array(self, optimize):
+        src = r"""
+        int a[16];
+        int pick(int i) { return (i * 5) % 16; }
+        int main() {
+            int i;
+            for (i = 0; i < 16; i = i + 1) a[i] = i * i;
+            print_int(a[pick(3)]);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [((3 * 5) % 16) ** 2]
+
+    def test_recursive_calls_in_expression(self, optimize):
+        src = r"""
+        int tri(int n) {
+            if (n <= 0) return 0;
+            return n + tri(n - 1);
+        }
+        int main() {
+            print_int(tri(5) * tri(4) + tri(3));
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [15 * 10 + 6]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestDeepExpressions:
+    def test_long_sum_chain(self, optimize):
+        terms = " + ".join(f"x{i}" for i in range(8))
+        decls = "\n".join(f"int x{i};" for i in range(8))
+        inits = "\n".join(f"x{i} = {i + 1};" for i in range(8))
+        src = (f"int main() {{ {decls} {inits} "
+               f"print_int({terms}); return 0; }}")
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [sum(range(1, 9))]
+
+    def test_parenthesised_depth(self, optimize):
+        src = r"""
+        int main() {
+            int a;
+            a = 3;
+            print_int(((((a + 1) * 2) - 3) * ((a - 1) * (a + 2))) % 97);
+            return 0;
+        }
+        """
+        a = 3
+        expected = (((((a + 1) * 2) - 3) * ((a - 1) * (a + 2))) % 97)
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [expected]
+
+    def test_expression_too_deep_raises(self, optimize):
+        # a right-leaning tree holds one live temp per nesting level and
+        # must exhaust the pool with a clear error, not miscompile
+        expr = "x"
+        for i in range(2, 16):
+            expr = f"((x + {i}) * {expr})"
+        src = f"int main() {{ int x; x = 1; return {expr}; }}"
+        with pytest.raises(CodegenError):
+            compile_source(src, optimize=optimize)
+
+    def test_deeply_nested_indexing(self, optimize):
+        src = r"""
+        int idx[8];
+        int data[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { idx[i] = 7 - i; data[i] = i * 3; }
+            print_int(data[idx[data[idx[1]] % 8]]);
+            return 0;
+        }
+        """
+        idx = [7 - i for i in range(8)]
+        data = [i * 3 for i in range(8)]
+        expected = data[idx[data[idx[1]] % 8]]
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [expected]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestMixedTypes:
+    def test_int_float_int_chain(self, optimize):
+        src = r"""
+        int main() {
+            int n;
+            float f;
+            n = 7;
+            f = (float) n / 2.0;
+            n = (int) (f * 4.0);
+            print_int(n);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [14]
+
+    def test_char_int_promotion(self, optimize):
+        src = r"""
+        int main() {
+            char c;
+            int i;
+            c = 'A';
+            i = c + 1;
+            print_int(i);
+            c = c + 2;
+            print_int(c);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [66, 67]
+
+    def test_float_array_accumulate(self, optimize):
+        src = r"""
+        float xs[10];
+        int main() {
+            int i;
+            float acc;
+            for (i = 0; i < 10; i = i + 1)
+                xs[i] = (float) i * 0.5;
+            acc = 0.0;
+            for (i = 0; i < 10; i = i + 1)
+                acc = acc + xs[i];
+            print_int((int)(acc * 10.0));
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [int(sum(i * 0.5 for i in range(10)) * 10)]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestAggregates:
+    def test_struct_array_on_stack(self, optimize):
+        src = r"""
+        struct pair { int a; int b; };
+        int main() {
+            struct pair ps[4];
+            int i; int s;
+            for (i = 0; i < 4; i = i + 1) {
+                ps[i].a = i;
+                ps[i].b = i * 10;
+            }
+            s = 0;
+            for (i = 0; i < 4; i = i + 1)
+                s = s + ps[i].a + ps[i].b;
+            print_int(s);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [sum(i + i * 10 for i in range(4))]
+
+    def test_nested_struct_member(self, optimize):
+        src = r"""
+        struct inner { int x; int y; };
+        struct outer { int tag; struct inner in_; };
+        struct outer g;
+        int main() {
+            g.tag = 1;
+            g.in_.x = 20;
+            g.in_.y = 22;
+            print_int(g.in_.x + g.in_.y + g.tag);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [43]
+
+    def test_pointer_to_struct_array_element(self, optimize):
+        src = r"""
+        struct cell { int v; int pad; };
+        struct cell grid[8];
+        int main() {
+            struct cell *p;
+            int i;
+            for (i = 0; i < 8; i = i + 1) grid[i].v = i * i;
+            p = &grid[5];
+            print_int(p->v);
+            p = p + 1;
+            print_int(p->v);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [25, 36]
+
+    def test_array_of_pointers(self, optimize):
+        src = r"""
+        int a; int b; int c;
+        int *table[3];
+        int main() {
+            int i; int s;
+            a = 10; b = 20; c = 30;
+            table[0] = &a;
+            table[1] = &b;
+            table[2] = &c;
+            s = 0;
+            for (i = 0; i < 3; i = i + 1)
+                s = s + *table[i];
+            print_int(s);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [60]
+
+
+@pytest.mark.parametrize("optimize", MODES)
+class TestControlEdges:
+    def test_empty_blocks_and_bodies(self, optimize):
+        src = r"""
+        int main() {
+            int i;
+            for (i = 0; i < 5; i = i + 1) { }
+            while (i > 5) { }
+            if (i == 5) { } else { print_int(999); }
+            print_int(i);
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [5]
+
+    def test_return_from_loop(self, optimize):
+        src = r"""
+        int find(int target) {
+            int i;
+            for (i = 0; i < 100; i = i + 1)
+                if (i * i >= target)
+                    return i;
+            return -1;
+        }
+        int main() {
+            print_int(find(50));
+            print_int(find(10001));
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [8, -1]
+
+    def test_deep_recursion(self, optimize):
+        src = r"""
+        int depth(int n) {
+            if (n == 0) return 0;
+            return 1 + depth(n - 1);
+        }
+        int main() {
+            print_int(depth(500));
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [500]
+
+    def test_mutual_recursion(self, optimize):
+        src = r"""
+        int is_odd(int n);
+        int is_even(int n) {
+            if (n == 0) return 1;
+            return is_odd(n - 1);
+        }
+        int is_odd(int n) {
+            if (n == 0) return 0;
+            return is_even(n - 1);
+        }
+        int main() {
+            print_int(is_even(10));
+            print_int(is_odd(7));
+            print_int(is_even(3));
+            return 0;
+        }
+        """
+        _, result = compile_and_run(src, optimize=optimize)
+        assert result.output == [1, 1, 0]

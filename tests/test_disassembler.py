@@ -1,0 +1,71 @@
+"""Disassembler tests: listings and whole-program encode/decode."""
+
+from repro.asm.assembler import assemble
+from repro.asm.disassembler import (
+    decode_image, disassemble, encode_program, roundtrip,
+)
+
+SRC = r"""
+.data
+v: .word 7
+.text
+.ent main
+main:
+    lw $t0, v
+    addiu $t0, $t0, 1
+    beqz $t0, main
+    jal helper
+    jr $ra
+.end main
+.ent helper
+helper:
+    jr $ra
+.end helper
+"""
+
+
+class TestListing:
+    def test_contains_labels(self):
+        program = assemble(SRC)
+        listing = disassemble(program)
+        assert "<main>" in listing
+        assert "<helper>" in listing
+
+    def test_contains_addresses_and_words(self):
+        program = assemble(SRC)
+        listing = disassemble(program)
+        assert f"{program.text_base:08x}:" in listing
+        # every line with a colon has an 8-hex-digit encoded word
+        body_lines = [l for l in listing.splitlines() if ":  " in l]
+        assert len(body_lines) == len(program.instructions)
+
+    def test_branch_target_annotated(self):
+        program = assemble(SRC)
+        listing = disassemble(program)
+        assert "jal helper <helper>" in listing
+
+    def test_without_encoding(self):
+        program = assemble(SRC)
+        listing = disassemble(program, with_encoding=False)
+        assert "lw $t0" in listing
+
+
+class TestRoundtrip:
+    def test_whole_program(self):
+        program = assemble(SRC)
+        again = roundtrip(program)
+        assert len(again) == len(program.instructions)
+        for original, decoded in zip(program.instructions, again):
+            assert decoded.mnemonic == original.mnemonic
+            assert decoded.imm == original.imm
+
+    def test_sample_program_roundtrips(self, sample_program):
+        words = encode_program(sample_program)
+        decoded = decode_image(words, sample_program.text_base)
+        for original, got in zip(sample_program.instructions, decoded):
+            assert got.mnemonic == original.mnemonic
+            assert got.rd == original.rd
+            assert got.rs == original.rs
+            assert got.rt == original.rt
+            assert got.imm == original.imm
+            assert got.shamt == original.shamt

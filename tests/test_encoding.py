@@ -1,0 +1,145 @@
+"""Encoding tests, including a hypothesis round-trip over the whole ISA."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.encoding import EncodingError, decode, encode
+from repro.isa.instructions import SPECS, Format, Instruction
+
+ADDRESS = 0x0040_1000
+
+
+def roundtrip(instr: Instruction, address: int = ADDRESS) -> Instruction:
+    return decode(encode(instr, address), address)
+
+
+class TestBasicEncoding:
+    def test_addu(self):
+        i = Instruction("addu", rd=8, rs=9, rt=10)
+        assert roundtrip(i) == i
+
+    def test_word_is_32bit(self):
+        word = encode(Instruction("addu", rd=8, rs=9, rt=10), ADDRESS)
+        assert 0 <= word <= 0xFFFF_FFFF
+
+    def test_lw_negative_offset(self):
+        i = Instruction("lw", rt=8, rs=29, imm=-32768)
+        assert roundtrip(i) == i
+
+    def test_immediate_range_checked(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("addiu", rt=8, rs=9, imm=0x8000), ADDRESS)
+        with pytest.raises(EncodingError):
+            encode(Instruction("ori", rt=8, rs=9, imm=-1), ADDRESS)
+
+    def test_branch_relative(self):
+        i = Instruction("beq", rs=8, rt=9, imm=ADDRESS + 64)
+        again = roundtrip(i)
+        assert again.imm == ADDRESS + 64
+
+    def test_branch_backwards(self):
+        i = Instruction("bne", rs=8, rt=9, imm=ADDRESS - 128)
+        assert roundtrip(i).imm == ADDRESS - 128
+
+    def test_branch_out_of_range(self):
+        far = ADDRESS + 4 * 0x10000
+        with pytest.raises(EncodingError):
+            encode(Instruction("beq", rs=8, rt=9, imm=far), ADDRESS)
+
+    def test_jump_absolute(self):
+        i = Instruction("j", imm=0x0040_0000)
+        assert roundtrip(i).imm == 0x0040_0000
+
+    def test_jump_unaligned_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction("j", imm=0x0040_0002), ADDRESS)
+
+    def test_regimm_disambiguation(self):
+        bltz = Instruction("bltz", rs=8, imm=ADDRESS + 8)
+        bgez = Instruction("bgez", rs=8, imm=ADDRESS + 8)
+        assert roundtrip(bltz).mnemonic == "bltz"
+        assert roundtrip(bgez).mnemonic == "bgez"
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(EncodingError):
+            decode(0xFFFF_FFFF, ADDRESS)
+
+    def test_not_a_word_raises(self):
+        with pytest.raises(EncodingError):
+            decode(1 << 33, ADDRESS)
+
+    def test_float_funct_space(self):
+        i = Instruction("fadd", rd=8, rs=9, rt=10)
+        assert roundtrip(i) == i
+        j = Instruction("fcvt", rd=8, rs=9)
+        assert roundtrip(j) == j
+
+
+# -- property-based round trip over every mnemonic -------------------------
+
+_regs = st.integers(min_value=0, max_value=31)
+_imm_signed = st.integers(min_value=-0x8000, max_value=0x7FFF)
+_imm_unsigned = st.integers(min_value=0, max_value=0xFFFF)
+_shamt = st.integers(min_value=0, max_value=31)
+_branch_offset = st.integers(min_value=-0x8000, max_value=0x7FFF)
+
+
+@st.composite
+def instructions(draw):
+    spec = draw(st.sampled_from(sorted(SPECS.values(),
+                                       key=lambda s: s.mnemonic)))
+    fmt = spec.fmt
+    m = spec.mnemonic
+    if fmt is Format.R3:
+        return Instruction(m, rd=draw(_regs), rs=draw(_regs),
+                           rt=draw(_regs))
+    if fmt is Format.R2:
+        return Instruction(m, rd=draw(_regs), rs=draw(_regs))
+    if fmt is Format.SHIFT:
+        return Instruction(m, rd=draw(_regs), rt=draw(_regs),
+                           shamt=draw(_shamt))
+    if fmt is Format.I_ARITH:
+        imm = draw(_imm_signed if spec.signed else _imm_unsigned)
+        return Instruction(m, rt=draw(_regs), rs=draw(_regs), imm=imm)
+    if fmt is Format.LUI:
+        return Instruction(m, rt=draw(_regs), imm=draw(_imm_unsigned))
+    if fmt is Format.MEM:
+        return Instruction(m, rt=draw(_regs), rs=draw(_regs),
+                           imm=draw(_imm_signed))
+    if fmt is Format.BRANCH2:
+        offset = draw(_branch_offset)
+        return Instruction(m, rs=draw(_regs), rt=draw(_regs),
+                           imm=ADDRESS + 4 + 4 * offset)
+    if fmt is Format.BRANCH1:
+        offset = draw(_branch_offset)
+        return Instruction(m, rs=draw(_regs),
+                           imm=ADDRESS + 4 + 4 * offset)
+    if fmt is Format.JUMP:
+        target = draw(st.integers(min_value=0,
+                                  max_value=0x03FF_FFFF)) * 4
+        return Instruction(m, imm=target)
+    if fmt is Format.JR:
+        return Instruction(m, rs=draw(_regs))
+    if fmt is Format.JALR:
+        return Instruction(m, rd=draw(_regs), rs=draw(_regs))
+    return Instruction(m)
+
+
+@given(instructions())
+@settings(max_examples=400)
+def test_encode_decode_roundtrip(instr):
+    decoded = roundtrip(instr)
+    assert decoded.mnemonic == instr.mnemonic
+    assert decoded.rd == instr.rd
+    assert decoded.rs == instr.rs
+    assert decoded.rt == instr.rt
+    assert decoded.imm == instr.imm
+    assert decoded.shamt == instr.shamt
+
+
+@given(instructions())
+@settings(max_examples=200)
+def test_text_render_never_crashes(instr):
+    text = instr.text()
+    assert isinstance(text, str) and text

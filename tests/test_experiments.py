@@ -1,0 +1,133 @@
+"""Experiment harness tests on a miniature two-benchmark session."""
+
+import pytest
+
+from repro.experiments import (
+    paperdata, report, runner, table01, table05, table06, table07,
+    table11, table12, table13, table14,
+)
+from repro.experiments.common import Table, mean, pct
+from repro.pipeline.session import Session
+
+NAMES = ("129.compress", "181.mcf")
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    return Session(scale=0.03,
+                   cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+class TestTableObject:
+    def test_render_alignment(self):
+        table = Table("Table X", "demo", ["A", "BBB"], [])
+        table.add_row("one", 1)
+        table.add_row("twotwo", 22)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("Table X: demo")
+        assert len({line.index("B") for line in lines[1:2]}) == 1
+
+    def test_cell_lookup(self):
+        table = Table("T", "t", ["Benchmark", "pi"])
+        table.add_row("x", "10%")
+        assert table.cell("x", "pi") == "10%"
+        with pytest.raises(KeyError):
+            table.cell("nope", "pi")
+
+    def test_pct_and_mean(self):
+        assert pct(0.1234) == "12%"
+        assert pct(0.1234, 2) == "12.34%"
+        assert mean([1.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestTables:
+    def test_table06_lists_all(self, session):
+        table = table06.run(session)
+        assert len(table.rows) == 18
+
+    def test_table01_structure(self, session):
+        table = table01.run(session, names=NAMES)
+        assert [row[0] for row in table.rows[:-1]] == list(NAMES)
+        assert table.rows[-1][0] == "AVERAGE"
+
+    def test_table07_two_inputs(self, session):
+        table = table07.run(session, names=NAMES)
+        for row in table.rows[:-1]:
+            assert "/" in row[1] and "/" in row[2]
+
+    def test_table11_pi_without_freq_at_least_with(self, session):
+        table = table11.run(session, names=NAMES)
+        for row in table.rows[:-1]:
+            with_freq = float(row[1].rstrip("%"))
+            without = float(row[4].rstrip("%"))
+            assert without >= with_freq - 1e-9
+
+    def test_table12_baselines_less_precise(self, session):
+        ours = table11.run(session, names=NAMES)
+        baselines = table12.run(session, names=NAMES)
+        for our_row, base_row in zip(ours.rows[:-1],
+                                     baselines.rows[:-1]):
+            our_pi = float(our_row[1].rstrip("%"))
+            okn_pi = float(base_row[1].rstrip("%"))
+            assert okn_pi > our_pi
+
+    def test_table13_monotone_pi(self, session):
+        table = table13.run(session, names=NAMES)
+        for row in table.rows[:-1]:
+            pis = [float(cell.split("/")[0].strip().rstrip("%"))
+                   for cell in row[1:]]
+            assert pis == sorted(pis, reverse=True)
+
+    def test_table14_combined_sharpens(self, session):
+        combined = table14.run(session, names=NAMES)
+        alone = table11.run(session, names=NAMES)
+        for c_row, a_row in zip(combined.rows[:-1], alone.rows[:-1]):
+            pi_combined = float(c_row[1].rstrip("%"))
+            pi_alone = float(a_row[1].rstrip("%"))
+            assert pi_combined <= pi_alone + 1e-9
+
+    def test_table05_has_all_classes(self, session):
+        table = table05.run(session, names=NAMES)
+        assert [row[0] for row in table.rows] == [
+            f"AG{i}" for i in range(1, 10)]
+
+
+class TestRunnerAndReport:
+    def test_run_tables_subset(self, session):
+        results = runner.run_tables(session, [6], echo=False)
+        assert set(results) == {6}
+
+    def test_report_written(self, session, tmp_path):
+        results = runner.run_tables(session, [6], echo=False)
+        path = tmp_path / "EXP.md"
+        report.write_report(results, str(path))
+        text = path.read_text()
+        assert "Table 6" in text
+        assert text.startswith("# EXPERIMENTS")
+
+    def test_report_shape_checks_for_table12(self, session):
+        results = runner.run_tables(session, [11, 12], echo=False)
+        text = report.render_report(results)
+        assert "Shape checks" in text
+        assert "[x]" in text
+
+    def test_paperdata_complete(self):
+        assert len(paperdata.TABLE1) == 18
+        assert len(paperdata.TABLE11) == 18
+        assert len(paperdata.TABLE12) == 18
+        assert len(paperdata.TABLE7) == 11
+        assert len(paperdata.TABLE10) == 7
+        assert len(paperdata.TABLE5_WEIGHTS) == 9
+
+    def test_cli_table6(self, capsys, tmp_path):
+        code = runner.main(["--tables", "6", "--scale", "0.03",
+                            "--no-disk-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 6" in out
+
+    def test_cli_rejects_unknown_table(self):
+        with pytest.raises(SystemExit):
+            runner.main(["--tables", "99"])

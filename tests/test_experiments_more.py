@@ -1,0 +1,134 @@
+"""Smoke + shape tests for the table experiments not covered in
+test_experiments (tables 2, 3, 4, 8, 9, 10) and the cold-code
+generator."""
+
+import pytest
+
+from repro.experiments import (
+    table02, table03, table04, table05, table08, table09, table10,
+)
+from repro.pipeline.session import Session
+from repro.workloads import coldcode
+
+NAMES = ("129.compress", "181.mcf")
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    return Session(scale=0.03,
+                   cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+class TestTable02:
+    def test_columns_scientific(self, session):
+        table = table02.run(session, names=NAMES)
+        for row in table.rows:
+            assert "e+" in row[1]     # scientific notation
+            assert "e+" in row[2]
+
+    def test_accesses_below_instructions(self, session):
+        table = table02.run(session, names=NAMES)
+        for row in table.rows:
+            assert float(row[2]) < float(row[1])
+            assert float(row[3]) <= float(row[2])
+
+
+class TestTrainingTables:
+    def test_table03_has_h1_classes(self, session):
+        table = table03.run(session, names=NAMES)
+        class_names = [row[0] for row in table.rows]
+        assert any(name.startswith("H1:sp=") for name in class_names)
+        for row in table.rows:
+            found = int(row[2].split()[0])
+            relevant = int(row[3].split()[0])
+            assert 0 <= relevant <= found <= len(NAMES)
+
+    def test_table04_reports_percentages(self, session):
+        table = table04.run(session, names=NAMES)
+        # the class may be absent on a 2-benchmark micro-session, but
+        # the note always reports nature and weight
+        assert any("nature=" in note for note in table.notes)
+
+    def test_table05_weights_parse(self, session):
+        table = table05.run(session, names=NAMES)
+        for row in table.rows:
+            float(row[2])     # paper weight
+            float(row[3])     # retrained weight
+        # the negative classes always carry negative retrained weights
+        ag9 = next(r for r in table.rows if r[0] == "AG9")
+        assert float(ag9[3]) < 0
+
+
+class TestSweepTables:
+    def test_table08_pi_constant_across_assocs(self, session):
+        table = table08.run(session, names=NAMES)
+        assert table.headers[1] == "pi"
+        assert len(table.headers) == 5    # bench, pi, 3 rho columns
+
+    def test_table09_four_sizes(self, session):
+        table = table09.run(session, names=NAMES)
+        assert [h for h in table.headers if h.endswith("rho")] == [
+            "8k rho", "16k rho", "32k rho", "64k rho"]
+
+    def test_table10_held_out(self, session):
+        table = table10.run(session, names=("022.li",))
+        assert table.rows[0][0] == "022.li"
+        assert "/" in table.rows[0][1]
+
+
+class TestColdCode:
+    def test_block_structure(self):
+        block = coldcode.block("xyz", functions=6)
+        assert "struct xyz_cold_rec" in block.declarations
+        assert "xyz_cold_path" in block.functions
+        assert block.entry == "xyz_cold_path"
+
+    def test_guard_fires_rarely(self):
+        block = coldcode.block("xyz")
+        guard = block.guard("value", "salt")
+        assert "& 8191" in guard
+        assert "xyz_cold_path" in guard
+
+    def test_warm_guard_targets_audit(self):
+        block = coldcode.block("xyz")
+        warm = block.warm_guard("value")
+        assert "& 1023" in warm
+        assert "xyz_audit_0" in warm
+
+    def test_generated_code_compiles_and_runs(self):
+        from repro.compiler.driver import compile_source
+        from repro.machine.simulator import run_program
+        block = coldcode.block("t", functions=6)
+        source = f"""
+{block.declarations}
+{block.functions}
+int main() {{
+    int i;
+    for (i = 0; i < 20; i = i + 1)
+        t_cold_path(i);
+    print_int(t_cold_hits);
+    return 0;
+}}
+"""
+        program = compile_source(source)
+        result = run_program(program)
+        assert result.exit_code == 0
+        assert result.output and result.output[0] >= 0
+
+    def test_cold_functions_add_structured_loads(self):
+        from repro.compiler.driver import compile_source
+        from repro.patterns.builder import build_load_infos
+        block = coldcode.block("t")
+        source = f"""
+{block.declarations}
+{block.functions}
+int main() {{ t_cold_path(3); return 0; }}
+"""
+        program = compile_source(source)
+        infos = build_load_infos(program)
+        cold = [i for i in infos.values()
+                if i.function.startswith("t_")]
+        assert any(f.deref_depth >= 1 for i in cold
+                   for f in i.features)
+        assert any(f.has_mul or f.has_shift for i in cold
+                   for f in i.features)

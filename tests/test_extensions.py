@@ -1,0 +1,152 @@
+"""Tests for the paper-suggested extensions: static frequency estimation
+(Section 5.2) and per-benchmark delta tuning (Section 8.6)."""
+
+import pytest
+
+from repro.compiler.driver import compile_source
+from repro.heuristic.classifier import DelinquencyClassifier
+from repro.heuristic.delta_tuning import (
+    DEFAULT_CANDIDATES, TunedDelta, sweep, tune_delta,
+)
+from repro.heuristic.static_frequency import (
+    StaticFrequencyEstimator, static_exec_counts,
+)
+
+SRC = r"""
+int a[256];
+int *shared;
+
+int cold_helper(int x) {
+    return *shared + x;         /* called once, outside loops */
+}
+
+int hot_helper(int x) {
+    return *shared + a[x & 255]; /* called from a loop */
+}
+
+int main() {
+    int i; int s;
+    shared = (int*) malloc(4);
+    *shared = 5;
+    s = cold_helper(3);
+    for (i = 0; i < 100; i = i + 1)
+        s = s + hot_helper(i);
+    print_int(s);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_source(SRC)
+
+
+@pytest.fixture(scope="module")
+def estimator(program):
+    return StaticFrequencyEstimator(program)
+
+
+class TestStaticFrequency:
+    def test_entry_function_count_one(self, program, estimator):
+        entry = program.function_containing(program.entry)
+        assert estimator.function_count(entry) == 1
+
+    def test_main_called_once(self, estimator):
+        assert estimator.function_count("main") == 1
+
+    def test_hot_helper_estimated_hotter(self, estimator):
+        cold = estimator.function_count("cold_helper")
+        hot = estimator.function_count("hot_helper")
+        assert hot > cold >= 1
+
+    def test_loop_blocks_scaled(self, program, estimator):
+        # a block inside main's loop gets the loop factor
+        counts = estimator.load_pseudo_counts()
+        in_main = {a: c for a, c in counts.items()
+                   if program.function_containing(a) == "main"}
+        assert max(in_main.values()) >= 1000 * min(in_main.values())
+
+    def test_every_load_estimated(self, program, estimator):
+        counts = estimator.load_pseudo_counts()
+        assert set(counts) == set(program.load_addresses())
+
+    def test_counts_capped(self, estimator):
+        assert all(c <= 10 ** 12
+                   for c in estimator.load_pseudo_counts().values())
+
+    def test_recursion_saturates(self):
+        src = r"""
+        int f(int n) {
+            if (n <= 0) return 0;
+            return 1 + f(n - 1);
+        }
+        int main() { print_int(f(5)); return 0; }
+        """
+        program = compile_source(src)
+        estimator = StaticFrequencyEstimator(program)
+        assert estimator.function_count("f") >= 1   # terminates, capped
+
+    def test_plugs_into_classifier(self, program):
+        from repro.patterns.builder import build_load_infos
+        infos = build_load_infos(program)
+        pseudo = static_exec_counts(program)
+        result = DelinquencyClassifier().classify(infos,
+                                                  exec_counts=pseudo)
+        # cold_helper's array load is pruned by AG9, hot_helper's is kept
+        cold_loads = [a for a, i in infos.items()
+                      if i.function == "cold_helper"]
+        hot_loads = [a for a, i in infos.items()
+                     if i.function == "hot_helper"]
+        assert not any(result.loads[a].is_delinquent
+                       for a in cold_loads)
+        assert any(result.loads[a].is_delinquent for a in hot_loads)
+
+    def test_static_vs_profiled_agree_on_hot(self, program):
+        from repro.machine.simulator import run_program
+        from repro.profiling.profile import BlockProfile
+        result = run_program(program)
+        profile = BlockProfile.from_execution(program, result)
+        measured = profile.load_exec_counts()
+        pseudo = static_exec_counts(program)
+        # loads measured as frequent must not be statically rare
+        for address, count in measured.items():
+            if count >= 100:
+                assert pseudo[address] >= 100, hex(address)
+
+
+class TestDeltaTuning:
+    SCORES = {1: 0.9, 2: 0.3, 3: 0.12, 4: 0.0}
+    MISSES = {1: 900, 2: 80, 3: 20, 4: 0}
+
+    def test_sweep_shapes(self):
+        results = sweep(self.SCORES, self.MISSES, 10)
+        assert len(results) == len(DEFAULT_CANDIDATES)
+        pis = [r.pi for r in results]
+        rhos = [r.rho for r in results]
+        assert pis == sorted(pis, reverse=True)
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_tuned_is_argmax(self):
+        best = tune_delta(self.SCORES, self.MISSES, 10)
+        results = sweep(self.SCORES, self.MISSES, 10)
+        assert best.utility == max(r.utility for r in results)
+
+    def test_lambda_steers_sharpness(self):
+        lenient = tune_delta(self.SCORES, self.MISSES, 10, lam=0.05)
+        strict = tune_delta(self.SCORES, self.MISSES, 10, lam=10.0)
+        assert strict.delta >= lenient.delta
+        assert strict.pi <= lenient.pi
+
+    def test_tie_breaks_high(self):
+        scores = {1: 0.9}
+        misses = {1: 10}
+        best = tune_delta(scores, misses, 1,
+                          candidates=(0.1, 0.2, 0.3))
+        # any delta < 0.9 gives identical pi/rho; prefer the sharpest
+        assert best.delta == 0.3
+
+    def test_custom_candidates(self):
+        best = tune_delta(self.SCORES, self.MISSES, 10,
+                          candidates=(0.25,))
+        assert best.delta == 0.25

@@ -1,0 +1,230 @@
+"""Heuristic tests: aggregate class membership, phi computation, the
+delinquency threshold, and frequency handling."""
+
+import pytest
+
+from repro.heuristic.classes import (
+    AGGREGATE_CLASSES, CLASSES_BY_NAME, DEFAULT_DELTA, FREQ_FAIR,
+    FREQ_HOTSPOT, FREQ_RARE, FREQ_SELDOM, PAPER_WEIGHTS, Weights,
+    frequency_category,
+)
+from repro.heuristic.classifier import DelinquencyClassifier
+from repro.heuristic import criteria
+from repro.patterns.ap import APFeatures
+from repro.patterns.builder import LoadInfo
+from repro.isa.instructions import Instruction
+
+
+def feats(**kw) -> APFeatures:
+    return APFeatures(**kw)
+
+
+def load_info(address, *features) -> LoadInfo:
+    return LoadInfo(
+        address=address, function="f",
+        instruction=Instruction("lw", rt=8, rs=29, imm=0),
+        patterns=[None] * len(features),
+        features=list(features),
+    )
+
+
+class TestClassMembership:
+    def member(self, name, f):
+        return CLASSES_BY_NAME[name].matches_pattern(f)
+
+    def test_ag1_needs_both_sp_and_gp(self):
+        assert self.member("AG1", feats(sp_count=1, gp_count=1))
+        assert not self.member("AG1", feats(sp_count=2))
+        assert not self.member("AG1", feats(gp_count=1))
+
+    def test_ag2_only_sp_twice(self):
+        assert self.member("AG2", feats(sp_count=2))
+        assert self.member("AG2", feats(sp_count=3))
+        assert not self.member("AG2", feats(sp_count=1))
+        assert not self.member("AG2", feats(sp_count=2, gp_count=1))
+        assert not self.member("AG2", feats(sp_count=2, ret_count=1))
+
+    def test_ag3_mul_or_shift(self):
+        assert self.member("AG3", feats(has_mul=True))
+        assert self.member("AG3", feats(has_shift=True))
+        assert not self.member("AG3", feats())
+
+    def test_deref_classes_exclusive(self):
+        one = feats(deref_depth=1)
+        two = feats(deref_depth=2)
+        three = feats(deref_depth=3)
+        four = feats(deref_depth=4)
+        assert self.member("AG4", one) and not self.member("AG5", one)
+        assert self.member("AG5", two) and not self.member("AG4", two)
+        assert self.member("AG6", three)
+        assert self.member("AG6", four)     # "three or more"
+
+    def test_ag7_recurrence(self):
+        assert self.member("AG7", feats(has_recurrence=True))
+        assert not self.member("AG7", feats())
+
+    def test_frequency_classes(self):
+        ag8 = CLASSES_BY_NAME["AG8"]
+        ag9 = CLASSES_BY_NAME["AG9"]
+        assert ag9.matches_frequency(FREQ_RARE)
+        assert not ag9.matches_frequency(FREQ_SELDOM)
+        assert ag8.matches_frequency(FREQ_SELDOM)
+        assert not ag8.matches_frequency(FREQ_FAIR)
+
+
+class TestFrequencyCategory:
+    def test_boundaries(self):
+        assert frequency_category(0) == FREQ_RARE
+        assert frequency_category(99) == FREQ_RARE
+        assert frequency_category(100) == FREQ_SELDOM
+        assert frequency_category(999) == FREQ_SELDOM
+        assert frequency_category(1000) == FREQ_FAIR
+
+    def test_hotspot(self):
+        assert frequency_category(10_000, in_hotspot=True) \
+            == FREQ_HOTSPOT
+        assert frequency_category(10, in_hotspot=True) == FREQ_RARE
+
+
+class TestWeights:
+    def test_paper_values(self):
+        assert PAPER_WEIGHTS["AG6"] == 1.72
+        assert PAPER_WEIGHTS["AG9"] == -0.40
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            Weights.from_dict({"AG99": 1.0})
+
+    def test_missing_class_scores_zero(self):
+        weights = Weights.from_dict({"AG4": 0.5})
+        assert weights["AG1"] == 0.0
+
+
+class TestPhi:
+    def classify(self, info, freq=FREQ_FAIR, **kw):
+        clf = DelinquencyClassifier(**kw)
+        return clf.score_load(info, freq)
+
+    def test_sum_over_classes(self):
+        info = load_info(
+            0x400000,
+            feats(sp_count=1, gp_count=1, deref_depth=1, has_shift=True))
+        score, classes = self.classify(info)
+        assert classes == {"AG1", "AG3", "AG4"}
+        assert score == pytest.approx(0.28 + 0.47 + 0.16)
+
+    def test_max_over_patterns(self):
+        weak = feats(sp_count=1)
+        strong = feats(deref_depth=3)
+        info = load_info(0x400000, weak, strong)
+        score, classes = self.classify(info)
+        assert score == pytest.approx(1.72)
+        assert "AG6" in classes
+
+    def test_plain_scalar_scores_zero(self):
+        info = load_info(0x400000, feats(sp_count=1))
+        score, _ = self.classify(info)
+        assert score == 0.0
+
+    def test_frequency_penalty_applied(self):
+        info = load_info(0x400000, feats(deref_depth=1))
+        fair_score, _ = self.classify(info, FREQ_FAIR)
+        rare_score, rare_classes = self.classify(info, FREQ_RARE)
+        assert fair_score == pytest.approx(0.16)
+        assert rare_score == pytest.approx(0.16 - 0.40)
+        assert "AG9" in rare_classes
+
+    def test_frequency_ignored_when_disabled(self):
+        info = load_info(0x400000, feats(deref_depth=1))
+        score, classes = self.classify(info, FREQ_RARE,
+                                       use_frequency=False)
+        assert score == pytest.approx(0.16)
+        assert "AG9" not in classes
+
+    def test_recurrence_alone_not_above_default_delta(self):
+        # AG7 = +0.10 == delta: strictly-greater means not delinquent
+        info = load_info(0x400000, feats(has_recurrence=True))
+        clf = DelinquencyClassifier()
+        result = clf.classify({0x400000: info})
+        assert not result.loads[0x400000].is_delinquent
+
+
+class TestClassify:
+    def test_threshold_strictness(self):
+        info = load_info(0x400000, feats(deref_depth=1))  # phi = 0.16
+        result = DelinquencyClassifier(delta=0.16).classify(
+            {0x400000: info})
+        assert not result.loads[0x400000].is_delinquent
+        result = DelinquencyClassifier(delta=0.15).classify(
+            {0x400000: info})
+        assert result.loads[0x400000].is_delinquent
+
+    def test_exec_counts_drive_frequency(self):
+        info = load_info(0x400000, feats(deref_depth=1))
+        clf = DelinquencyClassifier()
+        hot = clf.classify({0x400000: info},
+                           exec_counts={0x400000: 50_000})
+        cold = clf.classify({0x400000: info},
+                            exec_counts={0x400000: 3})
+        assert hot.loads[0x400000].is_delinquent
+        assert not cold.loads[0x400000].is_delinquent
+
+    def test_delinquent_set_and_members(self):
+        infos = {
+            1: load_info(1, feats(deref_depth=2)),
+            2: load_info(2, feats(sp_count=1)),
+        }
+        result = DelinquencyClassifier().classify(infos)
+        assert result.delinquent_set == {1}
+        assert result.members_of("AG5") == {1}
+        assert result.scores()[2] == 0.0
+
+    def test_empty_patterns_harmless(self):
+        info = LoadInfo(address=1, function="f",
+                        instruction=Instruction("lw", rt=8, rs=29,
+                                                imm=0))
+        result = DelinquencyClassifier().classify({1: info})
+        assert not result.loads[1].is_delinquent
+
+
+class TestCriteria:
+    def test_h1_names(self):
+        assert criteria.h1_class(feats(sp_count=1, gp_count=1)) \
+            == "H1:sp=1,gp=1"
+        assert criteria.h1_class(feats(sp_count=2)) == "H1:sp=2"
+        assert criteria.h1_class(feats(gp_count=3)) == "H1:gp=3"
+        assert criteria.h1_class(feats()) == "H1:none"
+        assert criteria.h1_class(feats(ret_count=1)) == "H1:others"
+
+    def test_h1_clamps_counts(self):
+        assert criteria.h1_class(feats(sp_count=9)) == "H1:sp=6"
+
+    def test_h2_h3_h4(self):
+        assert criteria.h2_class(feats(has_mul=True)) == "H2:mulshift"
+        assert criteria.h2_class(feats()) == "H2:plain"
+        assert criteria.h3_class(feats(deref_depth=2)) == "H3:deref2"
+        assert criteria.h3_class(feats(deref_depth=9)) == "H3:deref4"
+        assert criteria.h4_class(feats(has_recurrence=True)) \
+            == "H4:recurrent"
+
+    def test_h5(self):
+        assert criteria.h5_class(5) == "H5:rare"
+        assert criteria.h5_class(500) == "H5:seldom"
+        assert criteria.h5_class(5000, in_hotspot=True) == "H5:hotspot"
+
+    def test_load_classes_union_over_patterns(self):
+        info = load_info(1, feats(deref_depth=1),
+                         feats(has_recurrence=True))
+        classes = criteria.load_classes(info, exec_count=50)
+        assert "H3:deref1" in classes
+        assert "H4:recurrent" in classes
+        assert "H5:rare" in classes
+
+    def test_class_membership_inversion(self):
+        infos = {
+            1: load_info(1, feats(deref_depth=1)),
+            2: load_info(2, feats(deref_depth=2)),
+        }
+        members = criteria.class_membership(infos)
+        assert members["H3:deref1"] == {1}
+        assert members["H3:deref2"] == {2}

@@ -1,0 +1,136 @@
+"""Unit tests for instruction metadata (defs/uses, classification, text)."""
+
+import pytest
+
+from repro.isa.instructions import (
+    SPECS, Format, Instruction, branch_target, mnemonics,
+)
+from repro.isa.registers import RA, T0, T1, T2, ZERO
+
+
+def instr(mnemonic, **kw):
+    return Instruction(mnemonic, **kw)
+
+
+class TestSpecs:
+    def test_all_loads_marked(self):
+        loads = set(mnemonics(lambda s: s.is_load))
+        assert loads == {"lb", "lbu", "lh", "lhu", "lw"}
+
+    def test_all_stores_marked(self):
+        stores = set(mnemonics(lambda s: s.is_store))
+        assert stores == {"sb", "sh", "sw"}
+
+    def test_branches(self):
+        branches = set(mnemonics(lambda s: s.is_branch))
+        assert branches == {"beq", "bne", "blez", "bgtz", "bltz", "bgez"}
+
+    def test_calls(self):
+        calls = set(mnemonics(lambda s: s.is_call))
+        assert calls == {"jal", "jalr"}
+
+    def test_widths(self):
+        assert SPECS["lb"].width == 1
+        assert SPECS["lh"].width == 2
+        assert SPECS["lw"].width == 4
+        assert SPECS["lbu"].signed is False
+        assert SPECS["lb"].signed is True
+
+    def test_unique_encodings(self):
+        seen = set()
+        for spec in SPECS.values():
+            key = (spec.opcode, spec.funct, spec.rt_code)
+            assert key not in seen, f"duplicate encoding for {spec}"
+            seen.add(key)
+
+
+class TestDefsUses:
+    def test_r3_defs_uses(self):
+        i = instr("addu", rd=T0, rs=T1, rt=T2)
+        assert i.defs() == {T0}
+        assert i.uses() == {T1, T2}
+
+    def test_zero_never_defined(self):
+        i = instr("addu", rd=ZERO, rs=T1, rt=T2)
+        assert i.defs() == frozenset()
+
+    def test_zero_never_used(self):
+        i = instr("addu", rd=T0, rs=ZERO, rt=ZERO)
+        assert i.uses() == frozenset()
+
+    def test_load_defs_rt_uses_rs(self):
+        i = instr("lw", rt=T0, rs=T1, imm=8)
+        assert i.defs() == {T0}
+        assert i.uses() == {T1}
+
+    def test_store_defines_nothing(self):
+        i = instr("sw", rt=T0, rs=T1, imm=8)
+        assert i.defs() == frozenset()
+        assert i.uses() == {T0, T1}
+
+    def test_shift_uses_rt_only(self):
+        i = instr("sll", rd=T0, rt=T1, shamt=2)
+        assert i.defs() == {T0}
+        assert i.uses() == {T1}
+
+    def test_jal_defines_ra(self):
+        i = instr("jal", imm=0x400000)
+        assert RA in i.defs()
+
+    def test_jalr_defines_rd_and_ra(self):
+        i = instr("jalr", rd=RA, rs=T0)
+        assert i.defs() == {RA}
+        assert i.uses() == {T0}
+
+    def test_branch_uses_both(self):
+        i = instr("beq", rs=T0, rt=T1, imm=0x400000)
+        assert i.defs() == frozenset()
+        assert i.uses() == {T0, T1}
+
+    def test_lui_defs_rt(self):
+        i = instr("lui", rt=T0, imm=5)
+        assert i.defs() == {T0}
+        assert i.uses() == frozenset()
+
+
+class TestClassification:
+    def test_is_control(self):
+        assert instr("j", imm=0x400000).is_control()
+        assert instr("jr", rs=RA).is_control()
+        assert instr("beq", rs=T0, rt=T1, imm=0x400000).is_control()
+        assert not instr("addu", rd=T0, rs=T1, rt=T2).is_control()
+
+    def test_branch_target(self):
+        assert branch_target(instr("beq", rs=T0, rt=T1,
+                                   imm=0x400010)) == 0x400010
+        assert branch_target(instr("j", imm=0x400020)) == 0x400020
+        assert branch_target(instr("jr", rs=RA)) is None
+        assert branch_target(instr("addu", rd=T0, rs=T1, rt=T2)) is None
+
+
+class TestText:
+    def test_r3(self):
+        assert instr("addu", rd=T0, rs=T1, rt=T2).text() \
+            == "addu $t0, $t1, $t2"
+
+    def test_mem(self):
+        assert instr("lw", rt=T0, rs=29, imm=16).text() \
+            == "lw $t0, 16($sp)"
+        assert instr("sw", rt=T0, rs=28, imm=-4).text() \
+            == "sw $t0, -4($gp)"
+
+    def test_shift(self):
+        assert instr("sll", rd=T0, rt=T1, shamt=2).text() \
+            == "sll $t0, $t1, 2"
+
+    def test_branch_with_label(self):
+        text = instr("bne", rs=T0, rt=0, imm=0x400010,
+                     label="loop").text()
+        assert text == "bne $t0, $zero, loop"
+
+    def test_branch_without_label(self):
+        text = instr("bne", rs=T0, rt=0, imm=0x400010).text()
+        assert "0x00400010" in text
+
+    def test_bare(self):
+        assert instr("syscall").text() == "syscall"

@@ -1,0 +1,123 @@
+"""End-to-end integration tests: the paper's headline claims must hold
+on miniature instances of the workload suite."""
+
+import pytest
+
+from repro.baselines import bdh, okn
+from repro.heuristic.classifier import DelinquencyClassifier
+from repro.metrics.measures import coverage, ideal_delta, precision, xi
+from repro.pipeline.session import Session
+from repro.profiling.combined import combined_delta, \
+    random_hotspot_coverage
+
+NAMES = ("181.mcf", "129.compress", "197.parser", "022.li",
+         "101.tomcatv")
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    return Session(scale=0.15,
+                   cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+@pytest.fixture(scope="module")
+def evaluations(session):
+    out = {}
+    for name in NAMES:
+        m = session.measurement(name)
+        heuristic = DelinquencyClassifier().classify(
+            m.load_infos, m.load_exec, m.profile.hotspot_loads())
+        out[name] = (m, heuristic)
+    return out
+
+
+class TestHeadlineClaims:
+    def test_small_delta_high_coverage(self, evaluations):
+        """~10% of loads cover the overwhelming share of misses."""
+        for name, (m, heuristic) in evaluations.items():
+            delta = heuristic.delinquent_set
+            pi = precision(delta, m.num_loads)
+            rho = coverage(delta, m.load_misses)
+            assert pi < 0.30, f"{name}: pi={pi:.1%}"
+            assert rho > 0.80, f"{name}: rho={rho:.1%}"
+
+    def test_misses_concentrated(self, evaluations):
+        """The premise: the ideal 90%-set is tiny."""
+        for name, (m, _) in evaluations.items():
+            ideal = ideal_delta(m.load_misses, 0.90)
+            assert len(ideal) <= 0.25 * m.num_loads, name
+
+    def test_baselines_less_precise_at_similar_coverage(self,
+                                                        evaluations):
+        for name, (m, heuristic) in evaluations.items():
+            our_delta = heuristic.delinquent_set
+            okn_delta = okn.classify(m.load_infos,
+                                     m.program).delinquent_set
+            bdh_delta = bdh.classify(m.program,
+                                     m.load_infos).delinquent_set
+            our_pi = precision(our_delta, m.num_loads)
+            assert precision(okn_delta, m.num_loads) > our_pi, name
+            assert precision(bdh_delta, m.num_loads) > our_pi, name
+            assert coverage(okn_delta, m.load_misses) \
+                >= coverage(our_delta, m.load_misses) - 0.05, name
+
+    def test_combined_with_profiling_sharper(self, evaluations):
+        """Section 9: intersection with Delta_P cuts pi, keeps rho
+        high, and beats the random-hotspot control."""
+        for name, (m, heuristic) in evaluations.items():
+            delta_p = m.profile.hotspot_loads()
+            combined = combined_delta(delta_p, heuristic, 0.0)
+            assert len(combined) <= len(heuristic.delinquent_set)
+            rho = coverage(combined, m.load_misses)
+            if not combined:
+                continue
+            rho_star = random_hotspot_coverage(
+                delta_p, len(combined), m.load_misses)
+            assert rho >= rho_star - 0.05, name
+
+    def test_xi_is_bounded(self, evaluations):
+        for name, (m, heuristic) in evaluations.items():
+            prof_rho = coverage(m.profile.hotspot_loads(),
+                                m.load_misses)
+            ideal = ideal_delta(m.load_misses, prof_rho)
+            value = xi(heuristic.delinquent_set, ideal, m.load_exec)
+            assert 0.0 <= value <= 0.6, f"{name}: xi={value:.1%}"
+
+
+class TestStability:
+    def test_delta_insensitive_to_cache_geometry(self, session):
+        """The static Delta is identical across cache configs by
+        construction; its *coverage* must stay high across them."""
+        from repro.cache.config import associativity_sweep
+        name = "181.mcf"
+        m0 = session.measurement(name)
+        heuristic = DelinquencyClassifier().classify(
+            m0.load_infos, m0.load_exec, m0.profile.hotspot_loads())
+        delta = heuristic.delinquent_set
+        for config in associativity_sweep():
+            m = session.measurement(name, cache_config=config)
+            rho = coverage(delta, m.load_misses)
+            assert rho > 0.85, f"{config.describe()}: rho={rho:.1%}"
+
+    def test_classification_deterministic(self, session):
+        name = "129.compress"
+        m = session.measurement(name)
+        first = DelinquencyClassifier().classify(
+            m.load_infos, m.load_exec, m.profile.hotspot_loads())
+        second = DelinquencyClassifier().classify(
+            m.load_infos, m.load_exec, m.profile.hotspot_loads())
+        assert first.delinquent_set == second.delinquent_set
+        assert first.scores() == second.scores()
+
+    def test_input_stability(self, session):
+        """pi moves only mildly between the two inputs."""
+        for name in ("181.mcf", "129.compress"):
+            pis = []
+            for input_name in ("input1", "input2"):
+                m = session.measurement(name, input_name=input_name)
+                result = DelinquencyClassifier().classify(
+                    m.load_infos, m.load_exec,
+                    m.profile.hotspot_loads())
+                pis.append(precision(result.delinquent_set,
+                                     m.num_loads))
+            assert abs(pis[0] - pis[1]) < 0.10, name

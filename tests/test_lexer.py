@@ -1,0 +1,69 @@
+"""Lexer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+class TestTokens:
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("int x while whilex")
+        assert [t.kind for t in tokens[:4]] == ["int", "ident", "while",
+                                                "ident"]
+
+    def test_int_literals(self):
+        tokens = tokenize("0 42 0x1F")
+        assert [t.value for t in tokens[:3]] == [0, 42, 31]
+        assert all(t.kind == "intlit" for t in tokens[:3])
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 0.25 2e3 1.5e-2")
+        assert [t.kind for t in tokens[:4]] == ["floatlit"] * 4
+        assert tokens[0].value == 1.5
+        assert tokens[2].value == 2000.0
+        assert tokens[3].value == pytest.approx(0.015)
+
+    def test_char_literals(self):
+        tokens = tokenize(r"'a' '\n' '\0'")
+        assert [t.value for t in tokens[:3]] == [97, 10, 0]
+        assert tokens[0].kind == "charlit"
+
+    def test_two_char_operators(self):
+        assert kinds("<< >> <= >= == != && || ->")[:9] == [
+            "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "->"]
+
+    def test_operator_maximal_munch(self):
+        assert kinds("a<<b")[:3] == ["ident", "<<", "ident"]
+        assert kinds("a<b")[:3] == ["ident", "<", "ident"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n\nc")
+        assert [t.line for t in tokens[:3]] == [1, 2, 4]
+
+    def test_line_comments(self):
+        tokens = tokenize("a // comment\nb")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+
+    def test_block_comments(self):
+        tokens = tokenize("a /* multi\nline */ b")
+        assert [t.text for t in tokens[:2]] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_malformed_char_literal(self):
+        with pytest.raises(LexError):
+            tokenize("'ab governs'")

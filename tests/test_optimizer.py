@@ -1,0 +1,114 @@
+"""AST optimizer tests: folding, identities, strength reduction."""
+
+from repro.lang import astnodes as ast
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+from repro.compiler.optimizer import fold_expr, fold_unit
+
+
+def folded_return(source):
+    unit = analyze(parse(source))
+    fold_unit(unit)
+    return unit.functions[-1].body.statements[-1].value
+
+
+class TestFolding:
+    def test_constant_arithmetic(self):
+        expr = folded_return("int main() { return 2 * 3 + 4; }")
+        assert isinstance(expr, ast.IntLit) and expr.value == 10
+
+    def test_float_folding(self):
+        expr = folded_return("int main() { return (int)(1.5 + 2.5); }")
+        assert isinstance(expr, ast.IntLit) and expr.value == 4
+
+    def test_comparison_folds(self):
+        expr = folded_return("int main() { return 3 < 5; }")
+        assert isinstance(expr, ast.IntLit) and expr.value == 1
+
+    def test_sizeof_folds(self):
+        expr = folded_return(
+            "struct p { int a; int b; };"
+            "int main() { return sizeof(struct p); }")
+        assert isinstance(expr, ast.IntLit) and expr.value == 8
+
+    def test_nested_folding(self):
+        expr = folded_return("int main() { return (1 + 2) * (3 + 4); }")
+        assert isinstance(expr, ast.IntLit) and expr.value == 21
+
+
+class TestIdentities:
+    def test_add_zero(self):
+        expr = folded_return("int main(int x) { return x + 0; }")
+        assert isinstance(expr, ast.Var)
+
+    def test_zero_add(self):
+        expr = folded_return("int main(int x) { return 0 + x; }")
+        assert isinstance(expr, ast.Var)
+
+    def test_sub_zero(self):
+        expr = folded_return("int main(int x) { return x - 0; }")
+        assert isinstance(expr, ast.Var)
+
+    def test_mul_one(self):
+        expr = folded_return("int main(int x) { return x * 1; }")
+        assert isinstance(expr, ast.Var)
+
+    def test_div_one(self):
+        expr = folded_return("int main(int x) { return x / 1; }")
+        assert isinstance(expr, ast.Var)
+
+
+class TestStrengthReduction:
+    def test_mul_pow2_becomes_shift(self):
+        expr = folded_return("int main(int x) { return x * 16; }")
+        assert isinstance(expr, ast.Binary) and expr.op == "<<"
+        assert expr.right.value == 4
+
+    def test_pow2_mul_commuted(self):
+        expr = folded_return("int main(int x) { return 8 * x; }")
+        assert isinstance(expr, ast.Binary) and expr.op == "<<"
+        assert expr.right.value == 3
+
+    def test_non_pow2_mul_unchanged(self):
+        expr = folded_return("int main(int x) { return x * 12; }")
+        assert isinstance(expr, ast.Binary) and expr.op == "*"
+
+    def test_float_mul_not_reduced(self):
+        expr = folded_return(
+            "int main() { float f; f = 2.0; return (int)(f * 4.0); }")
+        # (float)*4.0 is a float multiply: must stay a multiply
+        inner = expr.operand if isinstance(expr, ast.Cast) else expr
+        assert isinstance(inner, ast.Binary) and inner.op == "*"
+
+
+class TestTreeRewrites:
+    def test_fold_inside_statements(self):
+        unit = analyze(parse(
+            "int main() { int a; for (a = 1 + 1; a < 2 * 4; a = a + 1)"
+            " print_int(a); return 0; }"))
+        fold_unit(unit)
+        for_stmt = unit.functions[0].body.statements[1]
+        assert for_stmt.init.value.value == 2
+        assert for_stmt.cond.right.value == 8
+
+    def test_fold_call_arguments(self):
+        unit = analyze(parse(
+            "int main() { print_int(6 * 7); return 0; }"))
+        fold_unit(unit)
+        call = unit.functions[0].body.statements[0].expr
+        assert call.args[0].value == 42
+
+    def test_folding_preserves_semantics(self):
+        from tests.conftest import compile_and_run
+        src = r"""
+        int main() {
+            int x;
+            x = 5;
+            print_int(x * 8 + 2 * 3 - 0);
+            print_int((x + 0) * (1 * 7));
+            return 0;
+        }
+        """
+        _, plain = compile_and_run(src, optimize=False)
+        _, opt = compile_and_run(src, optimize=True)
+        assert plain.output == opt.output == [46, 35]

@@ -1,0 +1,193 @@
+"""Parser tests: declarations, statements, expression precedence."""
+
+import pytest
+
+from repro.lang import astnodes as ast
+from repro.lang.parser import ParseError, parse
+from repro.lang.types import ArrayType, PointerType, StructType
+
+
+def parse_expr(text):
+    unit = parse(f"int main() {{ return {text}; }}")
+    return unit.functions[0].body.statements[0].value
+
+
+def parse_body(text):
+    unit = parse(f"int main() {{ {text} }}")
+    return unit.functions[0].body.statements
+
+
+class TestDeclarations:
+    def test_global_scalar(self):
+        unit = parse("int x;")
+        assert unit.globals[0].name == "x"
+
+    def test_global_list(self):
+        unit = parse("int a, b, c;")
+        assert [g.name for g in unit.globals] == ["a", "b", "c"]
+
+    def test_global_array(self):
+        unit = parse("int a[10];")
+        assert isinstance(unit.globals[0].type, ArrayType)
+        assert unit.globals[0].type.count == 10
+
+    def test_2d_array(self):
+        unit = parse("float m[4][8];")
+        ty = unit.globals[0].type
+        assert ty.count == 4 and ty.elem.count == 8
+
+    def test_pointer_levels(self):
+        unit = parse("int **pp;")
+        ty = unit.globals[0].type
+        assert isinstance(ty, PointerType)
+        assert isinstance(ty.target, PointerType)
+
+    def test_struct_decl(self):
+        unit = parse("struct point { int x; int y; };")
+        struct = unit.structs[0]
+        assert struct.name == "point"
+        assert [m[0] for m in struct.members] == ["x", "y"]
+
+    def test_self_referential_struct(self):
+        unit = parse("struct n { int v; struct n *next; };")
+        assert unit.structs[0].members[1][1].target.name == "n"
+
+    def test_struct_redefinition_rejected(self):
+        with pytest.raises(ParseError):
+            parse("struct a { int x; }; struct a { int y; };")
+
+    def test_function_with_params(self):
+        unit = parse("int f(int a, float b) { return a; }")
+        func = unit.functions[0]
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_void_param_list(self):
+        unit = parse("int f(void) { return 0; }")
+        assert unit.functions[0].params == []
+
+    def test_prototype(self):
+        unit = parse("int f(int a);")
+        assert unit.functions[0].body is None
+
+    def test_array_param_decays(self):
+        unit = parse("int f(int a[10]) { return 0; }")
+        assert isinstance(unit.functions[0].params[0].type, PointerType)
+
+    def test_global_initializer_list(self):
+        unit = parse("int a[3] = {1, 2, 3};")
+        init = unit.globals[0].init
+        assert isinstance(init, ast.Call) and init.name == "__initlist__"
+        assert len(init.args) == 3
+
+
+class TestStatements:
+    def test_if_else(self):
+        stmt, = parse_body("if (1) return 1; else return 2;")
+        assert isinstance(stmt, ast.If) and stmt.orelse is not None
+
+    def test_dangling_else(self):
+        stmt, = parse_body("if (1) if (2) return 1; else return 2;")
+        assert stmt.orelse is None
+        assert stmt.then.orelse is not None
+
+    def test_while(self):
+        stmt, = parse_body("while (1) return 0;")
+        assert isinstance(stmt, ast.While)
+
+    def test_for_full(self):
+        stmt, = parse_body("for (i = 0; i < 3; i = i + 1) return 0;")
+        assert isinstance(stmt, ast.For)
+        assert stmt.init is not None and stmt.cond is not None
+
+    def test_for_empty_clauses(self):
+        stmt, = parse_body("for (;;) break;")
+        assert stmt.init is None and stmt.cond is None and \
+            stmt.step is None
+
+    def test_assignment_vs_expr_stmt(self):
+        stmts = parse_body("x = 1; f();")
+        assert isinstance(stmts[0], ast.Assign)
+        assert isinstance(stmts[1], ast.ExprStmt)
+
+    def test_multi_declarator_local(self):
+        stmts = parse_body("int a, b;")
+        # multiple declarators become a block of VarDecls
+        assert isinstance(stmts[0], ast.Block)
+        assert len(stmts[0].statements) == 2
+
+    def test_break_continue(self):
+        stmts = parse_body("while (1) { break; } while (1) { continue; }")
+        assert isinstance(stmts[0].body.statements[0], ast.Break)
+        assert isinstance(stmts[1].body.statements[0], ast.Continue)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_compare_below_shift(self):
+        expr = parse_expr("1 < 2 << 3")
+        assert expr.op == "<"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("1 == 2 && 3 != 4")
+        assert expr.op == "&&"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-" and expr.left.op == "-"
+
+    def test_unary_ops(self):
+        assert isinstance(parse_expr("-x"), ast.Unary)
+        assert isinstance(parse_expr("!x"), ast.Unary)
+        assert isinstance(parse_expr("~x"), ast.Unary)
+        assert isinstance(parse_expr("*p"), ast.Deref)
+        assert isinstance(parse_expr("&x"), ast.AddressOf)
+
+    def test_postfix_chain(self):
+        expr = parse_expr("a[1][2]")
+        assert isinstance(expr, ast.Index)
+        assert isinstance(expr.base, ast.Index)
+
+    def test_member_and_arrow(self):
+        dot = parse_expr("s.f")
+        arrow = parse_expr("p->f")
+        assert isinstance(dot, ast.Member) and not dot.arrow
+        assert isinstance(arrow, ast.Member) and arrow.arrow
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x, g())")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 3
+
+    def test_cast(self):
+        expr = parse_expr("(float) 3")
+        assert isinstance(expr, ast.Cast)
+
+    def test_parenthesised_expr_not_cast(self):
+        expr = parse_expr("(x) + 1")
+        assert isinstance(expr, ast.Binary)
+
+    def test_sizeof(self):
+        expr = parse_expr("sizeof(int)")
+        assert isinstance(expr, ast.SizeOf)
+        assert expr.target.size == 4
+
+    def test_null(self):
+        expr = parse_expr("NULL")
+        assert isinstance(expr, ast.IntLit) and expr.value == 0
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return 0 }")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse("int main() { return (1; }")

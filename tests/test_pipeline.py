@@ -1,0 +1,93 @@
+"""Pipeline Session tests: memoization, disk cache, measurements."""
+
+import pytest
+
+from repro.cache.config import BASELINE_CONFIG, CacheConfig
+from repro.pipeline.session import Measurement, RunKey, Session
+
+WL = "129.compress"
+SCALE = 0.03
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return Session(scale=SCALE, cache_dir=tmp_path / "cache",
+                   use_disk_cache=True)
+
+
+class TestMemoization:
+    def test_source_cached(self, session):
+        assert session.source(WL) is session.source(WL)
+
+    def test_program_cached(self, session):
+        assert session.program(WL) is session.program(WL)
+
+    def test_programs_differ_by_input_and_mode(self, session):
+        base = session.program(WL)
+        assert session.program(WL, "input2") is not base
+        assert session.program(WL, optimize=True) is not base
+
+    def test_load_infos_cached(self, session):
+        assert session.load_infos(WL) is session.load_infos(WL)
+
+    def test_stats_cached_in_memory(self, session):
+        first = session.stats(WL)
+        second = session.stats(WL)
+        assert first is second
+
+
+class TestDiskCache:
+    def test_roundtrip_via_disk(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        one = Session(scale=SCALE, cache_dir=cache_dir)
+        stats = one.stats(WL)
+        profile = one.profile(WL)
+        # a fresh session must reload without executing
+        two = Session(scale=SCALE, cache_dir=cache_dir)
+        again = two.stats(WL)
+        assert again.load_misses == stats.load_misses
+        assert two.profile(WL).block_counts == profile.block_counts
+        assert WL not in {k.workload for k in two._traces}
+
+    def test_different_config_misses_cache(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        one = Session(scale=SCALE, cache_dir=cache_dir)
+        one.stats(WL)
+        two = Session(scale=SCALE, cache_dir=cache_dir)
+        other = CacheConfig(16 * 1024, 4, 32)
+        stats = two.stats(WL, cache_config=other)
+        assert stats.config == other
+
+    def test_disk_cache_disabled(self, tmp_path):
+        session = Session(scale=SCALE, cache_dir=tmp_path / "c",
+                          use_disk_cache=False)
+        session.stats(WL)
+        assert not (tmp_path / "c").exists()
+
+    def test_scale_changes_digest(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        a = Session(scale=SCALE, cache_dir=cache_dir)
+        b = Session(scale=SCALE * 2, cache_dir=cache_dir)
+        key = RunKey(WL, "input1", False)
+        assert a._digest(key, BASELINE_CONFIG) \
+            != b._digest(key, BASELINE_CONFIG)
+
+
+class TestMeasurement:
+    def test_fields_consistent(self, session):
+        m = session.measurement(WL)
+        assert isinstance(m, Measurement)
+        assert m.num_loads == m.program.num_loads()
+        assert set(m.load_infos) == set(m.program.load_addresses())
+        assert set(m.load_exec) == set(m.program.load_addresses())
+        assert m.total_load_misses == sum(m.load_misses.values())
+        assert m.steps > 0
+
+    def test_load_misses_subset_of_loads(self, session):
+        m = session.measurement(WL)
+        assert set(m.load_misses) <= set(m.program.load_addresses())
+
+    def test_trace_lru_bounded(self, session):
+        for name in ("129.compress", "099.go", "181.mcf"):
+            session.stats(name)
+        assert len(session._traces) <= 2

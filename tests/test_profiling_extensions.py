@@ -1,0 +1,144 @@
+"""Tests for the profiling extensions: sampled profiles, stall-aware
+hotspots, and the two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.config import BASELINE_CONFIG, CacheConfig
+from repro.cache.hierarchy import (
+    DEFAULT_HIERARCHY, HierarchyConfig, simulate_trace_hierarchy,
+)
+from repro.cache.model import simulate_trace
+from repro.machine.trace import LOAD, STORE, MemoryTrace
+from repro.profiling.profile import BlockProfile
+from repro.profiling.sampling import sampled_profile
+
+
+@pytest.fixture(scope="module")
+def profile(sample_program, sample_result):
+    return BlockProfile.from_execution(sample_program, sample_result)
+
+
+@pytest.fixture(scope="module")
+def stats(sample_result):
+    return simulate_trace(sample_result.trace, BASELINE_CONFIG)
+
+
+class TestSampling:
+    def test_rate_one_is_identity(self, profile):
+        assert sampled_profile(profile, 1.0) is profile
+
+    def test_invalid_rates_rejected(self, profile):
+        for rate in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                sampled_profile(profile, rate)
+
+    def test_deterministic(self, profile):
+        first = sampled_profile(profile, 0.1, seed=3)
+        second = sampled_profile(profile, 0.1, seed=3)
+        assert first.block_counts == second.block_counts
+
+    def test_counts_rescaled_to_same_magnitude(self, profile):
+        thinned = sampled_profile(profile, 0.25)
+        total = sum(profile.block_counts.values())
+        thinned_total = sum(thinned.block_counts.values())
+        assert thinned_total == pytest.approx(total, rel=0.35)
+
+    def test_hot_blocks_survive_sampling(self, profile):
+        thinned = sampled_profile(profile, 0.2)
+        hot_full = profile.hotspot_blocks()
+        hot_thin = thinned.hotspot_blocks()
+        # the dominant blocks are sampled reliably
+        top = sorted(profile.block_cycles.items(),
+                     key=lambda kv: -kv[1])[:3]
+        for leader, _ in top:
+            assert leader in hot_full
+            assert leader in hot_thin
+
+    def test_zero_count_blocks_stay_zero(self, profile):
+        thinned = sampled_profile(profile, 0.5)
+        for leader, count in profile.block_counts.items():
+            if count == 0:
+                assert thinned.block_counts[leader] == 0
+
+
+class TestStallAwareHotspots:
+    def test_cycles_increase_with_misses(self, profile, stats):
+        plain = profile.block_cycles
+        stall = profile.stall_aware_cycles(stats.load_misses,
+                                           penalty=20)
+        assert sum(stall.values()) == sum(plain.values()) \
+            + 20 * stats.total_load_misses
+
+    def test_zero_penalty_matches_plain(self, profile, stats):
+        stall = profile.stall_aware_cycles(stats.load_misses, penalty=0)
+        assert stall == profile.block_cycles
+
+    def test_miss_heavy_block_promoted(self, profile, stats):
+        heavy_pc = max(stats.load_misses, key=stats.load_misses.get)
+        hot = profile.hotspot_loads_stall_aware(stats.load_misses,
+                                                penalty=100)
+        assert heavy_pc in hot
+
+    def test_stall_aware_coverage_at_least_plain(self, profile, stats):
+        from repro.metrics.measures import coverage
+        plain = coverage(profile.hotspot_loads(), stats.load_misses)
+        aware = coverage(
+            profile.hotspot_loads_stall_aware(stats.load_misses,
+                                              penalty=200),
+            stats.load_misses)
+        assert aware >= plain - 0.05
+
+
+class TestHierarchy:
+    def make_trace(self):
+        trace = MemoryTrace()
+        # stream 64KB: misses L1 (8KB) on re-walk but fits L2 (128KB)
+        for repeat in range(3):
+            for block in range(2048):
+                trace.append(1, block * 32, LOAD)
+        return trace
+
+    def test_l2_filters_capacity_misses(self):
+        stats = simulate_trace_hierarchy(self.make_trace())
+        assert stats.total_l1_load_misses > stats.total_l2_load_misses
+        # second and third sweeps hit in L2: only cold L2 misses remain
+        assert stats.total_l2_load_misses == 1024   # 64KB / 64B blocks
+
+    def test_l2_misses_subset_of_l1(self):
+        stats = simulate_trace_hierarchy(self.make_trace())
+        for pc, misses in stats.l2_load_misses.items():
+            assert misses <= stats.l1_load_misses.get(pc, 0)
+
+    def test_l1_matches_single_level_model(self, sample_result):
+        single = simulate_trace(sample_result.trace, BASELINE_CONFIG)
+        hierarchy = simulate_trace_hierarchy(
+            sample_result.trace,
+            HierarchyConfig(l1=BASELINE_CONFIG,
+                            l2=CacheConfig(256 * 1024, 8, 32)))
+        assert hierarchy.l1_load_misses == single.load_misses
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1=CacheConfig(64 * 1024, 4, 32),
+                            l2=CacheConfig(8 * 1024, 4, 32))
+        with pytest.raises(ValueError):
+            HierarchyConfig(l1=CacheConfig(8 * 1024, 4, 64),
+                            l2=CacheConfig(128 * 1024, 8, 32))
+
+    def test_l2_coverage_metric(self):
+        stats = simulate_trace_hierarchy(self.make_trace())
+        assert stats.l2_miss_coverage({1}) == 1.0
+        assert stats.l2_miss_coverage(set()) == 0.0
+
+    def test_stores_counted(self):
+        trace = MemoryTrace()
+        trace.append(5, 0, STORE)
+        trace.append(6, 0, LOAD)
+        stats = simulate_trace_hierarchy(trace)
+        assert stats.store_accesses == 1
+        assert stats.l1_store_misses == 1
+        assert stats.l1_load_misses.get(6, 0) == 0  # filled by store
+
+    def test_describe(self):
+        assert "L1[" in DEFAULT_HIERARCHY.describe()
+        assert "L2[" in DEFAULT_HIERARCHY.describe()

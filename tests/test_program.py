@@ -1,0 +1,87 @@
+"""Program-image helper tests."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.program import DATA_BASE, TEXT_BASE
+
+SRC = r"""
+.data
+x: .word 1
+.text
+.ent main
+main:
+    lw $t0, x
+    jal helper
+    jr $ra
+.end main
+.ent helper
+helper:
+    lb $t1, 0($t0)
+    sw $t1, 4($sp)
+    jr $ra
+.end helper
+"""
+
+
+@pytest.fixture()
+def program():
+    return assemble(SRC)
+
+
+class TestAddressing:
+    def test_address_index_roundtrip(self, program):
+        for index in range(len(program.instructions)):
+            address = program.address_of(index)
+            assert program.index_of(address) == index
+
+    def test_index_of_rejects_nontext(self, program):
+        with pytest.raises(ValueError):
+            program.index_of(DATA_BASE)
+        with pytest.raises(ValueError):
+            program.index_of(TEXT_BASE + 2)   # misaligned
+        with pytest.raises(ValueError):
+            program.index_of(program.text_end)
+
+    def test_instruction_at(self, program):
+        assert program.instruction_at(TEXT_BASE).mnemonic == "lw"
+
+    def test_addresses_iterates_text(self, program):
+        addresses = list(program.addresses())
+        assert addresses[0] == TEXT_BASE
+        assert len(addresses) == len(program.instructions)
+
+
+class TestSymbols:
+    def test_labels_at(self, program):
+        assert "main" in program.labels_at(program.symbols["main"])
+        assert program.labels_at(TEXT_BASE + 4) == []
+
+    def test_function_containing(self, program):
+        helper_start = program.symbols["helper"]
+        assert program.function_containing(helper_start) == "helper"
+        assert program.function_containing(helper_start + 4) == "helper"
+        assert program.function_containing(TEXT_BASE) == "main"
+
+    def test_loads_iterator(self, program):
+        loads = dict(program.loads())
+        assert len(loads) == 2
+        mnemonics = {i.mnemonic for i in loads.values()}
+        assert mnemonics == {"lw", "lb"}
+
+    def test_num_loads_excludes_stores(self, program):
+        assert program.num_loads() == 2
+
+
+class TestGeometry:
+    def test_text_end(self, program):
+        assert program.text_end == TEXT_BASE \
+            + 4 * len(program.instructions)
+
+    def test_data_segment(self, program):
+        assert program.data_base == DATA_BASE
+        assert program.data_end == DATA_BASE + len(program.data)
+
+    def test_heap_page_aligned(self, program):
+        assert program.heap_base % 0x1000 == 0
+        assert program.heap_base >= program.data_end

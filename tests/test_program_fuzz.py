@@ -1,0 +1,186 @@
+"""Statement-level differential fuzzing of the compiler.
+
+Hypothesis generates small programs — assignments, nested ifs, bounded
+for loops, prints — rendered twice: as MiniC for the real pipeline, and
+as Python against a 32-bit-wrapping arithmetic model.  Both are executed
+and their outputs compared, fuzzing the compiler's control-flow
+lowering, not just expressions.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.driver import compile_source
+from repro.machine.simulator import run_program
+
+MASK = 0xFFFF_FFFF
+VARS = ("v0", "v1", "v2", "v3")
+
+
+def _signed(x):
+    x &= MASK
+    return x - ((x & 0x8000_0000) << 1)
+
+
+# -- the Python-side 32-bit model ------------------------------------------
+
+def _add(a, b):
+    return _signed(a + b)
+
+
+def _sub(a, b):
+    return _signed(a - b)
+
+
+def _mul(a, b):
+    return _signed(a * b)
+
+
+def _shl(a, b):
+    return _signed(a << (b & 31))
+
+
+def _shr(a, b):
+    return _signed(_signed(a) >> (b & 31))
+
+
+def _band(a, b):
+    return _signed(a & b)
+
+
+def _bxor(a, b):
+    return _signed(a ^ b)
+
+
+_MODEL_GLOBALS = {
+    "add": _add, "sub": _sub, "mul": _mul, "shl": _shl, "shr": _shr,
+    "band": _band, "bxor": _bxor,
+}
+
+_BINOPS = (
+    ("+", "add"), ("-", "sub"), ("*", "mul"), ("<<", "shl"),
+    (">>", "shr"), ("&", "band"), ("^", "bxor"),
+)
+
+_COMPARES = ("<", ">", "<=", ">=", "==", "!=")
+
+
+# -- generators: each node renders (minic, python) --------------------------
+
+@st.composite
+def expr(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            value = draw(st.integers(min_value=-200, max_value=200))
+            return str(value), str(value)
+        name = draw(st.sampled_from(VARS))
+        return name, name
+    c_op, py_fn = draw(st.sampled_from(_BINOPS))
+    left_c, left_p = draw(expr(depth=depth + 1))
+    right_c, right_p = draw(expr(depth=depth + 1))
+    if c_op in ("<<", ">>"):
+        amount = draw(st.integers(min_value=0, max_value=8))
+        return (f"(({left_c}) {c_op} {amount})",
+                f"{py_fn}({left_p}, {amount})")
+    return (f"(({left_c}) {c_op} ({right_c}))",
+            f"{py_fn}({left_p}, {right_p})")
+
+
+@st.composite
+def condition(draw):
+    op = draw(st.sampled_from(_COMPARES))
+    left_c, left_p = draw(expr(depth=2))
+    right_c, right_p = draw(expr(depth=2))
+    return (f"({left_c}) {op} ({right_c})",
+            f"({left_p}) {op} ({right_p})")
+
+
+@st.composite
+def statement(draw, depth=0, indent=1):
+    pad_c = "    " * indent
+    pad_p = "    " * indent
+    kind = draw(st.sampled_from(
+        ("assign", "assign", "print", "if", "loop")
+        if depth < 2 else ("assign", "print")))
+    if kind == "assign":
+        target = draw(st.sampled_from(VARS))
+        value_c, value_p = draw(expr())
+        return (f"{pad_c}{target} = {value_c};",
+                f"{pad_p}{target} = {value_p}")
+    if kind == "print":
+        value_c, value_p = draw(expr(depth=2))
+        return (f"{pad_c}print_int({value_c});",
+                f"{pad_p}out.append({value_p})")
+    if kind == "if":
+        cond_c, cond_p = draw(condition())
+        then_c, then_p = draw(statement(depth=depth + 1,
+                                        indent=indent + 1))
+        else_c, else_p = draw(statement(depth=depth + 1,
+                                        indent=indent + 1))
+        return (f"{pad_c}if ({cond_c}) {{\n{then_c}\n{pad_c}}} else "
+                f"{{\n{else_c}\n{pad_c}}}",
+                f"{pad_p}if {cond_p}:\n{then_p}\n{pad_p}else:"
+                f"\n{else_p}")
+    # bounded loop over a dedicated counter
+    trips = draw(st.integers(min_value=0, max_value=6))
+    body_c, body_p = draw(statement(depth=depth + 1, indent=indent + 1))
+    counter = f"k{depth}"
+    return (f"{pad_c}for ({counter} = 0; {counter} < {trips}; "
+            f"{counter} = {counter} + 1) {{\n{body_c}\n{pad_c}}}",
+            f"{pad_p}for {counter} in range({trips}):\n{body_p}")
+
+
+@st.composite
+def program_pair(draw):
+    n_stmts = draw(st.integers(min_value=1, max_value=6))
+    statements = [draw(statement()) for _ in range(n_stmts)]
+    inits = {name: draw(st.integers(min_value=-50, max_value=50))
+             for name in VARS}
+
+    minic = ["int main() {"]
+    minic.extend(f"    int {name};" for name in VARS)
+    minic.extend(f"    int k{d};" for d in range(3))
+    minic.extend(f"    {name} = {value};"
+                 for name, value in inits.items())
+    for c_text, _ in statements:
+        minic.append(c_text)
+    minic.extend(f"    print_int({name});" for name in VARS)
+    minic.append("    return 0;")
+    minic.append("}")
+
+    python = ["def model(out):"]
+    python.extend(f"    {name} = {value}"
+                  for name, value in inits.items())
+    for _, p_text in statements:
+        python.append(p_text)
+    python.extend(f"    out.append({name})" for name in VARS)
+
+    return "\n".join(minic), "\n".join(python)
+
+
+def run_model(python_source):
+    scope = dict(_MODEL_GLOBALS)
+    exec(python_source, scope)
+    out = []
+    scope["model"](out)
+    return out
+
+
+@given(program_pair())
+@settings(max_examples=80, deadline=None)
+def test_programs_match_model_unoptimized(pair):
+    minic, python_source = pair
+    expected = run_model(python_source)
+    result = run_program(compile_source(minic), trace_memory=False,
+                         max_steps=2_000_000)
+    assert result.output == expected, minic
+
+
+@given(program_pair())
+@settings(max_examples=80, deadline=None)
+def test_programs_match_model_optimized(pair):
+    minic, python_source = pair
+    expected = run_model(python_source)
+    result = run_program(compile_source(minic, optimize=True),
+                         trace_memory=False, max_steps=2_000_000)
+    assert result.output == expected, minic

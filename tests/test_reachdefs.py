@@ -1,0 +1,105 @@
+"""Reaching-definitions tests."""
+
+from repro.asm.assembler import assemble
+from repro.cfg.graph import build_function_cfgs
+from repro.dataflow.reachdefs import ENTRY, ReachingDefinitions
+from repro.isa.registers import A0, RA, T0, T1, V0
+
+
+def rd_of(source, name="main"):
+    program = assemble(source)
+    cfg = build_function_cfgs(program)[name]
+    return program, ReachingDefinitions(cfg)
+
+
+class TestStraightLine:
+    def test_local_def_reaches(self):
+        src = (".text\n.ent main\nmain:\n"
+               "li $t0, 1\n"          # 0x400000
+               "addu $t1, $t0, $t0\n"  # 0x400004
+               "jr $ra\n.end main\n")
+        program, rd = rd_of(src)
+        assert rd.reaching(0x400004, T0) == {0x400000}
+
+    def test_redefinition_kills(self):
+        src = (".text\n.ent main\nmain:\n"
+               "li $t0, 1\n"
+               "li $t0, 2\n"
+               "addu $t1, $t0, $t0\n"
+               "jr $ra\n.end main\n")
+        _, rd = rd_of(src)
+        assert rd.reaching(0x400008, T0) == {0x400004}
+
+    def test_live_in_is_entry(self):
+        src = (".text\n.ent main\nmain:\n"
+               "addu $t1, $a0, $a0\njr $ra\n.end main\n")
+        _, rd = rd_of(src)
+        assert rd.reaching(0x400000, A0) == {ENTRY}
+
+
+class TestBranches:
+    def test_merge_of_two_defs(self):
+        src = (".text\n.ent main\nmain:\n"
+               "beqz $a0, alt\n"       # 0x400000
+               "li $t0, 1\n"           # 0x400004
+               "b join\n"              # 0x400008
+               "alt: li $t0, 2\n"      # 0x40000c
+               "join: addu $t1, $t0, $t0\n"  # 0x400010
+               "jr $ra\n.end main\n")
+        _, rd = rd_of(src)
+        assert rd.reaching(0x400010, T0) == {0x400004, 0x40000C}
+
+    def test_loop_back_edge_def_reaches_header(self):
+        src = (".text\n.ent main\nmain:\n"
+               "li $t0, 0\n"                 # 0x400000
+               "loop: addiu $t0, $t0, 1\n"   # 0x400004
+               "li $t2, 9\n"                 # 0x400008
+               "blt $t0, $t2, loop\n"        # two instructions (pseudo)
+               "jr $ra\n.end main\n")
+        _, rd = rd_of(src)
+        # at the loop header, both the init and the loop increment reach
+        assert rd.reaching(0x400004, T0) == {0x400000, 0x400004}
+
+
+class TestCalls:
+    def test_call_defines_v0(self):
+        src = (".text\n.ent main\nmain:\n"
+               "jal helper\n"            # 0x400000
+               "addu $t0, $v0, $v0\n"    # 0x400004
+               "jr $ra\n.end main\n"
+               ".ent helper\nhelper: li $v0, 5\njr $ra\n.end helper\n")
+        _, rd = rd_of(src)
+        assert rd.reaching(0x400004, V0) == {0x400000}
+
+    def test_call_kills_temporaries(self):
+        src = (".text\n.ent main\nmain:\n"
+               "li $t0, 1\n"             # 0x400000
+               "jal helper\n"            # 0x400004
+               "addu $t1, $t0, $t0\n"    # 0x400008
+               "jr $ra\n.end main\n"
+               ".ent helper\nhelper: jr $ra\n.end helper\n")
+        _, rd = rd_of(src)
+        # the call clobbers $t0: its def site is now the call itself
+        assert rd.reaching(0x400008, T0) == {0x400004}
+
+    def test_call_preserves_saved_regs(self):
+        src = (".text\n.ent main\nmain:\n"
+               "li $s0, 1\n"             # 0x400000
+               "jal helper\n"
+               "addu $t1, $s0, $s0\n"    # 0x400008
+               "jr $ra\n.end main\n"
+               ".ent helper\nhelper: jr $ra\n.end helper\n")
+        _, rd = rd_of(src)
+        assert rd.reaching(0x400008, 16) == {0x400000}
+
+
+class TestQueries:
+    def test_zero_register_always_entry(self):
+        src = ".text\n.ent main\nmain: jr $ra\n.end main\n"
+        _, rd = rd_of(src)
+        assert rd.reaching(0x400000, 0) == {ENTRY}
+
+    def test_instruction_at(self):
+        src = (".text\n.ent main\nmain:\nli $t0, 3\njr $ra\n.end main\n")
+        _, rd = rd_of(src)
+        assert rd.instruction_at(0x400000).mnemonic == "addiu"

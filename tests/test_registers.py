@@ -1,0 +1,70 @@
+"""Unit tests for the register file definitions."""
+
+import pytest
+
+from repro.isa import registers as regs
+
+
+class TestRegisterNames:
+    def test_count(self):
+        assert regs.NUM_REGISTERS == 32
+        assert len(regs.REGISTER_NAMES) == 32
+
+    def test_wellknown_numbers(self):
+        assert regs.ZERO == 0
+        assert regs.V0 == 2
+        assert regs.A0 == 4
+        assert regs.GP == 28
+        assert regs.SP == 29
+        assert regs.FP == 30
+        assert regs.RA == 31
+
+    def test_roundtrip_all(self):
+        for number in range(32):
+            assert regs.register_number(regs.register_name(number)) \
+                == number
+
+    def test_name_with_and_without_sigil(self):
+        assert regs.register_number("$sp") == 29
+        assert regs.register_number("sp") == 29
+
+    def test_numeric_names(self):
+        assert regs.register_number("$29") == 29
+        assert regs.register_number("0") == 0
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            regs.register_number("$bogus")
+
+    def test_out_of_range_number_raises(self):
+        with pytest.raises(ValueError):
+            regs.register_number("$32")
+        with pytest.raises(ValueError):
+            regs.register_name(32)
+        with pytest.raises(ValueError):
+            regs.register_name(-1)
+
+
+class TestRegisterClasses:
+    def test_param_registers(self):
+        assert regs.is_param_register(regs.A0)
+        assert regs.is_param_register(regs.A3)
+        assert not regs.is_param_register(regs.T0)
+
+    def test_return_registers(self):
+        assert regs.is_return_register(regs.V0)
+        assert regs.is_return_register(regs.V1)
+        assert not regs.is_return_register(regs.A0)
+
+    def test_call_clobbered_includes_temps_and_args(self):
+        for t in regs.TEMP_REGISTERS:
+            assert t in regs.CALL_CLOBBERED
+        for a in regs.PARAM_REGISTERS:
+            assert a in regs.CALL_CLOBBERED
+        assert regs.RA in regs.CALL_CLOBBERED
+
+    def test_call_clobbered_excludes_saved(self):
+        for s in regs.SAVED_REGISTERS:
+            assert s not in regs.CALL_CLOBBERED
+        assert regs.SP not in regs.CALL_CLOBBERED
+        assert regs.GP not in regs.CALL_CLOBBERED

@@ -1,0 +1,175 @@
+"""Semantic analysis tests: typing rules, scoping, error reporting."""
+
+import pytest
+
+from repro.lang import astnodes as ast
+from repro.lang.parser import parse
+from repro.lang.sema import SemanticError, analyze, const_value
+from repro.lang.types import FLOAT, INT, PointerType
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+def expr_of(source):
+    """Type of the returned expression in `int main() { return E; }`."""
+    unit = check(source)
+    return unit.functions[-1].body.statements[-1].value.ty
+
+
+class TestTyping:
+    def test_int_arithmetic(self):
+        assert expr_of("int main() { return 1 + 2; }") == INT
+
+    def test_float_promotion_inserts_cast(self):
+        unit = check("float f; int main() { f = f + 1; return 0; }")
+        assign = unit.functions[0].body.statements[0]
+        add = assign.value
+        assert add.ty == FLOAT
+        assert isinstance(add.right, ast.Cast)
+
+    def test_assign_float_to_int_casts(self):
+        unit = check("float f; int main() { int i; i = f; return i; }")
+        assign = unit.functions[0].body.statements[1]
+        assert isinstance(assign.value, ast.Cast)
+        assert assign.value.target == INT
+
+    def test_pointer_plus_int(self):
+        ty = expr_of("int main(int a) { int *p; p = NULL; "
+                     "return *(p + 1); }")
+        assert ty == INT
+
+    def test_pointer_difference_is_int(self):
+        unit = check("int main() { int *p; int *q; p = NULL; q = NULL;"
+                     " return p - q; }")
+
+    def test_array_index_type(self):
+        assert expr_of("int a[4]; int main() { return a[0]; }") == INT
+
+    def test_member_types(self):
+        src = ("struct p { int x; float y; };\n"
+               "struct p g;\n"
+               "int main() { return g.x; }")
+        assert expr_of(src) == INT
+
+    def test_arrow_through_pointer(self):
+        src = ("struct n { int v; struct n *next; };\n"
+               "struct n *h;\n"
+               "int main() { return h->next->v; }")
+        assert expr_of(src) == INT
+
+    def test_call_result_type(self):
+        src = "float f() { return 1.0; } int main() { return (int) f(); }"
+        check(src)
+
+    def test_comparison_yields_int(self):
+        assert expr_of("int main() { return 1.5 < 2.5; }") == INT
+
+    def test_address_of(self):
+        src = "int main() { int x; return *(&x); }"
+        check(src)
+
+    def test_sizeof_value(self):
+        src = ("struct n { int v; struct n *next; };\n"
+               "int main() { return sizeof(struct n); }")
+        unit = check(src)
+        ret = unit.functions[0].body.statements[0]
+        assert const_value(ret.value) == 8
+
+
+class TestErrors:
+    def err(self, source):
+        with pytest.raises(SemanticError):
+            check(source)
+
+    def test_undefined_variable(self):
+        self.err("int main() { return nope; }")
+
+    def test_undefined_function(self):
+        self.err("int main() { return nope(); }")
+
+    def test_redeclared_local(self):
+        self.err("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_rejected(self):
+        self.err("int main() { int x; { int x; } return 0; }")
+
+    def test_wrong_arity(self):
+        self.err("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_deref_non_pointer(self):
+        self.err("int main() { int x; return *x; }")
+
+    def test_index_non_array(self):
+        self.err("int main() { int x; return x[0]; }")
+
+    def test_member_of_non_struct(self):
+        self.err("int main() { int x; return x.f; }")
+
+    def test_unknown_member(self):
+        self.err("struct p { int x; }; struct p g; "
+                 "int main() { return g.y; }")
+
+    def test_arrow_on_value(self):
+        self.err("struct p { int x; }; struct p g; "
+                 "int main() { return g->x; }")
+
+    def test_assign_to_rvalue(self):
+        self.err("int main() { 1 = 2; return 0; }")
+
+    def test_assign_to_array(self):
+        self.err("int a[4]; int b[4]; int main() { a = b; return 0; }")
+
+    def test_break_outside_loop(self):
+        self.err("int main() { break; return 0; }")
+
+    def test_return_value_from_void(self):
+        self.err("void f() { return 1; } int main() { return 0; }")
+
+    def test_missing_return_value(self):
+        self.err("int main() { return; }")
+
+    def test_void_variable(self):
+        self.err("int main() { void v; return 0; }")
+
+    def test_global_nonconst_initializer(self):
+        self.err("int f(); int x = f();")
+
+    def test_builtin_shadowing_rejected(self):
+        self.err("int malloc(int n) { return n; }")
+
+    def test_local_brace_initializer_rejected(self):
+        self.err("int main() { int a[2] = {1, 2}; return 0; }")
+
+    def test_modulo_on_float(self):
+        self.err("int main() { return 1.5 % 2; }")
+
+    def test_bitnot_on_float(self):
+        self.err("int main() { return ~1.5; }")
+
+    def test_global_redefined(self):
+        self.err("int x; int x;")
+
+
+class TestConstValue:
+    def test_arithmetic(self):
+        unit = parse("int x = 2 * 3 + 4;")
+        assert const_value(unit.globals[0].init) == 10
+
+    def test_shifts_and_masks(self):
+        unit = parse("int x = (1 << 4) | 3;")
+        assert const_value(unit.globals[0].init) == 19
+
+    def test_unary(self):
+        unit = parse("int x = -5;")
+        assert const_value(unit.globals[0].init) == -5
+
+    def test_division_truncates(self):
+        unit = parse("int x = -7 / 2;")
+        assert const_value(unit.globals[0].init) == -3
+
+    def test_non_constant_is_none(self):
+        unit = parse("int main() { return x; }")
+        ret = unit.functions[0].body.statements[0]
+        assert const_value(ret.value) is None

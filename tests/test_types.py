@@ -1,0 +1,73 @@
+"""MiniC type system tests: sizes, alignment, struct layout."""
+
+from repro.lang.types import (
+    CHAR, FLOAT, INT, ArrayType, PointerType, StructType,
+    common_arithmetic, is_assignable,
+)
+
+
+class TestSizes:
+    def test_scalar_sizes(self):
+        assert INT.size == 4
+        assert FLOAT.size == 4
+        assert CHAR.size == 1
+        assert PointerType(INT).size == 4
+
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size == 40
+        assert ArrayType(CHAR, 10).size == 10
+        assert ArrayType(ArrayType(INT, 4), 3).size == 48
+
+    def test_struct_layout_padding(self):
+        s = StructType("s")
+        s.set_fields([("c", CHAR), ("i", INT), ("c2", CHAR)])
+        assert s.fields["c"].offset == 0
+        assert s.fields["i"].offset == 4     # padded to word
+        assert s.fields["c2"].offset == 8
+        assert s.size == 12                  # rounded to word multiple
+
+    def test_struct_char_packing(self):
+        s = StructType("s")
+        s.set_fields([("a", CHAR), ("b", CHAR)])
+        assert s.fields["b"].offset == 1
+        assert s.size == 4
+
+    def test_nested_struct_field(self):
+        inner = StructType("inner")
+        inner.set_fields([("x", INT), ("y", INT)])
+        outer = StructType("outer")
+        outer.set_fields([("pre", CHAR), ("in_", inner)])
+        assert outer.fields["in_"].offset == 4
+        assert outer.size == 12
+
+
+class TestPredicates:
+    def test_scalar_predicate(self):
+        assert INT.is_scalar and PointerType(INT).is_scalar
+        assert not ArrayType(INT, 2).is_scalar
+
+    def test_array_decay(self):
+        decayed = ArrayType(FLOAT, 8).decayed()
+        assert isinstance(decayed, PointerType)
+        assert decayed.target == FLOAT
+
+    def test_struct_equality_by_name(self):
+        a, b = StructType("n"), StructType("n")
+        a.set_fields([("x", INT)])
+        b.set_fields([("x", INT), ("y", INT)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestConversions:
+    def test_assignability(self):
+        assert is_assignable(INT, FLOAT)
+        assert is_assignable(FLOAT, INT)
+        assert is_assignable(PointerType(INT), PointerType(CHAR))
+        assert is_assignable(PointerType(INT), INT)     # NULL etc.
+        assert not is_assignable(INT, ArrayType(INT, 2))
+
+    def test_common_arithmetic(self):
+        assert common_arithmetic(INT, FLOAT) == FLOAT
+        assert common_arithmetic(CHAR, INT) == INT
+        assert common_arithmetic(CHAR, CHAR) == INT   # char promotes

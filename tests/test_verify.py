@@ -1,0 +1,117 @@
+"""Tests for the structural program verifier — both that it accepts all
+compiler output and that it catches each class of deliberately broken
+code."""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.asm.verify import Issue, verify_program
+from repro.compiler.driver import compile_source
+from repro.workloads.registry import names, get
+
+
+def kinds(issues):
+    return {issue.kind for issue in issues}
+
+
+class TestCleanCode:
+    def test_sample_program_verifies(self, sample_program):
+        assert verify_program(sample_program) == []
+
+    def test_optimized_sample_verifies(self, sample_program_opt):
+        assert verify_program(sample_program_opt) == []
+
+    @pytest.mark.parametrize("name", names()[:6])
+    def test_workloads_verify(self, name):
+        for optimize in (False, True):
+            program = compile_source(
+                get(name).generate("input1", scale=0.05),
+                optimize=optimize)
+            issues = verify_program(program)
+            assert issues == [], (
+                f"{name} opt={optimize}: "
+                + "; ".join(str(i) for i in issues[:3]))
+
+
+class TestBrokenCode:
+    def test_branch_leaving_function(self):
+        src = (".text\n.ent f\nf:\nbeqz $t0, g\njr $ra\n.end f\n"
+               ".ent g\ng: li $t0, 0\njr $ra\n.end g\n")
+        issues = verify_program(assemble(src),
+                                check_uninitialized=False)
+        assert "branch-leaves-function" in kinds(issues)
+
+    def test_call_into_function_body(self):
+        src = (".text\n.ent f\nf:\njal inside\njr $ra\n.end f\n"
+               ".ent g\ng:\nli $t0, 0\ninside: jr $ra\n.end g\n")
+        issues = verify_program(assemble(src),
+                                check_uninitialized=False)
+        assert "call-into-body" in kinds(issues)
+
+    def test_fallthrough_off_function(self):
+        src = (".text\n.ent f\nf:\nli $t0, 1\n.end f\n"
+               ".ent g\ng: jr $ra\n.end g\n")
+        issues = verify_program(assemble(src),
+                                check_uninitialized=False)
+        assert "fallthrough-off-function" in kinds(issues)
+
+    def test_unbalanced_stack(self):
+        src = (".text\n.ent f\nf:\n"
+               "addiu $sp, $sp, -32\n"
+               "sw $ra, 28($sp)\n"
+               "lw $ra, 28($sp)\n"
+               "jr $ra\n"               # missing addiu $sp, $sp, 32
+               ".end f\n")
+        issues = verify_program(assemble(src),
+                                check_uninitialized=False)
+        assert "unbalanced-stack" in kinds(issues)
+
+    def test_balanced_stack_accepted(self):
+        src = (".text\n.ent f\nf:\n"
+               "addiu $sp, $sp, -32\n"
+               "sw $ra, 28($sp)\n"
+               "lw $ra, 28($sp)\n"
+               "addiu $sp, $sp, 32\n"
+               "jr $ra\n.end f\n")
+        issues = verify_program(assemble(src),
+                                check_uninitialized=False)
+        assert "unbalanced-stack" not in kinds(issues)
+
+    def test_uninitialized_temp_read(self):
+        src = (".text\n.ent f\nf:\n"
+               "addu $t1, $t0, $t0\n"    # $t0 never defined in f
+               "jr $ra\n.end f\n")
+        issues = verify_program(assemble(src))
+        assert "uninitialized-read" in kinds(issues)
+
+    def test_defined_temp_accepted(self):
+        src = (".text\n.ent f\nf:\n"
+               "li $t0, 1\naddu $t1, $t0, $t0\njr $ra\n.end f\n")
+        issues = verify_program(assemble(src))
+        assert "uninitialized-read" not in kinds(issues)
+
+    def test_v0_after_call_accepted(self):
+        src = (".text\n.ent f\nf:\n"
+               "addiu $sp, $sp, -8\nsw $ra, 4($sp)\n"
+               "jal g\n"
+               "addu $t0, $v0, $v0\n"    # v0 defined by the call
+               "lw $ra, 4($sp)\naddiu $sp, $sp, 8\njr $ra\n.end f\n"
+               ".ent g\ng: li $v0, 1\njr $ra\n.end g\n")
+        issues = verify_program(assemble(src))
+        assert "uninitialized-read" not in kinds(issues)
+
+    def test_saved_registers_exempt(self):
+        # $s0 may legitimately carry a caller value at entry
+        src = (".text\n.ent f\nf:\n"
+               "addu $t0, $s0, $s0\njr $ra\n.end f\n")
+        issues = verify_program(assemble(src))
+        assert "uninitialized-read" not in kinds(issues)
+
+
+class TestIssueRendering:
+    def test_str(self):
+        issue = Issue("demo-kind", 0x400010, "main", "something off")
+        text = str(issue)
+        assert "0x00400010" in text
+        assert "demo-kind" in text
+        assert "main" in text
