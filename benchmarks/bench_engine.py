@@ -1,0 +1,154 @@
+"""Experiment-engine benchmarks.
+
+Times the single-pass multi-configuration replay against N serial
+:func:`simulate_trace` calls (and the hierarchy counterpart), plus the
+parallel ``Session.warm`` stage against the serial path, and records
+the measured speedups in ``BENCH_engine.json`` at the repository root
+so the numbers ride with the commit that produced them.
+
+The multi-config speedup comes from sharing the trace decode, kind
+dispatch, block division and per-PC access counting across configs —
+it is expected on any machine.  The warm-stage speedup needs real
+parallel hardware; on a single-core box the process fan-out can only
+add overhead, so that assertion is gated on ``os.cpu_count() > 1`` and
+the honest number is recorded either way.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache.config import (BASELINE_CONFIG, TRAINING_CONFIG,
+                                CacheConfig, associativity_sweep,
+                                size_sweep)
+from repro.cache.hierarchy import (DEFAULT_HIERARCHY, HierarchyConfig,
+                                   simulate_trace_hierarchy,
+                                   simulate_trace_hierarchy_multi)
+from repro.cache.model import simulate_trace, simulate_trace_multi
+from repro.compiler.driver import compile_source
+from repro.machine.simulator import Machine
+from repro.pipeline.session import Session
+from repro.workloads.registry import get
+
+WORKLOAD = "129.compress"
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+WARM_SCALE = SCALE / 3
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: The shapes the table suite actually sweeps.
+CONFIGS = list(dict.fromkeys(
+    [BASELINE_CONFIG, TRAINING_CONFIG]
+    + associativity_sweep() + size_sweep()))
+
+HIERARCHIES = [
+    DEFAULT_HIERARCHY,
+    HierarchyConfig(l1=CacheConfig(4 * 1024, 2, 32),
+                    l2=CacheConfig(64 * 1024, 8, 64)),
+    HierarchyConfig(l1=CacheConfig(16 * 1024, 4, 32),
+                    l2=CacheConfig(256 * 1024, 8, 64)),
+]
+
+WARM_PLAN = [(name, "input1", False, (BASELINE_CONFIG, TRAINING_CONFIG))
+             for name in ("129.compress", "181.mcf", "099.go",
+                          "164.gzip")]
+
+_results: dict = {}
+
+
+def _flush() -> None:
+    payload = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "scale": SCALE,
+        "results": _results,
+    }
+    try:
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass
+
+
+def _best(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.fixture(scope="module")
+def trace():
+    source = get(WORKLOAD).generate("input1", scale=SCALE)
+    return Machine(compile_source(source)).run().trace
+
+
+def test_multi_config_replay_speedup(trace):
+    serial = _best(lambda: [simulate_trace(trace, config)
+                            for config in CONFIGS])
+    multi = _best(lambda: simulate_trace_multi(trace, CONFIGS))
+    speedup = serial / multi
+    _results["multi_config_replay"] = {
+        "configs": len(CONFIGS),
+        "accesses": len(trace),
+        "serial_s": round(serial, 4),
+        "multi_s": round(multi, 4),
+        "speedup": round(speedup, 2),
+    }
+    _flush()
+    # "measurably faster": well clear of timer noise, far below the
+    # ~2x actually measured, so the gate never flakes.
+    assert speedup > 1.2
+
+
+def test_hierarchy_multi_replay_speedup(trace):
+    serial = _best(lambda: [simulate_trace_hierarchy(trace, config)
+                            for config in HIERARCHIES])
+    multi = _best(
+        lambda: simulate_trace_hierarchy_multi(trace, HIERARCHIES))
+    speedup = serial / multi
+    _results["hierarchy_multi_replay"] = {
+        "configs": len(HIERARCHIES),
+        "accesses": len(trace),
+        "serial_s": round(serial, 4),
+        "multi_s": round(multi, 4),
+        "speedup": round(speedup, 2),
+    }
+    _flush()
+    assert speedup > 1.2
+
+
+def test_warm_parallel_speedup(tmp_path):
+    def timed_warm(jobs: int, cache_dir: Path) -> float:
+        session = Session(scale=WARM_SCALE, cache_dir=cache_dir)
+        start = time.perf_counter()
+        report = session.warm(WARM_PLAN, jobs=jobs)
+        elapsed = time.perf_counter() - start
+        assert report.simulated == len(WARM_PLAN)
+        return elapsed
+
+    serial = timed_warm(1, tmp_path / "serial")
+    parallel = timed_warm(4, tmp_path / "parallel")
+    cores = os.cpu_count() or 1
+    speedup = serial / parallel
+    _results["warm_parallel"] = {
+        "runs": len(WARM_PLAN),
+        "jobs": min(4, len(WARM_PLAN)),
+        "serial_s": round(serial, 4),
+        "parallel_s": round(parallel, 4),
+        "speedup": round(speedup, 2),
+    }
+    _flush()
+    if cores > 1:
+        # with real cores the fan-out must beat the serial loop
+        assert speedup > 1.0
+    else:
+        # single-core box: fork/IPC overhead only — record, don't gate
+        assert parallel > 0

@@ -5,12 +5,15 @@
     python -m repro disasm PROG.c [--optimize]
     python -m repro asm PROG.c [--optimize]
     python -m repro verify PROG.c [--optimize]
+    python -m repro warm [--jobs N] [--scale S] [--workloads W,...]
     python -m repro tables [--tables 1,7,11] [--scale S] [--report F]
 
 ``run`` executes the program on the bundled simulator; ``analyze`` runs
 the paper's delinquent-load identification and prints the flagged loads
 with their address patterns; ``disasm``/``asm`` show the generated code.
-``tables`` forwards to the experiment runner.
+``warm`` pre-executes the experiment suite across worker processes and
+fills the on-disk result cache; ``tables`` forwards to the experiment
+runner.
 """
 
 from __future__ import annotations
@@ -93,6 +96,25 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 1 if issues else 0
 
 
+def cmd_warm(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.pipeline.session import Session, standard_warm_plan
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    session = Session(scale=args.scale, cache_dir=cache_dir)
+    plan = standard_warm_plan()
+    if args.workloads != "all":
+        wanted = {name.strip() for name in args.workloads.split(",")}
+        plan = [run for run in plan if run[0] in wanted]
+        missing = wanted - {run[0] for run in plan}
+        if missing:
+            print(f"unknown workload(s): {', '.join(sorted(missing))}")
+            return 2
+    report = session.warm(plan, jobs=args.jobs)
+    print(f"warm: {report.describe()}")
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as tables_main
     forwarded = ["--tables", args.tables, "--scale", str(args.scale)]
@@ -146,6 +168,23 @@ def build_parser() -> argparse.ArgumentParser:
                            help="structurally verify the generated code")
     add_source(p_ver)
     p_ver.set_defaults(func=cmd_verify)
+
+    p_warm = sub.add_parser(
+        "warm",
+        help="pre-execute and cache-simulate the experiment suite "
+             "in parallel (fills .repro_cache)")
+    p_warm.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS, "
+                             "then the CPU count)")
+    p_warm.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    p_warm.add_argument("--workloads", default="all",
+                        help="comma-separated workload names "
+                             "(default: all 18)")
+    p_warm.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: .repro_cache)")
+    p_warm.set_defaults(func=cmd_warm)
 
     p_tab = sub.add_parser("tables",
                            help="regenerate the paper's tables")

@@ -12,11 +12,13 @@ state, write-allocate at both levels).
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.cache.config import CacheConfig
-from repro.cache.model import Cache
+from repro.cache.model import (Cache, _block_vars, _emit_cache_state,
+                               _emit_cache_update, shared_access_counts)
 from repro.machine.trace import LOAD, MemoryTrace
 
 
@@ -74,8 +76,8 @@ def simulate_trace_hierarchy(trace: MemoryTrace,
                              config: HierarchyConfig = DEFAULT_HIERARCHY
                              ) -> HierarchyStats:
     """Replay ``trace`` through a cold two-level hierarchy."""
-    l1 = Cache(config.l1)
-    l2 = Cache(config.l2)
+    l1_access = Cache(config.l1).access
+    l2_access = Cache(config.l2).access
     load_accesses: dict[int, int] = defaultdict(int)
     l1_misses: dict[int, int] = defaultdict(int)
     l2_misses: dict[int, int] = defaultdict(int)
@@ -85,10 +87,10 @@ def simulate_trace_hierarchy(trace: MemoryTrace,
 
     for pc, address, kind in zip(trace.pcs, trace.addresses,
                                  trace.kinds):
-        l1_hit = l1.access(address)
+        l1_hit = l1_access(address)
         l2_hit = True
         if not l1_hit:
-            l2_hit = l2.access(address)
+            l2_hit = l2_access(address)
         if kind == LOAD:
             load_accesses[pc] += 1
             if not l1_hit:
@@ -111,3 +113,92 @@ def simulate_trace_hierarchy(trace: MemoryTrace,
         l1_store_misses=l1_store_misses,
         l2_store_misses=l2_store_misses,
     )
+
+
+def _compile_hierarchy_replay(configs: Sequence[HierarchyConfig]):
+    """Generate a single-pass replay over N two-level hierarchies.
+
+    Same code-generation scheme as ``model._compile_replay``; the L2
+    update is emitted *inside* the L1 miss branch, matching the
+    fill-into-both-levels model of :func:`simulate_trace_hierarchy`.
+    """
+    flat = [c for pair in configs for c in (pair.l1, pair.l2)]
+    blocks = _block_vars(flat)
+    lines = ["def replay(pcs, addresses, kinds):"]
+    for index, config in enumerate(configs):
+        lines += _emit_cache_state(f"{index}a", config.l1)
+        lines += _emit_cache_state(f"{index}b", config.l2)
+        lines += [f"    l1m{index} = []",
+                  f"    l1ma{index} = l1m{index}.append",
+                  f"    l2m{index} = []",
+                  f"    l2ma{index} = l2m{index}.append",
+                  f"    s1_{index} = 0",
+                  f"    s2_{index} = 0"]
+    lines.append("    for pc, address, kind in zip(pcs, addresses,"
+                 " kinds):")
+    for size, name in blocks.items():
+        lines.append(f"        {name} = address // {size}")
+    lines.append(f"        if kind == {LOAD}:")
+    for index, config in enumerate(configs):
+        inner = _emit_cache_update(f"{index}b", config.l2,
+                                   blocks[config.l2.block_size],
+                                   [f"l2ma{index}(pc)"], 0)
+        lines += _emit_cache_update(f"{index}a", config.l1,
+                                    blocks[config.l1.block_size],
+                                    [f"l1ma{index}(pc)"] + inner, 12)
+    lines.append("        else:")
+    for index, config in enumerate(configs):
+        inner = _emit_cache_update(f"{index}b", config.l2,
+                                   blocks[config.l2.block_size],
+                                   [f"s2_{index} += 1"], 0)
+        lines += _emit_cache_update(f"{index}a", config.l1,
+                                    blocks[config.l1.block_size],
+                                    [f"s1_{index} += 1"] + inner, 12)
+    results = ", ".join(f"(l1m{i}, l2m{i}, s1_{i}, s2_{i})"
+                        for i in range(len(configs)))
+    lines.append(f"    return [{results}]")
+    namespace: dict = {}
+    exec("\n".join(lines), namespace)  # trusted, generated source
+    return namespace["replay"]
+
+
+_HIERARCHY_REPLAY_CACHE: dict[tuple, object] = {}
+
+
+def simulate_trace_hierarchy_multi(trace: MemoryTrace,
+                                   configs: Sequence[HierarchyConfig]
+                                   ) -> list[HierarchyStats]:
+    """Replay ``trace`` once through N cold two-level hierarchies.
+
+    Single-pass counterpart of :func:`simulate_trace_hierarchy`: the
+    trace decode, kind dispatch, block division and per-PC load-access
+    counting happen once; per-config state is the two levels' sets and
+    miss recorders.  Results are bit-identical to N separate calls.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    key = tuple((c.num_sets, c.assoc, c.block_size, c.replacement)
+                for pair in configs for c in (pair.l1, pair.l2))
+    replay = _HIERARCHY_REPLAY_CACHE.get(key)
+    if replay is None:
+        if len(_HIERARCHY_REPLAY_CACHE) > 64:
+            _HIERARCHY_REPLAY_CACHE.clear()
+        replay = _HIERARCHY_REPLAY_CACHE[key] = \
+            _compile_hierarchy_replay(configs)
+    raw = replay(trace.pcs, trace.addresses, trace.kinds)
+    load_accesses, _ = shared_access_counts(trace)
+    store_accesses = len(trace) - trace.kinds.count(LOAD)
+    return [
+        HierarchyStats(
+            config=config,
+            load_accesses=dict(load_accesses),
+            l1_load_misses=dict(Counter(l1_miss_pcs)),
+            l2_load_misses=dict(Counter(l2_miss_pcs)),
+            store_accesses=store_accesses,
+            l1_store_misses=l1_stores,
+            l2_store_misses=l2_stores,
+        )
+        for config, (l1_miss_pcs, l2_miss_pcs, l1_stores, l2_stores)
+        in zip(configs, raw)
+    ]

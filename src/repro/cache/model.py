@@ -11,11 +11,12 @@ configurations; execution and cache simulation are deliberately decoupled.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.cache.config import CacheConfig
-from repro.machine.trace import LOAD, PREFETCH, MemoryTrace
+from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
 
 
 @dataclass
@@ -71,10 +72,21 @@ class CacheStats:
 
 
 class Cache:
-    """One set-associative cache instance."""
+    """One set-associative cache instance.
+
+    Geometry and policy are hoisted into instance attributes at
+    construction: the seed implementation recomputed the ``num_sets``
+    property (an integer division) and compared the replacement string
+    on every access, which dominated :meth:`access` time.
+    """
 
     def __init__(self, config: CacheConfig):
         self.config = config
+        self._block_size = config.block_size
+        self._set_mask = config.num_sets - 1
+        self._assoc = config.assoc
+        self._lru = config.replacement == "lru"
+        self._random = config.replacement == "random"
         self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
         self._rng_state = 0x2545F491  # deterministic pseudo-random victims
 
@@ -85,11 +97,10 @@ class Cache:
 
     def access(self, address: int) -> bool:
         """Touch ``address``; return True on hit."""
-        config = self.config
-        block = address // config.block_size
-        ways = self._sets[block & (config.num_sets - 1)]
+        block = address // self._block_size
+        ways = self._sets[block & self._set_mask]
         if block in ways:
-            if config.replacement == "lru" and ways[0] != block:
+            if self._lru and ways[0] != block:
                 ways.remove(block)
                 ways.insert(0, block)
             return True
@@ -97,9 +108,8 @@ class Cache:
         return False
 
     def _insert(self, ways: list[int], block: int) -> None:
-        config = self.config
-        if len(ways) >= config.assoc:
-            if config.replacement == "random":
+        if len(ways) >= self._assoc:
+            if self._random:
                 self._rng_state = (self._rng_state * 1103515245 + 12345) \
                     & 0x7FFF_FFFF
                 ways.pop(self._rng_state % len(ways))
@@ -108,9 +118,8 @@ class Cache:
         ways.insert(0, block)
 
     def contains(self, address: int) -> bool:
-        config = self.config
-        block = address // config.block_size
-        return block in self._sets[block & (config.num_sets - 1)]
+        block = address // self._block_size
+        return block in self._sets[block & self._set_mask]
 
 
 def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
@@ -132,6 +141,7 @@ def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
     prefetch_ops = 0
     prefetch_fills = 0
 
+    load_kind, prefetch_kind = LOAD, PREFETCH  # hoisted global loads
     for pc, address, kind in zip(trace.pcs, trace.addresses, trace.kinds):
         block = address // block_size
         ways = sets[block & set_mask]
@@ -149,11 +159,11 @@ def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
                 else:
                     ways.pop()
             ways.insert(0, block)
-        if kind == LOAD:
+        if kind == load_kind:
             load_accesses[pc] += 1
             if not hit:
                 load_misses[pc] += 1
-        elif kind == PREFETCH:
+        elif kind == prefetch_kind:
             prefetch_ops += 1
             if not hit:
                 prefetch_fills += 1
@@ -171,3 +181,159 @@ def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
         prefetch_ops=prefetch_ops,
         prefetch_fills=prefetch_fills,
     )
+
+
+# -- single-pass multi-configuration replay ---------------------------
+#
+# The experiment engine's hot path.  A replay function specialized to
+# the exact config list is generated and exec-compiled once per distinct
+# geometry tuple (mirroring the simulator's "pre-compile each
+# instruction to a closure" idiom): geometry constants are folded into
+# the bytecode, the trace decode and kind dispatch are shared across all
+# configs, distinct block sizes are divided once per access, and misses
+# are recorded through bound ``list.append``s and aggregated with
+# ``collections.Counter`` (C speed) after the pass.  The replacement
+# logic is emitted verbatim from :func:`simulate_trace`'s loop, so the
+# per-config results — including the pseudo-random victim sequence —
+# are bit-identical to per-config replays.
+
+
+def _emit_cache_update(tag: str, config: CacheConfig, block_var: str,
+                       miss_lines: Sequence[str],
+                       indent: int) -> list[str]:
+    """Emit one cache's per-access update at ``indent``.
+
+    ``miss_lines`` (relative indentation, possibly a nested update for
+    a second-level cache) are placed in the miss branch after the fill.
+    """
+    pad = " " * indent
+    set_mask = config.num_sets - 1
+    lines = [f"{pad}ways = sets{tag}[{block_var} & {set_mask}]",
+             f"{pad}if {block_var} in ways:"]
+    if config.replacement == "lru":
+        lines += [f"{pad}    if ways[0] != {block_var}:",
+                  f"{pad}        ways.remove({block_var})",
+                  f"{pad}        ways.insert(0, {block_var})"]
+    else:
+        lines.append(f"{pad}    pass")
+    lines.append(f"{pad}else:")
+    lines.append(f"{pad}    if len(ways) >= {config.assoc}:")
+    if config.replacement == "random":
+        lines += [f"{pad}        rng{tag} = (rng{tag} * 1103515245"
+                  f" + 12345) & 0x7FFFFFFF",
+                  f"{pad}        ways.pop(rng{tag} % len(ways))"]
+    else:
+        lines.append(f"{pad}        ways.pop()")
+    lines.append(f"{pad}    ways.insert(0, {block_var})")
+    lines += [f"{pad}    {line}" for line in miss_lines]
+    return lines
+
+
+def _emit_cache_state(tag: str, config: CacheConfig) -> list[str]:
+    lines = [f"    sets{tag} = [[] for _ in range({config.num_sets})]"]
+    if config.replacement == "random":
+        lines.append(f"    rng{tag} = 0x2545F491")
+    return lines
+
+
+def _block_vars(configs: Sequence[CacheConfig]) -> dict[int, str]:
+    """One ``block = address // size`` variable per distinct size."""
+    return {config.block_size: f"block{config.block_size}"
+            for config in configs}
+
+
+def _compile_replay(configs: Sequence[CacheConfig]):
+    """Build ``replay(pcs, addresses, kinds) -> [(lm, sm, fills), ...]``."""
+    blocks = _block_vars(configs)
+    lines = ["def replay(pcs, addresses, kinds):"]
+    for index, config in enumerate(configs):
+        lines += _emit_cache_state(str(index), config)
+        lines += [f"    lm{index} = []",
+                  f"    lma{index} = lm{index}.append",
+                  f"    sm{index} = []",
+                  f"    sma{index} = sm{index}.append",
+                  f"    fills{index} = 0"]
+    lines.append("    for pc, address, kind in zip(pcs, addresses,"
+                 " kinds):")
+    for size, name in blocks.items():
+        lines.append(f"        {name} = address // {size}")
+    for kind, miss in ((LOAD, "lma{i}(pc)"), (STORE, "sma{i}(pc)"),
+                       (PREFETCH, "fills{i} += 1")):
+        head = "if" if kind == LOAD else "elif"
+        lines.append(f"        {head} kind == {kind}:")
+        for index, config in enumerate(configs):
+            lines += _emit_cache_update(
+                str(index), config, blocks[config.block_size],
+                [miss.format(i=index)], 12)
+    results = ", ".join(f"(lm{i}, sm{i}, fills{i})"
+                        for i in range(len(configs)))
+    lines.append(f"    return [{results}]")
+    namespace: dict = {}
+    exec("\n".join(lines), namespace)  # trusted, generated source
+    return namespace["replay"]
+
+
+_REPLAY_CACHE: dict[tuple, object] = {}
+
+
+def _replay_for(configs: Sequence[CacheConfig]):
+    key = tuple((c.num_sets, c.assoc, c.block_size, c.replacement)
+                for c in configs)
+    replay = _REPLAY_CACHE.get(key)
+    if replay is None:
+        if len(_REPLAY_CACHE) > 64:   # unbounded-growth backstop
+            _REPLAY_CACHE.clear()
+        replay = _REPLAY_CACHE[key] = _compile_replay(configs)
+    return replay
+
+
+def shared_access_counts(trace: MemoryTrace
+                         ) -> tuple[dict[int, int], dict[int, int]]:
+    """Per-PC (load, store) access counts, shared by every config.
+
+    A static PC has a single access kind, so the counts reduce to one
+    C-speed ``Counter`` over the PC column plus a kind lookup table.
+    """
+    kind_of = dict(zip(trace.pcs, trace.kinds))
+    counts = Counter(trace.pcs)
+    load_accesses: dict[int, int] = {}
+    store_accesses: dict[int, int] = {}
+    for pc, count in counts.items():
+        kind = kind_of[pc]
+        if kind == LOAD:
+            load_accesses[pc] = count
+        elif kind != PREFETCH:
+            store_accesses[pc] = count
+    return load_accesses, store_accesses
+
+
+def simulate_trace_multi(trace: MemoryTrace,
+                         configs: Sequence[CacheConfig]
+                         ) -> list[CacheStats]:
+    """Replay ``trace`` once through N cold caches, one per config.
+
+    Produces bit-identical results to N separate :func:`simulate_trace`
+    calls while paying the trace decode, the kind dispatch, the block
+    division (per distinct block size) and the per-PC *access* counting
+    — all config-independent — only once; only the hit/miss state is
+    per-config.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    raw = _replay_for(configs)(trace.pcs, trace.addresses, trace.kinds)
+    load_accesses, store_accesses = shared_access_counts(trace)
+    prefetch_ops = trace.kinds.count(PREFETCH)
+    return [
+        CacheStats(
+            config=config,
+            load_accesses=dict(load_accesses),
+            load_misses=dict(Counter(load_miss_pcs)),
+            store_accesses=dict(store_accesses),
+            store_misses=dict(Counter(store_miss_pcs)),
+            prefetch_ops=prefetch_ops,
+            prefetch_fills=fills,
+        )
+        for config, (load_miss_pcs, store_miss_pcs, fills)
+        in zip(configs, raw)
+    ]

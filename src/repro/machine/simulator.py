@@ -180,11 +180,12 @@ class Machine:
         counts = self._block_counts
         counts[address] = 0
         budget = self._entry_budget
+        limit = budget[1]  # never mutated after construction
 
         def leader() -> int:
             counts[address] += 1
-            budget[0] += 1
-            if budget[0] > budget[1]:
+            budget[0] = entries = budget[0] + 1
+            if entries > limit:
                 raise StepLimitExceeded(
                     f"block-entry budget exceeded at {address:#x}")
             return op()
@@ -579,12 +580,15 @@ class Machine:
         ops = self._ops
         exit_code = 0
         try:
+            # Unrolled dispatch: four ops per backward jump.  Each op
+            # returns the next index, so chaining is semantics-preserving;
+            # exits/errors surface through exceptions exactly as before.
             while True:
-                index = ops[index]()
+                index = ops[ops[ops[ops[index]()]()]()]()
         except _Exit as stop:
             exit_code = stop.code
         except IndexError:
-            raise MachineError(f"fell off the text segment (index {index})")
+            raise MachineError("fell off the text segment")
         steps = self._count_steps()
         return ExecutionResult(
             steps=steps,

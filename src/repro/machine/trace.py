@@ -44,7 +44,7 @@ class MemoryTrace:
 
     @property
     def load_count(self) -> int:
-        return sum(1 for kind in self.kinds if kind == LOAD)
+        return self.kinds.count(LOAD)
 
     @property
     def store_count(self) -> int:

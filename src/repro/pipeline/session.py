@@ -18,23 +18,41 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import time
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.asm.program import Program
-from repro.cache.config import BASELINE_CONFIG, CacheConfig
-from repro.cache.model import CacheStats, simulate_trace
+from repro.cache.config import (BASELINE_CONFIG, TRAINING_CONFIG,
+                                CacheConfig, associativity_sweep,
+                                size_sweep)
+from repro.cache.model import CacheStats, simulate_trace_multi
 from repro.compiler.driver import compile_source
 from repro.machine.simulator import Machine
 from repro.patterns.builder import LoadInfo, build_load_infos
 from repro.profiling.profile import BlockProfile
 from repro.workloads.base import Workload
-from repro.workloads.registry import get as get_workload
+from repro.workloads.registry import (ALL_WORKLOADS, get as get_workload,
+                                      training_workloads)
 
 _SCHEMA_VERSION = 3
 _TRACE_LRU = 2
+
+#: A warm() work item: a RunKey, a (workload, input, optimize) triple, or
+#: the same triple plus an explicit cache-config sequence.
+WarmRun = Union["RunKey", tuple]
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    """Worker-count knob: explicit argument > $REPRO_JOBS > CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    return max(1, jobs)
 
 
 @dataclass(frozen=True)
@@ -132,23 +150,38 @@ class Session:
                 self._execute(key)
         return self._profiles[key]
 
+    def stats_multi(self, workload: str, input_name: str = "input1",
+                    optimize: bool = False,
+                    configs: Sequence[CacheConfig] = (BASELINE_CONFIG,)
+                    ) -> list[CacheStats]:
+        """Per-config stats, simulating every uncached config in ONE
+        pass over the trace (see :func:`simulate_trace_multi`)."""
+        key = RunKey(workload, input_name, optimize)
+        missing: list[CacheConfig] = []
+        for config in configs:
+            if (key, config) in self._stats:
+                continue
+            if self.use_disk_cache and self._load_disk(key, config):
+                continue
+            if config not in missing:
+                missing.append(config)
+        if missing:
+            if key not in self._traces:
+                self._execute(key)
+            self._traces.move_to_end(key)
+            trace = self._traces[key]
+            for config, stats in zip(missing,
+                                     simulate_trace_multi(trace, missing)):
+                self._stats[(key, config)] = stats
+                if self.use_disk_cache:
+                    self._store_disk(key, config, stats)
+        return [self._stats[(key, config)] for config in configs]
+
     def stats(self, workload: str, input_name: str = "input1",
               optimize: bool = False,
               cache_config: CacheConfig = BASELINE_CONFIG) -> CacheStats:
-        key = RunKey(workload, input_name, optimize)
-        stats_key = (key, cache_config)
-        if stats_key in self._stats:
-            return self._stats[stats_key]
-        if self.use_disk_cache and self._load_disk(key, cache_config):
-            return self._stats[stats_key]
-        if key not in self._traces:
-            self._execute(key)
-        self._traces.move_to_end(key)
-        stats = simulate_trace(self._traces[key], cache_config)
-        self._stats[stats_key] = stats
-        if self.use_disk_cache:
-            self._store_disk(key, cache_config, stats)
-        return stats
+        return self.stats_multi(workload, input_name, optimize,
+                                (cache_config,))[0]
 
     def measurement(self, workload: str, input_name: str = "input1",
                     optimize: bool = False,
@@ -183,12 +216,13 @@ class Session:
         safe = key.workload.replace(".", "_")
         return self.cache_dir / f"{safe}-{self._digest(key, config)}.json"
 
-    def _store_disk(self, key: RunKey, config: CacheConfig,
-                    stats: CacheStats) -> None:
+    def _payload(self, key: RunKey,
+                 stats: CacheStats) -> Optional[dict]:
+        """The JSON-able cache entry for one (run, config) pair."""
         profile = self._profiles.get(key)
         if profile is None:
-            return
-        payload = {
+            return None
+        return {
             "version": _SCHEMA_VERSION,
             "steps": self._steps.get(key, 0),
             "load_misses": {str(a): m for a, m in
@@ -202,42 +236,193 @@ class Session:
             "block_sizes": {str(a): s for a, s in
                             profile.block_sizes.items()},
         }
+
+    def _store_disk(self, key: RunKey, config: CacheConfig,
+                    stats: CacheStats) -> None:
+        payload = self._payload(key, stats)
+        if payload is None:
+            return
+        path = self._disk_path(key, config)
+        # Concurrent warm workers may write the same entry: write to a
+        # per-process temp file and atomically rename it into place so a
+        # reader can never observe a partially written entry.
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
-            self._disk_path(key, config).write_text(json.dumps(payload))
+            temp.write_text(json.dumps(payload))
+            os.replace(temp, path)
         except OSError:
             pass  # caching is best-effort
+
+    def _absorb(self, key: RunKey, config: CacheConfig, payload: dict,
+                profile_only: bool = False) -> bool:
+        """Merge one cache entry into the in-memory caches.
+
+        Tolerates corrupt or truncated payloads (wrong version, missing
+        keys, malformed values) by reporting failure — the caller then
+        re-simulates instead of raising.
+        """
+        try:
+            if payload.get("version") != _SCHEMA_VERSION:
+                return False
+            block_counts = {int(a): c for a, c in
+                            payload["block_counts"].items()}
+            block_sizes = {int(a): s for a, s in
+                           payload["block_sizes"].items()}
+            steps = int(payload.get("steps", 0))
+            if not profile_only:
+                load_accesses = {int(a): m for a, m in
+                                 payload["load_accesses"].items()}
+                load_misses = {int(a): m for a, m in
+                               payload["load_misses"].items()}
+        except (AttributeError, KeyError, TypeError, ValueError):
+            return False
+        program = self.program(key.workload, key.input_name, key.optimize)
+        self._profiles[key] = BlockProfile(
+            program=program,
+            block_counts=block_counts,
+            block_sizes=block_sizes,
+        )
+        self._steps[key] = steps
+        if profile_only:
+            return True
+        self._stats[(key, config)] = CacheStats(
+            config=config,
+            load_accesses=load_accesses,
+            load_misses=load_misses,
+        )
+        return True
 
     def _load_disk(self, key: RunKey, config: CacheConfig,
                    profile_only: bool = False) -> bool:
         if not self.use_disk_cache:
             return False
         path = self._disk_path(key, config)
-        if not path.exists():
-            return False
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except (OSError, ValueError):
             return False
-        if payload.get("version") != _SCHEMA_VERSION:
-            return False
-        program = self.program(key.workload, key.input_name, key.optimize)
-        self._profiles[key] = BlockProfile(
-            program=program,
-            block_counts={int(a): c for a, c in
-                          payload["block_counts"].items()},
-            block_sizes={int(a): s for a, s in
-                         payload["block_sizes"].items()},
-        )
-        self._steps[key] = payload.get("steps", 0)
-        if profile_only:
+        return self._absorb(key, config, payload,
+                            profile_only=profile_only)
+
+    # -- the warm stage ----------------------------------------------
+    def _is_warm(self, key: RunKey, config: CacheConfig) -> bool:
+        if (key, config) in self._stats:
             return True
-        stats = CacheStats(
-            config=config,
-            load_accesses={int(a): m for a, m in
-                           payload["load_accesses"].items()},
-            load_misses={int(a): m for a, m in
-                         payload["load_misses"].items()},
+        return self.use_disk_cache \
+            and self._disk_path(key, config).exists()
+
+    def warm(self, runs: Iterable[WarmRun],
+             configs: Sequence[CacheConfig] = (BASELINE_CONFIG,),
+             jobs: Optional[int] = None) -> "WarmReport":
+        """Execute + cache-simulate ``runs`` ahead of time, in parallel.
+
+        Each run is a :class:`RunKey`, a ``(workload, input, optimize)``
+        triple (simulated under ``configs``), or the same triple plus an
+        explicit config sequence.  Independent runs fan out across a
+        ``ProcessPoolExecutor`` (``jobs`` defaults to ``$REPRO_JOBS``,
+        then the CPU count); every run replays its trace once for all
+        of its configs.  Results merge through the content-hashed disk
+        cache and the in-memory caches, so subsequent ``stats`` /
+        ``measurement`` calls are cache hits.
+        """
+        start = time.perf_counter()
+        plan: list[tuple[RunKey, tuple[CacheConfig, ...]]] = []
+        for item in runs:
+            if isinstance(item, RunKey):
+                plan.append((item, tuple(configs)))
+                continue
+            item = tuple(item)
+            if len(item) == 4:
+                plan.append((RunKey(*item[:3]), tuple(item[3])))
+            else:
+                plan.append((RunKey(*item), tuple(configs)))
+        pending: list[tuple[RunKey, tuple[CacheConfig, ...]]] = []
+        cached = 0
+        for key, run_configs in plan:
+            missing = tuple(c for c in run_configs
+                            if not self._is_warm(key, c))
+            if missing:
+                pending.append((key, missing))
+            else:
+                cached += 1
+        jobs = max(1, min(_resolve_jobs(jobs), len(pending)))
+        if jobs > 1:
+            tasks = [(self.scale, self.max_steps, self.use_disk_cache,
+                      str(self.cache_dir),
+                      (key.workload, key.input_name, key.optimize),
+                      run_configs)
+                     for key, run_configs in pending]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for (key, run_configs), payloads in zip(
+                        pending, pool.map(_warm_worker, tasks)):
+                    for config, payload in zip(run_configs, payloads):
+                        self._absorb(key, config, payload)
+        else:
+            for key, run_configs in pending:
+                self.stats_multi(key.workload, key.input_name,
+                                 key.optimize, run_configs)
+        return WarmReport(
+            runs=len(plan),
+            simulated=len(pending),
+            cached=cached,
+            jobs=jobs,
+            elapsed=time.perf_counter() - start,
         )
-        self._stats[(key, config)] = stats
-        return True
+
+
+@dataclass(frozen=True)
+class WarmReport:
+    """Summary of one :meth:`Session.warm` invocation."""
+
+    runs: int          # work items in the plan
+    simulated: int     # items that needed execution/simulation
+    cached: int        # items fully satisfied by existing caches
+    jobs: int          # worker processes actually used
+    elapsed: float     # wall-clock seconds
+
+    def describe(self) -> str:
+        return (f"{self.simulated} run(s) simulated, "
+                f"{self.cached} already cached, "
+                f"{self.jobs} job(s), {self.elapsed:.1f}s")
+
+
+def _warm_worker(task: tuple) -> list[Optional[dict]]:
+    """Executed in a worker process: one run, all of its configs.
+
+    Builds a private :class:`Session` (sharing the on-disk cache
+    directory), runs the pipeline through :meth:`Session.stats_multi`
+    — one trace replay for all configs — and returns the JSON-able
+    cache payloads so the parent can merge them without re-reading
+    the disk.
+    """
+    scale, max_steps, use_disk_cache, cache_dir, key_tuple, configs = task
+    session = Session(scale=scale, cache_dir=Path(cache_dir),
+                      use_disk_cache=use_disk_cache, max_steps=max_steps)
+    key = RunKey(*key_tuple)
+    stats_list = session.stats_multi(key.workload, key.input_name,
+                                     key.optimize, configs)
+    return [session._payload(key, stats) for stats in stats_list]
+
+
+def standard_warm_plan() -> list[tuple[str, str, bool, tuple]]:
+    """Every (run, cache-config) combination the table suite consumes.
+
+    Mirrors Tables 1-14: all eighteen workloads at the baseline and
+    training caches (unoptimized, input 1), the training set on its
+    second input, and the training set optimized under the
+    associativity and size sweeps (which include Table 13's 16KB
+    cache).
+    """
+    training = [workload.name for workload in training_workloads()]
+    sweep_configs = tuple(dict.fromkeys(associativity_sweep()
+                                        + size_sweep()))
+    plan: list[tuple[str, str, bool, tuple]] = []
+    for workload in ALL_WORKLOADS:
+        plan.append((workload.name, "input1", False,
+                     (BASELINE_CONFIG, TRAINING_CONFIG)))
+    for name in training:
+        plan.append((name, "input2", False, (TRAINING_CONFIG,)))
+    for name in training:
+        plan.append((name, "input1", True, sweep_configs))
+    return plan

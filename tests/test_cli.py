@@ -93,6 +93,25 @@ class TestTables:
             main([])
 
 
+class TestWarm:
+    def test_warm_filtered(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        code = main(["warm", "--workloads", "129.compress",
+                     "--scale", "0.03", "--jobs", "2",
+                     "--cache-dir", str(cache_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warm:" in out
+        assert "job(s)" in out
+        assert list(cache_dir.glob("*.json"))
+
+    def test_warm_unknown_workload(self, tmp_path, capsys):
+        code = main(["warm", "--workloads", "999.nope",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().out
+
+
 class TestJsonExport:
     def test_analyze_json(self, source_file, capsys):
         import json
