@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Service smoke probe: start a real server process, exercise it, stop it.
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/service_smoke.py
+
+Spawns ``python -m repro serve`` as a subprocess on an ephemeral port,
+waits for its listening banner, then checks with a client that
+
+1. ``health`` answers ok,
+2. one ``analyze`` round trip is byte-identical to the in-process
+   pipeline,
+3. the repeat request is served from the cache,
+4. ``metrics`` reports the traffic,
+5. the ``shutdown`` op terminates the process cleanly (exit code 0).
+
+Exits non-zero on the first failed check.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import analyze_program               # noqa: E402
+from repro.export import report_to_dict             # noqa: E402
+from repro.service.client import ServiceClient      # noqa: E402
+
+SOURCE = r"""
+int a[512];
+int main(int n) {
+    int i; int s;
+    s = 0;
+    for (i = 0; i < 512; i = i + 1)
+        a[i] = i;
+    for (i = 0; i < 512; i = i + 1)
+        s = s + a[i];
+    print_int(s + n);
+    return 0;
+}
+"""
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "0", "--no-disk-cache"],
+        stdout=subprocess.PIPE, text=True, env=env, cwd=REPO_ROOT)
+    try:
+        banner = proc.stdout.readline().strip()
+        print(f"smoke: {banner}")
+        prefix = "repro service listening on "
+        assert banner.startswith(prefix), f"unexpected banner: {banner!r}"
+        host, port = banner[len(prefix):].rsplit(":", 1)
+
+        with ServiceClient(host, int(port), timeout=120.0) as client:
+            health = client.health()
+            assert health["status"] == "ok", health
+            print(f"smoke: health ok "
+                  f"(v{health['version']}, "
+                  f"protocol {health['protocol_version']})")
+
+            served = client.analyze(SOURCE)
+            local = report_to_dict(analyze_program(SOURCE))
+            assert json.dumps(served) == json.dumps(local), \
+                "served analyze diverges from in-process pipeline"
+            print(f"smoke: analyze round trip identical "
+                  f"({served['summary']['num_loads']} loads, "
+                  f"{served['summary']['num_delinquent']} delinquent)")
+
+            repeat = client.request("analyze", {"source": SOURCE})
+            assert repeat["cached"] == "memory", repeat.get("cached")
+            print("smoke: repeat request served from memory cache")
+
+            metrics = client.metrics()
+            assert metrics["requests"]["by_op"].get("analyze") == 2, \
+                metrics["requests"]
+            print(f"smoke: metrics ok "
+                  f"(p50 analyze "
+                  f"{metrics['latency']['analyze']['p50_ms']}ms)")
+
+            client.shutdown()
+
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, \
+            f"server exited with {proc.returncode}"
+        print("smoke: clean shutdown — all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,18 +2,23 @@
 
     python -m repro run PROG.c [--optimize] [--args N ...]
     python -m repro analyze PROG.c [--optimize] [--static] [--delta D]
+                                   [--json [FILE]] [--remote HOST:PORT]
     python -m repro disasm PROG.c [--optimize]
     python -m repro asm PROG.c [--optimize]
     python -m repro verify PROG.c [--optimize]
     python -m repro warm [--jobs N] [--scale S] [--workloads W,...]
     python -m repro tables [--tables 1,7,11] [--scale S] [--report F]
+    python -m repro serve [--port P] [--workers N] [--stats]
 
 ``run`` executes the program on the bundled simulator; ``analyze`` runs
 the paper's delinquent-load identification and prints the flagged loads
-with their address patterns; ``disasm``/``asm`` show the generated code.
+with their address patterns (``--json`` emits the ``repro.export``
+schema, ``--remote`` sends the request to a running service instead of
+analyzing in-process); ``disasm``/``asm`` show the generated code.
 ``warm`` pre-executes the experiment suite across worker processes and
 fills the on-disk result cache; ``tables`` forwards to the experiment
-runner.
+runner; ``serve`` starts the long-lived delinquency-analysis service
+(see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -38,7 +43,70 @@ def cmd_run(args: argparse.Namespace) -> int:
     return result.exit_code
 
 
+def _emit_json(text: str, destination: str) -> None:
+    """``--json`` output: stdout for ``-``, else a file."""
+    if destination == "-":
+        print(text)
+    else:
+        with open(destination, "w") as handle:
+            handle.write(text + "\n")
+
+
+def _print_payload_summary(payload: dict) -> None:
+    """Human-readable summary of an exported report payload.
+
+    Mirrors the in-process ``analyze`` output but works from the JSON
+    schema alone, so remote responses need no compiled program.
+    """
+    summary = payload["summary"]
+    print(f"|Lambda| = {summary['num_loads']} static loads; "
+          f"|Delta| = {summary['num_delinquent']} possibly delinquent "
+          f"(pi = {summary['pi']:.1%})")
+    if "rho" in summary:
+        print(f"measured coverage rho = {summary['rho']:.1%}")
+    print()
+    flagged = [entry for entry in payload["loads"]
+               if entry["delinquent"]]
+    for entry in sorted(flagged, key=lambda e: -e["phi"]):
+        print(f"load at {entry['address']} in {entry['function']}: "
+              f"{entry['instruction']}")
+        print(f"  phi = {entry['phi']:.2f} (possibly delinquent)")
+        print(f"  classes: {', '.join(entry['classes']) or '(none)'}")
+        for pattern in entry["patterns"]:
+            print(f"  pattern: {pattern}")
+        if "misses" in entry:
+            print(f"  observed: {entry['misses']} misses / "
+                  f"{entry['accesses']} accesses")
+        print()
+
+
+def _analyze_remote(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service.client import ServiceClient, ServiceError
+    source = _read(args.source)
+    params = {"source": source, "optimize": args.optimize,
+              "delta": args.delta}
+    op = "classify" if args.static else "analyze"
+    try:
+        with ServiceClient.connect(args.remote) as client:
+            payload = client.call(op, params)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except (ServiceError, ConnectionError, OSError) as exc:
+        print(f"repro: service error: {exc}", file=sys.stderr)
+        return 3
+    if args.json is not None:
+        _emit_json(json.dumps(payload, indent=2), args.json)
+    else:
+        _print_payload_summary(payload)
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.remote:
+        return _analyze_remote(args)
     from repro.api import analyze_program
     from repro.heuristic.static_frequency import static_exec_counts
     report = analyze_program(
@@ -51,9 +119,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         report.heuristic = classifier.classify(
             report.load_infos,
             exec_counts=static_exec_counts(report.program))
-    if args.json:
+    if args.json is not None:
         from repro.export import report_to_json
-        print(report_to_json(report))
+        _emit_json(report_to_json(report), args.json)
         return 0
     loads = report.program.num_loads()
     delta_set = report.delinquent_loads
@@ -115,6 +183,26 @@ def cmd_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.service.server import ServerConfig, run_server
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        batch_window=args.batch_window / 1000.0,
+        batch_max=args.batch_max,
+        timeout=args.timeout,
+        cache_entries=args.cache_entries,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+        use_disk_cache=not args.no_disk_cache,
+    )
+    run_server(config, stats=args.stats)
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as tables_main
     forwarded = ["--tables", args.tables, "--scale", str(args.scale)]
@@ -151,9 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--static", action="store_true",
                       help="purely static: no execution; frequency "
                            "classes use the static estimator")
-    p_an.add_argument("--json", action="store_true",
+    p_an.add_argument("--json", nargs="?", const="-", default=None,
+                      metavar="FILE",
                       help="emit the full analysis as JSON "
-                           "(repro.export schema)")
+                           "(repro.export schema) to stdout, or to "
+                           "FILE when given")
+    p_an.add_argument("--remote", default=None, metavar="HOST:PORT",
+                      help="send the request to a running "
+                           "'repro serve' instance instead of "
+                           "analyzing in-process")
     p_an.set_defaults(func=cmd_analyze)
 
     p_dis = sub.add_parser("disasm", help="show the disassembly")
@@ -193,12 +287,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--report", default=None)
     p_tab.add_argument("--no-disk-cache", action="store_true")
     p_tab.set_defaults(func=cmd_tables)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the long-lived delinquency-analysis service "
+             "(JSON-lines over TCP; see repro.service)")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=8642,
+                       help="TCP port (0: pick an ephemeral port; "
+                            "default 8642)")
+    p_srv.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: CPU count; "
+                            "0: run requests on one thread)")
+    p_srv.add_argument("--queue-size", type=int, default=64,
+                       help="pending-request bound before requests "
+                            "are rejected as overloaded (default 64)")
+    p_srv.add_argument("--batch-window", type=float, default=2.0,
+                       help="milliseconds the dispatcher waits to "
+                            "batch concurrent requests (default 2)")
+    p_srv.add_argument("--batch-max", type=int, default=8,
+                       help="max requests per batch (default 8)")
+    p_srv.add_argument("--timeout", type=float, default=120.0,
+                       help="default per-request timeout, seconds "
+                            "(default 120)")
+    p_srv.add_argument("--cache-entries", type=int, default=256,
+                       help="in-memory result-cache capacity "
+                            "(default 256)")
+    p_srv.add_argument("--cache-dir", default=None,
+                       help="disk result-cache directory (default: "
+                            ".repro_cache/service)")
+    p_srv.add_argument("--no-disk-cache", action="store_true",
+                       help="disable the disk cache tier")
+    p_srv.add_argument("--stats", action="store_true",
+                       help="dump the final metrics snapshot as JSON "
+                            "on shutdown")
+    p_srv.set_defaults(func=cmd_serve)
     return parser
 
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except OSError as exc:
+        # a missing source file (or any I/O failure) is a user error,
+        # not a crash: no traceback, diagnostic on stderr, exit 2
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

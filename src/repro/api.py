@@ -51,8 +51,18 @@ class AnalysisReport:
                         self.cache_stats.load_misses)
 
     def describe_load(self, address: int) -> str:
-        """Human-readable summary of one load's classification."""
-        info = self.load_infos[address]
+        """Human-readable summary of one load's classification.
+
+        Raises :class:`ValueError` when ``address`` is not one of the
+        program's load instructions.
+        """
+        info = self.load_infos.get(address)
+        if info is None:
+            valid = ", ".join(f"{a:#x}"
+                              for a in sorted(self.load_infos))
+            raise ValueError(
+                f"{address:#x} is not a load address; "
+                f"valid load addresses: {valid or '(none)'}")
         classified = self.heuristic.loads[address]
         lines = [
             f"load at {address:#x} in {info.function}: "

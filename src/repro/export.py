@@ -17,6 +17,17 @@ from repro.api import AnalysisReport
 SCHEMA_VERSION = 1
 
 
+def canonical_json(payload: Any) -> str:
+    """Deterministic compact JSON (sorted keys, no whitespace).
+
+    The canonical form under content hashing: the service keys its
+    tiered result cache and request coalescing on
+    ``sha256(canonical_json(...))``, so two requests that spell the
+    same parameters differently share one cache entry.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def report_to_dict(report: AnalysisReport) -> dict[str, Any]:
     """Serialize an analysis report (stable, versioned schema)."""
     program = report.program

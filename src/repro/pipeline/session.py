@@ -47,6 +47,34 @@ _TRACE_LRU = 2
 WarmRun = Union["RunKey", tuple]
 
 
+def default_cache_dir() -> Path:
+    """The shared on-disk result cache (``<repo>/.repro_cache``).
+
+    Shared by :class:`Session`'s simulation cache and the service's
+    tiered result cache (:mod:`repro.service.cache`), so one warm
+    directory serves both the bench suite and a long-lived server.
+    """
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def atomic_write_json(path: Path, payload: dict) -> None:
+    """Best-effort atomic JSON write (temp file + ``os.replace``).
+
+    Concurrent writers (warm workers, service instances) may race on
+    the same entry: each writes a per-PID temp file and atomically
+    renames it into place so a reader can never observe a partially
+    written entry.  I/O failures are swallowed — caching is an
+    optimization, never a correctness requirement.
+    """
+    temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        temp.write_text(json.dumps(payload))
+        os.replace(temp, path)
+    except OSError:
+        pass
+
+
 def _resolve_jobs(jobs: Optional[int]) -> int:
     """Worker-count knob: explicit argument > $REPRO_JOBS > CPU count."""
     if jobs is None:
@@ -95,7 +123,7 @@ class Session:
         self.max_steps = max_steps
         self.use_disk_cache = use_disk_cache
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
-            else Path(__file__).resolve().parents[3] / ".repro_cache"
+            else default_cache_dir()
         self._sources: dict[tuple[str, str], str] = {}
         self._programs: dict[RunKey, Program] = {}
         self._analyses: dict[RunKey, dict[int, LoadInfo]] = {}
@@ -242,17 +270,7 @@ class Session:
         payload = self._payload(key, stats)
         if payload is None:
             return
-        path = self._disk_path(key, config)
-        # Concurrent warm workers may write the same entry: write to a
-        # per-process temp file and atomically rename it into place so a
-        # reader can never observe a partially written entry.
-        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        try:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
-            temp.write_text(json.dumps(payload))
-            os.replace(temp, path)
-        except OSError:
-            pass  # caching is best-effort
+        atomic_write_json(self._disk_path(key, config), payload)
 
     def _absorb(self, key: RunKey, config: CacheConfig, payload: dict,
                 profile_only: bool = False) -> bool:

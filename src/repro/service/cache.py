@@ -1,0 +1,98 @@
+"""Tiered result cache: in-memory LRU over the shared disk cache.
+
+Tier 1 is a bounded, in-process LRU mapping request content hashes (see
+:func:`repro.service.protocol.request_key`) to response payloads.  Tier
+2 persists the same payloads as JSON under a ``service/`` subdirectory
+of the pipeline's content-hashed disk cache (``.repro_cache`` by
+default), written with the same atomic rename discipline as
+:class:`repro.pipeline.session.Session`, so a restarted server — or a
+concurrent one sharing the directory — starts warm.  Disk hits are
+promoted back into the memory tier.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Optional
+
+from repro.pipeline.session import atomic_write_json, default_cache_dir
+
+_ENTRY_VERSION = 1
+
+#: tier labels, also reported in responses and metrics
+MEMORY = "memory"
+DISK = "disk"
+
+
+class TieredResultCache:
+    """LRU memory tier + optional shared JSON disk tier."""
+
+    def __init__(self, capacity: int = 256,
+                 disk_dir: Optional[Path] = None,
+                 use_disk: bool = True):
+        self.capacity = max(0, capacity)
+        self.use_disk = use_disk
+        self.disk_dir = Path(disk_dir) if disk_dir is not None \
+            else default_cache_dir() / "service"
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def _path(self, key: str) -> Path:
+        return self.disk_dir / f"svc-{key}.json"
+
+    def get(self, key: str) -> tuple[Optional[Any], Optional[str]]:
+        """Look one key up; returns ``(payload, tier)`` or ``(None, None)``."""
+        if key in self._memory:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return self._memory[key], MEMORY
+        if self.use_disk:
+            try:
+                entry = json.loads(self._path(key).read_text())
+                if entry.get("version") == _ENTRY_VERSION \
+                        and "result" in entry:
+                    result = entry["result"]
+                    self.disk_hits += 1
+                    self._remember(key, result)
+                    return result, DISK
+            except (AttributeError, OSError, ValueError):
+                pass  # absent or corrupt entry: recompute
+        self.misses += 1
+        return None, None
+
+    def _remember(self, key: str, result: Any) -> None:
+        if self.capacity == 0:
+            return
+        self._memory[key] = result
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def put(self, key: str, result: Any) -> None:
+        self._remember(key, result)
+        if self.use_disk:
+            atomic_write_json(self._path(key),
+                              {"version": _ENTRY_VERSION,
+                               "result": result})
+
+    def stats(self) -> dict[str, Any]:
+        lookups = self.memory_hits + self.disk_hits + self.misses
+        return {
+            "entries": len(self._memory),
+            "capacity": self.capacity,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round((self.memory_hits + self.disk_hits)
+                              / lookups, 4) if lookups else 0.0,
+        }

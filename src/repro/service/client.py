@@ -1,0 +1,136 @@
+"""Small blocking client for the analysis service.
+
+Used by the test suite, the benchmarks, the CI smoke probe, and
+``python -m repro analyze --remote HOST:PORT``.  One persistent TCP
+connection, JSON-lines framing, sequential request/response::
+
+    with ServiceClient("127.0.0.1", 8642) as client:
+        payload = client.analyze(source)          # export schema
+        print(client.health()["status"])
+
+Failures come back as :class:`ServiceError` carrying the server's error
+code (``overloaded``, ``timeout``, ``bad_request``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional
+
+from repro.service.protocol import PROTOCOL_VERSION
+
+
+class ServiceError(Exception):
+    """An error response from the service (or a transport failure)."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (IPv6 hosts in brackets)."""
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {address!r}")
+    return host.strip("[]") or "127.0.0.1", int(port)
+
+
+class ServiceClient:
+    """Blocking JSON-lines client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, *,
+                 timeout: float = 300.0):
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    @classmethod
+    def connect(cls, address: str, *,
+                timeout: float = 300.0) -> "ServiceClient":
+        host, port = parse_address(address)
+        return cls(host, port, timeout=timeout)
+
+    # -- plumbing ----------------------------------------------------
+    def request(self, op: str,
+                params: Optional[dict[str, Any]] = None, *,
+                timeout: Optional[float] = None) -> dict[str, Any]:
+        """One round trip; returns the full response envelope."""
+        self._next_id += 1
+        request_id = self._next_id
+        message: dict[str, Any] = {
+            "id": request_id,
+            "version": PROTOCOL_VERSION,
+            "op": op,
+        }
+        if params:
+            message["params"] = params
+        if timeout is not None:
+            message["timeout"] = timeout
+        try:
+            self._file.write((json.dumps(message) + "\n").encode())
+            self._file.flush()
+            line = self._file.readline()
+        except (OSError, ValueError) as exc:
+            raise ServiceError("transport", str(exc))
+        if not line:
+            raise ServiceError("transport",
+                               "server closed the connection")
+        response = json.loads(line.decode("utf-8"))
+        if response.get("id") not in (request_id, None):
+            raise ServiceError(
+                "transport",
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id!r}")
+        return response
+
+    def call(self, op: str,
+             params: Optional[dict[str, Any]] = None, *,
+             timeout: Optional[float] = None) -> Any:
+        """One round trip; returns ``result`` or raises ServiceError."""
+        response = self.request(op, params, timeout=timeout)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServiceError(error.get("code", "internal"),
+                               error.get("message", "unknown error"))
+        return response["result"]
+
+    # -- operations --------------------------------------------------
+    def analyze(self, source: str, **options: Any) -> dict[str, Any]:
+        return self.call("analyze", {"source": source, **options})
+
+    def classify(self, source: str, **options: Any) -> dict[str, Any]:
+        return self.call("classify", {"source": source, **options})
+
+    def simulate(self, source: str, **options: Any) -> dict[str, Any]:
+        return self.call("simulate", {"source": source, **options})
+
+    def health(self) -> dict[str, Any]:
+        return self.call("health")
+
+    def metrics(self) -> dict[str, Any]:
+        return self.call("metrics")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self.call("shutdown")
+
+    # -- lifecycle ---------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

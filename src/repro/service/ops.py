@@ -1,0 +1,97 @@
+"""The compute behind the scheduled operations.
+
+These functions are deliberately **pure and picklable** (module-level,
+plain-dict in / plain-dict out) so the scheduler can run them unchanged
+on a thread or in a persistent worker process.  ``analyze`` and
+``classify`` return exactly :func:`repro.export.report_to_dict` of the
+equivalent in-process :func:`repro.api.analyze_program` call — the wire
+schema *is* the export schema, so batch files and served responses are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.api import analyze_program
+from repro.cache.config import CacheConfig
+from repro.cache.model import simulate_trace_multi
+from repro.compiler.driver import compile_source
+from repro.export import report_to_dict
+from repro.heuristic.classes import Weights
+from repro.machine.simulator import Machine
+from repro.service import protocol
+
+
+def run_analysis(params: dict[str, Any]) -> dict[str, Any]:
+    """``analyze`` / ``classify``: the full pipeline, export schema out.
+
+    ``params`` must be normalized (see ``protocol._normalize_analysis``);
+    ``execute=False`` is the purely static ``classify`` configuration.
+    """
+    report = analyze_program(
+        params["source"],
+        optimize=params["optimize"],
+        execute=params["execute"],
+        cache=CacheConfig(**params["cache"]),
+        weights=Weights.from_dict(params["weights"]),
+        delta=params["delta"],
+        max_steps=params["max_steps"],
+    )
+    return report_to_dict(report)
+
+
+def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
+    """``simulate``: one execution, every config in a single replay.
+
+    Reuses the single-pass multi-configuration engine
+    (:func:`repro.cache.model.simulate_trace_multi`), so a request for N
+    configs — or N batched requests for one config each — costs one
+    trace replay.
+    """
+    program = compile_source(params["source"],
+                             optimize=params["optimize"])
+    machine = Machine(program, trace_memory=True,
+                      max_steps=params["max_steps"])
+    execution = machine.run()
+    configs = [CacheConfig(**entry) for entry in params["configs"]]
+    results = []
+    for config, stats in zip(configs,
+                             simulate_trace_multi(execution.trace,
+                                                  configs)):
+        results.append({
+            "config": protocol.cache_config_to_dict(config),
+            "description": config.describe(),
+            "total_load_misses": stats.total_load_misses,
+            "total_load_accesses": sum(stats.load_accesses.values()),
+            "load_misses": {f"{a:#x}": m for a, m in
+                            sorted(stats.load_misses.items())},
+            "load_accesses": {f"{a:#x}": m for a, m in
+                              sorted(stats.load_accesses.items())},
+        })
+    return {
+        "steps": execution.steps,
+        "num_loads": program.num_loads(),
+        "results": results,
+    }
+
+
+def run_sleep(params: dict[str, Any]) -> dict[str, Any]:
+    """Diagnostic op: hold a worker slot for ``seconds``."""
+    time.sleep(params["seconds"])
+    return {"slept": params["seconds"]}
+
+
+#: op name -> compute function, all scheduler-run ops.
+COMPUTE = {
+    "analyze": run_analysis,
+    "classify": run_analysis,
+    "simulate": run_simulate,
+    "sleep": run_sleep,
+}
+
+
+def execute_op(op: str, params: dict[str, Any]) -> dict[str, Any]:
+    """Single picklable entry point used by the worker pool."""
+    return COMPUTE[op](params)

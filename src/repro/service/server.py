@@ -1,0 +1,291 @@
+"""The asyncio TCP front end.
+
+``AnalysisServer`` accepts JSON-lines connections, parses and validates
+each request (:mod:`repro.service.protocol`), answers control ops
+(``health`` / ``metrics`` / ``shutdown``) inline, and hands compute ops
+to the :class:`~repro.service.scheduler.BatchScheduler`.  Entry points:
+
+* :func:`run_server` — blocking; behind ``python -m repro serve``;
+* :func:`serve_in_thread` — background server for tests, benchmarks and
+  embedding; returns a handle with the bound address and ``stop()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional
+
+from repro import __version__
+from repro.service import protocol
+from repro.service.cache import TieredResultCache
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (MAX_REQUEST_BYTES, ProtocolError,
+                                    Request, encode, error_response,
+                                    ok_response)
+from repro.service.scheduler import BatchScheduler, OverloadedError
+
+
+@dataclass
+class ServerConfig:
+    """Everything tunable about one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8642            # 0: pick an ephemeral port
+    workers: Optional[int] = None   # None: CPU count; 0: one thread
+    queue_size: int = 64
+    batch_window: float = 0.002     # seconds the dispatcher waits
+    batch_max: int = 8              # max requests per batch
+    timeout: float = 120.0          # default per-request seconds
+    cache_entries: int = 256        # memory-tier LRU capacity
+    cache_dir: Optional[Path] = None    # disk tier (None: shared dir)
+    use_disk_cache: bool = True
+
+
+class AnalysisServer:
+    """One long-lived analysis service."""
+
+    def __init__(self, config: Optional[ServerConfig] = None):
+        self.config = config or ServerConfig()
+        self.metrics = ServiceMetrics()
+        self.cache = TieredResultCache(
+            capacity=self.config.cache_entries,
+            disk_dir=self.config.cache_dir,
+            use_disk=self.config.use_disk_cache)
+        self.scheduler = BatchScheduler(
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            batch_window=self.config.batch_window,
+            batch_max=self.config.batch_max,
+            default_timeout=self.config.timeout,
+            cache=self.cache,
+            metrics=self.metrics)
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = None
+        self._connections: set = set()
+
+    # -- lifecycle ---------------------------------------------------
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_REQUEST_BYTES + 2)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until the ``shutdown`` op (or :meth:`request_stop`)."""
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+            # let in-flight handlers flush their final responses, then
+            # reap lingering connections before the loop goes away
+            await asyncio.sleep(0.05)
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections,
+                                     return_exceptions=True)
+        await self.scheduler.stop()
+
+    def request_stop(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    # -- one connection ----------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode(error_response(
+                        None, protocol.BAD_REQUEST,
+                        "request exceeds size limit")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break           # client closed the connection
+                if not line.strip():
+                    continue        # blank keep-alive line
+                response = await self._handle_line(line)
+                writer.write(encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass                    # client went away mid-request
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    RuntimeError):
+                pass
+
+    async def _handle_line(self, line: bytes) -> dict[str, Any]:
+        started = time.perf_counter()
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.record_error(exc.code)
+            return error_response(None, exc.code, exc.message)
+        self.metrics.record_request(request.op)
+        try:
+            result, cached = await self._dispatch(request)
+        except OverloadedError as exc:
+            self.metrics.record_error(protocol.OVERLOADED)
+            return error_response(request.id, protocol.OVERLOADED,
+                                  str(exc))
+        except ProtocolError as exc:
+            self.metrics.record_error(exc.code)
+            return error_response(request.id, exc.code, exc.message)
+        except Exception as exc:    # defensive: never kill the reader
+            self.metrics.record_error(protocol.INTERNAL)
+            return error_response(request.id, protocol.INTERNAL,
+                                  f"{type(exc).__name__}: {exc}")
+        self.metrics.record_ok(request.op,
+                               time.perf_counter() - started)
+        return ok_response(request.id, result, cached)
+
+    async def _dispatch(self, request: Request
+                        ) -> tuple[Any, Optional[str]]:
+        if request.op == "health":
+            return self._health(), None
+        if request.op == "metrics":
+            return self.metrics.snapshot(
+                cache_stats=self.cache.stats(),
+                queue_depth=self.scheduler.queue_depth,
+                queue_capacity=self.config.queue_size,
+                workers=self.scheduler.workers,
+                pool_mode=self.scheduler.pool_mode), None
+        if request.op == "shutdown":
+            self.request_stop()
+            return {"stopping": True}, None
+        return await self.scheduler.submit(request)
+
+    def _health(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "version": __version__,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self.metrics.started_at, 3),
+            "queue_depth": self.scheduler.queue_depth,
+            "workers": self.scheduler.workers,
+            "pool_mode": self.scheduler.pool_mode,
+        }
+
+
+# -- entry points ----------------------------------------------------
+
+def run_server(config: Optional[ServerConfig] = None,
+               stats: bool = False) -> dict[str, Any]:
+    """Blocking server loop; returns the final metrics snapshot."""
+    config = config or ServerConfig()
+    holder: dict[str, Any] = {}
+
+    async def main() -> None:
+        server = AnalysisServer(config)
+        await server.start()
+        # parsed by scripts/service_smoke.py — keep the format stable
+        print(f"repro service listening on "
+              f"{server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_until_shutdown()
+        finally:
+            holder["snapshot"] = server.metrics.snapshot(
+                cache_stats=server.cache.stats(),
+                queue_capacity=config.queue_size,
+                workers=server.scheduler.workers,
+                pool_mode=server.scheduler.pool_mode)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    snapshot = holder.get("snapshot", {})
+    if stats and snapshot:
+        import json as _json
+        print(_json.dumps(snapshot, indent=2))
+    return snapshot
+
+
+class ServerHandle:
+    """A server running on a background thread (tests/benchmarks)."""
+
+    def __init__(self, server: AnalysisServer, loop, thread):
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def address(self) -> str:
+        return f"{self.server.host}:{self.server.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self.server.request_stop)
+        except RuntimeError:
+            pass    # loop already closed (e.g. via the shutdown op)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_thread(config: Optional[ServerConfig] = None
+                    ) -> ServerHandle:
+    """Start a server on a daemon thread; block until it is listening."""
+    config = config or ServerConfig(port=0, workers=0)
+    ready = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = AnalysisServer(config)
+        box["loop"] = loop
+        box["server"] = server
+
+        async def main() -> None:
+            await server.start()
+            ready.set()
+            await server.serve_until_shutdown()
+
+        try:
+            loop.run_until_complete(main())
+        except Exception as exc:    # startup failure: unblock the caller
+            box["error"] = exc
+            ready.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner,
+                              name="repro-service", daemon=True)
+    thread.start()
+    ready.wait(30.0)
+    if "error" in box:
+        raise box["error"]
+    if not ready.is_set():
+        raise RuntimeError("service failed to start within 30s")
+    return ServerHandle(box["server"], box["loop"], thread)

@@ -78,6 +78,17 @@ class TestAnalyzeProgram:
         assert "pattern:" in text
         assert "possibly delinquent" in text
 
+    def test_describe_load_rejects_non_load_address(self):
+        report = analyze_program(POINTER_SRC, execute=False)
+        bogus = max(report.load_infos) + 4
+        with pytest.raises(ValueError) as err:
+            report.describe_load(bogus)
+        message = str(err.value)
+        assert f"{bogus:#x}" in message
+        # the error names the valid load addresses
+        for address in report.load_infos:
+            assert f"{address:#x}" in message
+
     def test_sample_program(self):
         report = analyze_program(SAMPLE_SOURCE)
         assert set(report.load_infos) \

@@ -67,6 +67,21 @@ class TestAnalyze:
         assert "|Delta| = 0" in out
 
 
+class TestMissingSource:
+    def test_missing_file_is_a_clean_error(self, capsys):
+        code = main(["analyze", "/no/such/file.c"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error:")
+        assert "/no/such/file.c" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_missing_file_other_commands(self, capsys):
+        for command in ("run", "disasm", "asm", "verify"):
+            assert main([command, "/no/such/file.c"]) == 2
+            assert "repro: error:" in capsys.readouterr().err
+
+
 class TestCodeViews:
     def test_disasm(self, source_file, capsys):
         assert main(["disasm", source_file]) == 0
@@ -127,6 +142,21 @@ class TestJsonExport:
         main(["analyze", source_file, "--json", "--static"])
         payload = json.loads(capsys.readouterr().out)
         assert "rho" not in payload["summary"]
+
+    def test_analyze_json_to_file(self, source_file, tmp_path,
+                                  capsys):
+        import json
+        destination = tmp_path / "report.json"
+        code = main(["analyze", source_file,
+                     "--json", str(destination)])
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        main(["analyze", source_file, "--json"])
+        stdout_payload = capsys.readouterr().out
+        # the file and stdout forms carry the identical document
+        assert destination.read_text() == stdout_payload
+        payload = json.loads(destination.read_text())
+        assert payload["schema_version"] == 1
 
 
 class TestVerify:
