@@ -1,0 +1,13 @@
+"""Instruction-level execution: simulator engines, traces, debugger."""
+
+from repro.machine.errors import MachineError, StepLimitExceeded
+from repro.machine.simulator import (ENGINE_BLOCKS, ENGINE_CLOSURES,
+                                     ExecutionResult, Machine,
+                                     resolve_engine, run_program)
+from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+
+__all__ = [
+    "ENGINE_BLOCKS", "ENGINE_CLOSURES", "ExecutionResult", "LOAD",
+    "Machine", "MachineError", "MemoryTrace", "PREFETCH", "STORE",
+    "StepLimitExceeded", "resolve_engine", "run_program",
+]

@@ -31,7 +31,10 @@ class Debugger:
 
     def __init__(self, program: Program, *, args=()):  # noqa: D401
         self.program = program
-        self.machine = Machine(program, trace_memory=False)
+        # The closure engine is pinned: single-stepping needs one op per
+        # instruction, not one per basic block.
+        self.machine = Machine(program, trace_memory=False,
+                               engine="closures")
         self.machine.write_data_segment()
         self.machine.regs[SP] = STACK_TOP
         self.machine.regs[GP] = program.gp_value

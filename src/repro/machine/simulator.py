@@ -7,8 +7,19 @@ records the data-memory trace that the cache model replays.
 
 Implementation notes
 --------------------
-* Every instruction is pre-compiled to a Python closure returning the index
-  of the next instruction; the main loop is ``index = ops[index]()``.
+* Two interchangeable execution engines share the ``index = ops[index]()``
+  dispatch loop:
+
+  - ``"closures"`` — every instruction pre-compiled to a Python closure
+    returning the index of the next instruction (the reference engine;
+    the debugger single-steps it);
+  - ``"blocks"`` (default) — every basic block compiled to one
+    ``exec``-generated superinstruction function with constants folded
+    into the source and trace columns appended in bulk
+    (:mod:`repro.machine.codegen`).
+
+  Results are bit-identical by contract; pick with the ``engine``
+  keyword or the ``REPRO_ENGINE`` environment variable.
 * Registers hold unsigned 32-bit integers; float instructions reinterpret
   the bits as IEEE-754 single precision.
 * Memory is a sparse ``dict`` of word-aligned address -> 32-bit word.
@@ -28,6 +39,7 @@ Syscall convention (code in ``$v0``):
 
 from __future__ import annotations
 
+import os
 import struct
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -49,6 +61,20 @@ SYS_PRINT_INT = 1
 SYS_READ_INT = 5
 SYS_EXIT = 10
 SYS_PRINT_CHAR = 11
+
+ENGINE_BLOCKS = "blocks"
+ENGINE_CLOSURES = "closures"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Pick the execution engine: argument > ``$REPRO_ENGINE`` > blocks."""
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "").strip() or ENGINE_BLOCKS
+    if engine not in (ENGINE_BLOCKS, ENGINE_CLOSURES):
+        raise ValueError(
+            f"unknown execution engine {engine!r} "
+            f"(expected {ENGINE_BLOCKS!r} or {ENGINE_CLOSURES!r})")
+    return engine
 
 
 def bits_to_float(bits: int) -> float:
@@ -108,7 +134,8 @@ class Machine:
     def __init__(self, program: Program, *,
                  trace_memory: bool = True,
                  max_steps: int = 500_000_000,
-                 inputs: Sequence[int] = ()):
+                 inputs: Sequence[int] = (),
+                 engine: Optional[str] = None):
         self.program = program
         self.trace_memory = trace_memory
         self.max_steps = max_steps
@@ -120,7 +147,23 @@ class Machine:
         self._leaders = leader_addresses(program)
         self._block_counts: dict[int, int] = {}
         self._entry_budget = [0, max_steps]
-        self._ops = self._compile()
+        self.engine = resolve_engine(engine)
+        self._block_engine = None
+        self._ops: Optional[list[Callable[[], int]]] = None
+        if self.engine == ENGINE_BLOCKS:
+            try:
+                from repro.machine.codegen import BlockEngine
+                self._block_engine = BlockEngine(self)
+            except Exception:
+                # Hardening: any program the block compiler cannot
+                # handle falls back to the reference engine, so errors
+                # (if the program is genuinely bad) surface exactly as
+                # they always have.
+                self._block_engine = None
+                self._block_counts.clear()
+                self.engine = ENGINE_CLOSURES
+        if self._block_engine is None:
+            self._ops = self._compile()
 
     # -- memory helpers (byte-granular, little-endian) -----------------
     def _load_word(self, address: int) -> int:
@@ -577,12 +620,15 @@ class Machine:
         for position, value in enumerate(args[:4]):
             self.regs[A0 + position] = value & _MASK
         index = self.program.index_of(self.program.entry)
-        ops = self._ops
+        ops = (self._block_engine.funcs if self._block_engine is not None
+               else self._ops)
         exit_code = 0
         try:
             # Unrolled dispatch: four ops per backward jump.  Each op
-            # returns the next index, so chaining is semantics-preserving;
-            # exits/errors surface through exceptions exactly as before.
+            # (a per-instruction closure or a whole-block function —
+            # both engines share this loop) returns the next index, so
+            # chaining is semantics-preserving; exits/errors surface
+            # through exceptions exactly as before.
             while True:
                 index = ops[ops[ops[ops[index]()]()]()]()
         except _Exit as stop:
@@ -613,8 +659,9 @@ class Machine:
 def run_program(program: Program, *, args: Sequence[int] = (),
                 trace_memory: bool = True,
                 max_steps: int = 500_000_000,
-                inputs: Sequence[int] = ()) -> ExecutionResult:
+                inputs: Sequence[int] = (),
+                engine: Optional[str] = None) -> ExecutionResult:
     """Convenience wrapper: build a machine and run ``program`` once."""
     machine = Machine(program, trace_memory=trace_memory,
-                      max_steps=max_steps, inputs=inputs)
+                      max_steps=max_steps, inputs=inputs, engine=engine)
     return machine.run(args)

@@ -4,13 +4,20 @@ One program execution produces one :class:`MemoryTrace`; the cache model
 replays it under any number of cache configurations.  Storage is three
 parallel ``array`` columns (program counter, effective address, kind) to
 keep multi-million-access traces small.
+
+The column layout also gives the hot consumers C-speed bulk paths:
+the block execution engine appends whole basic blocks of accesses at a
+time (:meth:`MemoryTrace.extend`), and load-only analyses slice the
+load rows out of the columns without a Python-level loop
+(:meth:`MemoryTrace.load_pcs` / :meth:`MemoryTrace.load_addresses`).
 """
 
 from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Iterator
+from itertools import compress
+from typing import Iterable, Iterator
 
 LOAD = 0
 STORE = 1
@@ -33,14 +40,43 @@ class MemoryTrace:
         self.addresses.append(address)
         self.kinds.append(kind)
 
+    def extend(self, pcs: Iterable[int], addresses: Iterable[int],
+               kinds: Iterable[int]) -> None:
+        """Bulk-append one run of accesses to all three columns.
+
+        The block execution engine records a whole basic block per call:
+        the (pc, kind) runs are compile-time constant ``array``s, so
+        both extends are C-level copies, and only the address column is
+        built per execution.
+        """
+        self.pcs.extend(pcs)
+        self.addresses.extend(addresses)
+        self.kinds.extend(kinds)
+
     def __iter__(self) -> Iterator[tuple[int, int, int]]:
         return zip(self.pcs, self.addresses, self.kinds)
 
     def loads(self) -> Iterator[tuple[int, int]]:
-        """Yield ``(pc, address)`` for load accesses only."""
+        """Yield ``(pc, address)`` for load accesses only.
+
+        Pure-Python row iteration; hot callers should prefer the
+        column fast paths :meth:`load_pcs` / :meth:`load_addresses`.
+        """
         for pc, address, kind in self:
             if kind == LOAD:
                 yield pc, address
+
+    def _load_column(self, column: array) -> array:
+        # compress + map(int.__eq__) keeps the selection entirely in C.
+        return array("I", compress(column, map(LOAD.__eq__, self.kinds)))
+
+    def load_pcs(self) -> array:
+        """The pc column restricted to load rows, as a packed array."""
+        return self._load_column(self.pcs)
+
+    def load_addresses(self) -> array:
+        """The address column restricted to load rows."""
+        return self._load_column(self.addresses)
 
     @property
     def load_count(self) -> int:
@@ -48,4 +84,10 @@ class MemoryTrace:
 
     @property
     def store_count(self) -> int:
-        return len(self) - self.load_count
+        # Counted directly: ``len(self) - load_count`` would misclassify
+        # PREFETCH records as stores.
+        return self.kinds.count(STORE)
+
+    @property
+    def prefetch_count(self) -> int:
+        return self.kinds.count(PREFETCH)

@@ -1,0 +1,8 @@
+"""Evaluation measures and validation checks."""
+
+from repro.metrics.measures import (as_percent, coverage,
+                                    dynamic_load_share, ideal_delta,
+                                    precision, xi)
+
+__all__ = ["as_percent", "coverage", "dynamic_load_share",
+           "ideal_delta", "precision", "xi"]

@@ -118,9 +118,11 @@ class Session:
     def __init__(self, scale: float = 1.0,
                  cache_dir: Optional[Path] = None,
                  use_disk_cache: bool = True,
-                 max_steps: int = 300_000_000):
+                 max_steps: int = 300_000_000,
+                 engine: Optional[str] = None):
         self.scale = scale
         self.max_steps = max_steps
+        self.engine = engine
         self.use_disk_cache = use_disk_cache
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
@@ -160,7 +162,7 @@ class Session:
     def _execute(self, key: RunKey) -> None:
         program = self.program(key.workload, key.input_name, key.optimize)
         machine = Machine(program, trace_memory=True,
-                          max_steps=self.max_steps)
+                          max_steps=self.max_steps, engine=self.engine)
         result = machine.run()
         self._profiles[key] = BlockProfile.from_execution(program, result)
         self._steps[key] = result.steps
@@ -231,6 +233,9 @@ class Session:
 
     # -- disk cache ------------------------------------------------------
     def _digest(self, key: RunKey, config: CacheConfig) -> str:
+        # The execution engine is deliberately NOT part of the digest:
+        # both engines are bit-identical (same trace, same profile), so
+        # entries warmed under either engine are interchangeable.
         text = "|".join((
             str(_SCHEMA_VERSION),
             self.source(key.workload, key.input_name),
@@ -367,7 +372,7 @@ class Session:
         jobs = max(1, min(_resolve_jobs(jobs), len(pending)))
         if jobs > 1:
             tasks = [(self.scale, self.max_steps, self.use_disk_cache,
-                      str(self.cache_dir),
+                      str(self.cache_dir), self.engine,
                       (key.workload, key.input_name, key.optimize),
                       run_configs)
                      for key, run_configs in pending]
@@ -414,9 +419,11 @@ def _warm_worker(task: tuple) -> list[Optional[dict]]:
     cache payloads so the parent can merge them without re-reading
     the disk.
     """
-    scale, max_steps, use_disk_cache, cache_dir, key_tuple, configs = task
+    (scale, max_steps, use_disk_cache, cache_dir, engine,
+     key_tuple, configs) = task
     session = Session(scale=scale, cache_dir=Path(cache_dir),
-                      use_disk_cache=use_disk_cache, max_steps=max_steps)
+                      use_disk_cache=use_disk_cache, max_steps=max_steps,
+                      engine=engine)
     key = RunKey(*key_tuple)
     stats_list = session.stats_multi(key.workload, key.input_name,
                                      key.optimize, configs)

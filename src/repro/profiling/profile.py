@@ -161,3 +161,16 @@ class BlockProfile:
         for address, _ in self.program.loads():
             counts.setdefault(address, 0)
         return counts
+
+
+def observed_load_exec_counts(trace) -> dict[int, int]:
+    """E(i) measured from a memory trace instead of block counts.
+
+    ``BlockProfile.load_exec_counts`` derives execution counts from
+    block-entry frequency (the paper's profiling model); this variant
+    counts actual trace records.  Uses the load-column fast path
+    (:meth:`repro.machine.trace.MemoryTrace.load_pcs`), so the tally is
+    a single C-speed pass over the packed pc column.
+    """
+    from collections import Counter
+    return dict(Counter(trace.load_pcs()))

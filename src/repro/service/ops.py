@@ -52,8 +52,12 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
     """
     program = compile_source(params["source"],
                              optimize=params["optimize"])
+    # The engine knob is an operator-side switch (params may carry it,
+    # e.g. from $REPRO_ENGINE on the server); it is deliberately absent
+    # from request/cache keys because both engines are bit-identical.
     machine = Machine(program, trace_memory=True,
-                      max_steps=params["max_steps"])
+                      max_steps=params["max_steps"],
+                      engine=params.get("engine"))
     execution = machine.run()
     configs = [CacheConfig(**entry) for entry in params["configs"]]
     results = []

@@ -1,0 +1,226 @@
+"""Blocks-engine equivalence and trace-column tests.
+
+The block execution engine must be observably indistinguishable from the
+closure reference engine: same :class:`ExecutionResult`, same profile
+counters, byte-identical trace columns.  These tests pin that contract
+over every registry workload plus targeted corner cases (mid-block jr
+entries, syscalls splitting a block, the step budget, the constructor
+fallback), and cover the :class:`MemoryTrace` column API the engine
+relies on.
+"""
+
+import pytest
+
+from repro.asm.assembler import assemble
+from repro.compiler.driver import compile_source
+from repro.machine.errors import StepLimitExceeded
+from repro.machine.simulator import (ENGINE_BLOCKS, ENGINE_CLOSURES,
+                                     Machine, resolve_engine)
+from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+from repro.workloads.registry import get, names
+
+#: Small but non-trivial: every workload still runs 10^5..10^6+ steps.
+EQUIVALENCE_SCALE = 0.01
+
+
+def run_both(program, **kwargs):
+    machines = {}
+    results = {}
+    for engine in (ENGINE_CLOSURES, ENGINE_BLOCKS):
+        machine = Machine(program, trace_memory=True, engine=engine,
+                          **kwargs)
+        machines[engine] = machine
+        results[engine] = machine.run()
+    return machines, results
+
+
+def assert_equivalent(program, machines, results):
+    ref = results[ENGINE_CLOSURES]
+    out = results[ENGINE_BLOCKS]
+    ref_trace = machines[ENGINE_CLOSURES].trace
+    out_trace = machines[ENGINE_BLOCKS].trace
+    assert machines[ENGINE_BLOCKS]._block_engine is not None, \
+        "blocks engine silently fell back to closures"
+    assert out.steps == ref.steps
+    assert out.exit_code == ref.exit_code
+    assert out.output == ref.output
+    assert out.block_counts == ref.block_counts
+    assert out_trace.pcs.tobytes() == ref_trace.pcs.tobytes()
+    assert out_trace.addresses.tobytes() == ref_trace.addresses.tobytes()
+    assert out_trace.kinds.tobytes() == ref_trace.kinds.tobytes()
+    assert (out.instruction_counts(program)
+            == ref.instruction_counts(program))
+    assert (out.load_exec_counts(program)
+            == ref.load_exec_counts(program))
+
+
+@pytest.mark.parametrize("name", names())
+def test_engine_equivalence_on_workload(name):
+    """Both engines agree bit for bit on every registry workload."""
+    source = get(name).generate("input1", scale=EQUIVALENCE_SCALE)
+    program = compile_source(source)
+    machines, results = run_both(program)
+    assert_equivalent(program, machines, results)
+
+
+@pytest.mark.parametrize("name", ["129.compress", "181.mcf", "099.go"])
+def test_engine_equivalence_on_optimized_workload(name):
+    """Optimized builds produce different block/branch shapes (e.g.
+    registers carried across loop back edges), so a few workloads are
+    checked under the optimizer too."""
+    source = get(name).generate("input1", scale=EQUIVALENCE_SCALE)
+    program = compile_source(source, optimize=True)
+    machines, results = run_both(program)
+    assert_equivalent(program, machines, results)
+
+
+class TestEngineSelection:
+    def test_default_is_blocks(self, sample_program, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        machine = Machine(sample_program)
+        assert machine.engine == ENGINE_BLOCKS
+        assert machine._block_engine is not None
+
+    def test_env_override(self, sample_program, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "closures")
+        machine = Machine(sample_program)
+        assert machine.engine == ENGINE_CLOSURES
+        assert machine._block_engine is None
+
+    def test_argument_beats_env(self, sample_program, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "closures")
+        machine = Machine(sample_program, engine=ENGINE_BLOCKS)
+        assert machine.engine == ENGINE_BLOCKS
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            resolve_engine("jit")
+
+    def test_compile_failure_falls_back_to_closures(self, sample_program,
+                                                    monkeypatch):
+        def boom(machine):
+            raise RuntimeError("codegen exploded")
+
+        monkeypatch.setattr("repro.machine.codegen.BlockEngine", boom)
+        machine = Machine(sample_program, engine=ENGINE_BLOCKS)
+        assert machine.engine == ENGINE_CLOSURES
+        assert machine._block_engine is None
+        result = machine.run()
+        assert result.exit_code == 0
+
+
+class TestEngineCornerCases:
+    def test_mid_block_jr_compiles_tail_on_demand(self):
+        """A computed jump into the middle of a block hits the
+        ``enter_mid_block`` stub, which compiles the tail once and
+        replaces itself."""
+        program = assemble(
+            ".text\n.ent __start\n__start:\n"
+            "la $t0, spot\naddiu $t0, $t0, 8\njr $t0\n"
+            "spot:\nli $v0, 1\nli $v0, 2\nli $a0, 42\n"
+            "li $v0, 10\nsyscall\n.end __start\n")
+        machine = Machine(program, engine=ENGINE_BLOCKS)
+        index = program.index_of(program.symbols["spot"] + 8)
+        assert machine._block_engine.funcs[index].__name__ \
+            == "enter_mid_block"
+        result = machine.run()
+        assert result.exit_code == 42
+        assert machine._block_engine.funcs[index].__name__ == "block"
+
+    def test_mid_block_entry_matches_closures(self):
+        source = (".text\n.ent __start\n__start:\n"
+                  "la $t0, spot\naddiu $t0, $t0, 8\njr $t0\n"
+                  "spot:\nli $v0, 1\nli $v0, 2\nli $a0, 42\n"
+                  "li $v0, 10\nsyscall\n.end __start\n")
+        program = assemble(source)
+        machines, results = run_both(program)
+        assert_equivalent(program, machines, results)
+
+    def test_syscall_mid_block_preserves_trace_order(self):
+        """Accesses before an in-block syscall flush ahead of it, so
+        output interleaving and trace order both match the reference."""
+        source = r"""
+        int buffer[8];
+        int main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) {
+                buffer[i] = i * i;
+                print_int(buffer[i]);
+            }
+            return 0;
+        }
+        """
+        program = compile_source(source)
+        machines, results = run_both(program)
+        assert_equivalent(program, machines, results)
+        assert results[ENGINE_BLOCKS].output \
+            == [i * i for i in range(8)]
+
+    def test_loop_carried_write_synced_on_exit(self):
+        """Regression: a register written only on a branch side that
+        ends in ``continue`` carries its value into later iterations,
+        so an exit through the *other* side must still write it back."""
+        source = r"""
+        int main() {
+            int i; int s;
+            i = 0; s = 0;
+            while (1) {
+                i = i + 1;
+                if (i > 20) break;
+                if (i % 2 == 0) continue;
+                s = s + i;
+            }
+            print_int(s);
+            return 0;
+        }
+        """
+        for optimize in (False, True):
+            program = compile_source(source, optimize=optimize)
+            machines, results = run_both(program)
+            assert_equivalent(program, machines, results)
+            assert results[ENGINE_BLOCKS].output == [100]
+
+    def test_step_limit_raises_identically(self, sample_program):
+        with pytest.raises(StepLimitExceeded) as ref_exc:
+            Machine(sample_program, engine=ENGINE_CLOSURES,
+                    max_steps=200).run()
+        with pytest.raises(StepLimitExceeded) as out_exc:
+            Machine(sample_program, engine=ENGINE_BLOCKS,
+                    max_steps=200).run()
+        assert str(out_exc.value) == str(ref_exc.value)
+
+
+class TestMemoryTraceColumns:
+    def _mixed(self):
+        trace = MemoryTrace()
+        trace.append(0x100, 0x1000, LOAD)
+        trace.append(0x104, 0x2000, STORE)
+        trace.append(0x108, 0x3000, PREFETCH)
+        trace.append(0x10C, 0x4000, LOAD)
+        return trace
+
+    def test_counts_distinguish_prefetch_from_store(self):
+        """Regression: PREFETCH records must not count as stores."""
+        trace = self._mixed()
+        assert trace.load_count == 2
+        assert trace.store_count == 1
+        assert trace.prefetch_count == 1
+        assert len(trace) == 4
+
+    def test_load_column_fast_paths(self):
+        trace = self._mixed()
+        assert list(trace.load_pcs()) == [0x100, 0x10C]
+        assert list(trace.load_addresses()) == [0x1000, 0x4000]
+        assert list(trace.loads()) == [(0x100, 0x1000), (0x10C, 0x4000)]
+
+    def test_extend_matches_repeated_append(self):
+        bulk = MemoryTrace()
+        bulk.extend([0x100, 0x104, 0x108], [1, 2, 3],
+                    [LOAD, STORE, PREFETCH])
+        single = MemoryTrace()
+        for row in zip([0x100, 0x104, 0x108], [1, 2, 3],
+                       [LOAD, STORE, PREFETCH]):
+            single.append(*row)
+        assert bulk.pcs.tobytes() == single.pcs.tobytes()
+        assert bulk.addresses.tobytes() == single.addresses.tobytes()
+        assert bulk.kinds.tobytes() == single.kinds.tobytes()

@@ -118,3 +118,21 @@ class TestRandomBaseline:
         pool = {1, 2}
         value = random_hotspot_coverage(pool, 99, self.MISSES)
         assert value == coverage(pool, self.MISSES)
+
+
+class TestObservedLoadExecCounts:
+    def test_matches_result_load_exec_counts(self, sample_program):
+        from repro.machine.simulator import Machine
+        from repro.profiling.profile import observed_load_exec_counts
+        machine = Machine(sample_program, trace_memory=True)
+        result = machine.run()
+        observed = observed_load_exec_counts(machine.trace)
+        expected = {pc: count for pc, count in
+                    result.load_exec_counts(sample_program).items()
+                    if count}
+        assert observed == expected
+
+    def test_empty_trace(self):
+        from repro.machine.trace import MemoryTrace
+        from repro.profiling.profile import observed_load_exec_counts
+        assert observed_load_exec_counts(MemoryTrace()) == {}
