@@ -134,21 +134,25 @@ def test_warm_parallel_speedup(tmp_path):
         assert report.simulated == len(WARM_PLAN)
         return elapsed
 
-    serial = timed_warm(1, tmp_path / "serial")
-    parallel = timed_warm(4, tmp_path / "parallel")
     cores = os.cpu_count() or 1
+    # Size the fan-out to the hardware: oversubscribing (the old fixed
+    # jobs=4) turns a 1-CPU "speedup" into pure fork/IPC overhead.
+    jobs = min(cores, len(WARM_PLAN))
+    serial = timed_warm(1, tmp_path / "serial")
+    parallel = timed_warm(jobs, tmp_path / "parallel")
     speedup = serial / parallel
+    informational = cores < 2
     _results["warm_parallel"] = {
         "runs": len(WARM_PLAN),
-        "jobs": min(4, len(WARM_PLAN)),
+        "jobs": jobs,
         "serial_s": round(serial, 4),
         "parallel_s": round(parallel, 4),
         "speedup": round(speedup, 2),
+        # without a second core there is nothing to fan out over, so
+        # the number is recorded for the machine report but not gated
+        "informational": informational,
     }
     _flush()
-    if cores > 1:
+    if not informational:
         # with real cores the fan-out must beat the serial loop
         assert speedup > 1.0
-    else:
-        # single-core box: fork/IPC overhead only — record, don't gate
-        assert parallel > 0

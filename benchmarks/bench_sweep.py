@@ -1,0 +1,131 @@
+"""Stack-distance sweep-engine benchmark.
+
+Times :func:`repro.cache.stackdist.simulate_sweep` against the
+exec-specialized multi-config replay on the standard size x
+associativity grid, and records the numbers in ``BENCH_sweep.json`` at
+the repository root so they ride with the commit that produced them.
+
+Two phases mirror how the table suite and the service actually sweep:
+
+* **cold** — the full grid against an unprofiled trace.  The sweep
+  engine pays one pass per distinct set mapping instead of one per
+  config, so the win is the geometry-to-set-mapping ratio.
+* **re-sweep** — a follow-up ablation over new associativities whose
+  set mappings are already profiled.  The sweep engine answers from
+  per-PC distance histograms in O(static loads) without touching the
+  trace; the replay engine pays the full trace again.
+
+The gated ``aggregate`` speedup covers both phases; the sweep results
+are also asserted bit-identical to the replay's, so the bench doubles
+as an equivalence check at bench scale.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache.config import CacheConfig
+from repro.cache.model import simulate_trace_multi
+from repro.cache.stackdist import ProfileStore, simulate_sweep
+from repro.compiler.driver import compile_source
+from repro.machine.simulator import Machine
+from repro.workloads.registry import get
+
+WORKLOAD = os.environ.get("REPRO_SWEEP_WORKLOAD", "129.compress")
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+#: Set-mapping grid behind the sweeps: 32..512 sets of 32 B blocks.
+SET_COUNTS = (32, 64, 128, 256, 512)
+
+#: The standard size x associativity sweep: every set mapping crossed
+#: with the way counts real data caches ship (2..16, including the
+#: non-power-of-two 3/6/12-way shapes), i.e. 2 KB to 256 KB total.
+SWEEP_GRID = [CacheConfig(size=s * a * 32, assoc=a, block_size=32)
+              for s in SET_COUNTS for a in (2, 3, 4, 6, 8, 12, 16)]
+
+#: Follow-up ablation over the same set mappings: direct-mapped plus
+#: odd way counts, all answerable from the already-computed profiles.
+RESWEEP_GRID = [CacheConfig(size=s * a * 32, assoc=a, block_size=32)
+                for s in SET_COUNTS for a in (1, 5, 7, 10, 14)]
+
+_results: dict = {}
+
+
+def _flush() -> None:
+    payload = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "results": _results,
+    }
+    try:
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass
+
+
+def _stats_key(stats):
+    return (stats.config, stats.load_accesses, stats.load_misses,
+            stats.store_accesses, stats.store_misses,
+            stats.prefetch_ops, stats.prefetch_fills)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    source = get(WORKLOAD).generate("input1", scale=SCALE)
+    return Machine(compile_source(source)).run().trace
+
+
+def test_sweep_engine_speedup(trace):
+    multi_cold = multi_re = float("inf")
+    sweep_cold = sweep_re = float("inf")
+    multi_results = sweep_results = None
+    for _ in range(3):
+        start = time.perf_counter()
+        cold = simulate_trace_multi(trace, SWEEP_GRID)
+        multi_cold = min(multi_cold, time.perf_counter() - start)
+        start = time.perf_counter()
+        re = simulate_trace_multi(trace, RESWEEP_GRID)
+        multi_re = min(multi_re, time.perf_counter() - start)
+        multi_results = cold + re
+
+        store = ProfileStore()           # fresh: cold pass each round
+        start = time.perf_counter()
+        cold = simulate_sweep(trace, SWEEP_GRID, store=store)
+        sweep_cold = min(sweep_cold, time.perf_counter() - start)
+        start = time.perf_counter()
+        re = simulate_sweep(trace, RESWEEP_GRID, store=store)
+        sweep_re = min(sweep_re, time.perf_counter() - start)
+        sweep_results = cold + re
+
+    # the bench doubles as an equivalence check at bench scale
+    assert ([_stats_key(s) for s in sweep_results]
+            == [_stats_key(s) for s in multi_results])
+
+    aggregate = (multi_cold + multi_re) / (sweep_cold + sweep_re)
+    _results["sweep_engine"] = {
+        "configs": len(SWEEP_GRID),
+        "resweep_configs": len(RESWEEP_GRID),
+        "set_mappings": len(SET_COUNTS),
+        "accesses": len(trace),
+        "multi_cold_s": round(multi_cold, 4),
+        "multi_resweep_s": round(multi_re, 4),
+        "sweep_cold_s": round(sweep_cold, 4),
+        "sweep_resweep_s": round(sweep_re, 4),
+        "cold_speedup": round(multi_cold / sweep_cold, 2),
+        "resweep_speedup": round(multi_re / sweep_re, 2),
+        "aggregate_speedup": round(aggregate, 2),
+    }
+    _flush()
+    # one pass per set mapping + histogram-served re-sweep: measured
+    # ~10x aggregate; the acceptance gate is >= 5x
+    assert aggregate >= 5.0

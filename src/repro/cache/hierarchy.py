@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.cache.config import CacheConfig
+from repro.cache.lru import BoundedCache
 from repro.cache.model import (Cache, _block_vars, _emit_cache_state,
                                _emit_cache_update, shared_access_counts)
 from repro.machine.trace import LOAD, MemoryTrace
@@ -162,7 +163,7 @@ def _compile_hierarchy_replay(configs: Sequence[HierarchyConfig]):
     return namespace["replay"]
 
 
-_HIERARCHY_REPLAY_CACHE: dict[tuple, object] = {}
+_HIERARCHY_REPLAY_CACHE = BoundedCache(64)
 
 
 def simulate_trace_hierarchy_multi(trace: MemoryTrace,
@@ -182,10 +183,8 @@ def simulate_trace_hierarchy_multi(trace: MemoryTrace,
                 for pair in configs for c in (pair.l1, pair.l2))
     replay = _HIERARCHY_REPLAY_CACHE.get(key)
     if replay is None:
-        if len(_HIERARCHY_REPLAY_CACHE) > 64:
-            _HIERARCHY_REPLAY_CACHE.clear()
-        replay = _HIERARCHY_REPLAY_CACHE[key] = \
-            _compile_hierarchy_replay(configs)
+        replay = _compile_hierarchy_replay(configs)
+        _HIERARCHY_REPLAY_CACHE.put(key, replay)
     raw = replay(trace.pcs, trace.addresses, trace.kinds)
     load_accesses, _ = shared_access_counts(trace)
     store_accesses = len(trace) - trace.kinds.count(LOAD)

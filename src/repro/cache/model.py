@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.cache.config import CacheConfig
+from repro.cache.lru import BoundedCache
 from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
 
 
@@ -273,7 +274,7 @@ def _compile_replay(configs: Sequence[CacheConfig]):
     return namespace["replay"]
 
 
-_REPLAY_CACHE: dict[tuple, object] = {}
+_REPLAY_CACHE = BoundedCache(64)
 
 
 def _replay_for(configs: Sequence[CacheConfig]):
@@ -281,9 +282,8 @@ def _replay_for(configs: Sequence[CacheConfig]):
                 for c in configs)
     replay = _REPLAY_CACHE.get(key)
     if replay is None:
-        if len(_REPLAY_CACHE) > 64:   # unbounded-growth backstop
-            _REPLAY_CACHE.clear()
-        replay = _REPLAY_CACHE[key] = _compile_replay(configs)
+        replay = _compile_replay(configs)
+        _REPLAY_CACHE.put(key, replay)
     return replay
 
 
@@ -293,7 +293,13 @@ def shared_access_counts(trace: MemoryTrace
 
     A static PC has a single access kind, so the counts reduce to one
     C-speed ``Counter`` over the PC column plus a kind lookup table.
+    The result is memoized on the trace (every consumer copies the
+    dicts into its ``CacheStats``), so a histogram-served re-sweep
+    never rescans the columns.
     """
+    memo = getattr(trace, "_access_counts", None)
+    if memo is not None and memo[0] == len(trace):
+        return memo[1], memo[2]
     kind_of = dict(zip(trace.pcs, trace.kinds))
     counts = Counter(trace.pcs)
     load_accesses: dict[int, int] = {}
@@ -304,6 +310,7 @@ def shared_access_counts(trace: MemoryTrace
             load_accesses[pc] = count
         elif kind != PREFETCH:
             store_accesses[pc] = count
+    trace._access_counts = (len(trace), load_accesses, store_accesses)
     return load_accesses, store_accesses
 
 
@@ -323,7 +330,7 @@ def simulate_trace_multi(trace: MemoryTrace,
         return []
     raw = _replay_for(configs)(trace.pcs, trace.addresses, trace.kinds)
     load_accesses, store_accesses = shared_access_counts(trace)
-    prefetch_ops = trace.kinds.count(PREFETCH)
+    prefetch_ops = trace.prefetch_count
     return [
         CacheStats(
             config=config,

@@ -30,6 +30,9 @@ def run(session: Session,
     for name in names:
         row: list[str] = [name]
         delta_set = None
+        # one sweep-engine pass covers the whole associativity grid
+        session.stats_multi(name, optimize=optimize,
+                            configs=tuple(configs))
         for position, config in enumerate(configs):
             m = session.measurement(name, optimize=optimize,
                                     cache_config=config)

@@ -30,7 +30,8 @@ from repro.asm.program import Program
 from repro.cache.config import (BASELINE_CONFIG, TRAINING_CONFIG,
                                 CacheConfig, associativity_sweep,
                                 size_sweep)
-from repro.cache.model import CacheStats, simulate_trace_multi
+from repro.cache.model import CacheStats
+from repro.cache.stackdist import ProfileStore, simulate_sweep
 from repro.compiler.driver import compile_source
 from repro.machine.simulator import Machine
 from repro.patterns.builder import LoadInfo, build_load_infos
@@ -133,6 +134,11 @@ class Session:
         self._steps: dict[RunKey, int] = {}
         self._traces: OrderedDict = OrderedDict()
         self._stats: dict[tuple[RunKey, CacheConfig], CacheStats] = {}
+        # Stack-distance profiles (see cache.stackdist) share the
+        # session's cache directory so warmed sweeps survive restarts.
+        self._profile_store = ProfileStore(
+            disk_dir=(self.cache_dir / "stackdist")
+            if use_disk_cache else None)
 
     # -- stages ------------------------------------------------------
     def source(self, workload: str, input_name: str = "input1") -> str:
@@ -185,7 +191,9 @@ class Session:
                     configs: Sequence[CacheConfig] = (BASELINE_CONFIG,)
                     ) -> list[CacheStats]:
         """Per-config stats, simulating every uncached config in ONE
-        pass over the trace (see :func:`simulate_trace_multi`)."""
+        pass over the trace: LRU geometry sweeps go through the
+        stack-distance engine (see :func:`simulate_sweep`), everything
+        else through the single-pass multi-config replay."""
         key = RunKey(workload, input_name, optimize)
         missing: list[CacheConfig] = []
         for config in configs:
@@ -201,7 +209,9 @@ class Session:
             self._traces.move_to_end(key)
             trace = self._traces[key]
             for config, stats in zip(missing,
-                                     simulate_trace_multi(trace, missing)):
+                                     simulate_sweep(
+                                         trace, missing,
+                                         store=self._profile_store)):
                 self._stats[(key, config)] = stats
                 if self.use_disk_cache:
                     self._store_disk(key, config, stats)

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 from repro.asm.program import Program
 from repro.cache.config import BASELINE_CONFIG, CacheConfig
-from repro.cache.model import simulate_trace
+from repro.cache.stackdist import simulate_sweep
 from repro.machine.simulator import Machine
 from repro.prefetch.pass_ import apply_prefetching
 
@@ -65,9 +65,14 @@ def measure_policy(program: Program, policy: str,
                    cache: CacheConfig = BASELINE_CONFIG,
                    penalty: int = DEFAULT_PENALTY,
                    max_steps: int = 300_000_000) -> PolicyResult:
-    """Execute ``program`` and evaluate it under the cycle model."""
+    """Execute ``program`` and evaluate it under the cycle model.
+
+    Cache simulation goes through the dispatching sweep engine, so a
+    policy evaluated under several LRU geometries (or re-evaluated
+    after a profile is cached) shares one trace pass.
+    """
     result = Machine(program, max_steps=max_steps).run()
-    stats = simulate_trace(result.trace, cache)
+    stats = simulate_sweep(result.trace, (cache,))[0]
     load_misses = stats.total_load_misses
     store_misses = stats.total_store_misses
     cycles = result.steps + penalty * (load_misses + store_misses)

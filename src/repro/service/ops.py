@@ -16,12 +16,18 @@ from typing import Any
 
 from repro.api import analyze_program
 from repro.cache.config import CacheConfig
-from repro.cache.model import simulate_trace_multi
+from repro.cache.stackdist import ProfileStore, simulate_sweep
 from repro.compiler.driver import compile_source
 from repro.export import report_to_dict
 from repro.heuristic.classes import Weights
 from repro.machine.simulator import Machine
+from repro.pipeline.session import default_cache_dir
 from repro.service import protocol
+
+#: Stack-distance profiles for the merged ``simulate`` op, sharing the
+#: pipeline/service warm directory: a re-sweep of a known program with
+#: new LRU geometries is answered from histograms, not a trace replay.
+_PROFILE_STORE = ProfileStore(disk_dir=default_cache_dir() / "stackdist")
 
 
 def run_analysis(params: dict[str, Any]) -> dict[str, Any]:
@@ -45,10 +51,11 @@ def run_analysis(params: dict[str, Any]) -> dict[str, Any]:
 def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
     """``simulate``: one execution, every config in a single replay.
 
-    Reuses the single-pass multi-configuration engine
-    (:func:`repro.cache.model.simulate_trace_multi`), so a request for N
-    configs — or N batched requests for one config each — costs one
-    trace replay.
+    Routes through the dispatching sweep engine
+    (:func:`repro.cache.stackdist.simulate_sweep`): a request for N
+    configs — or N batched requests for one config each — costs at most
+    one trace pass, and LRU geometry sweeps collapse to one pass per
+    set mapping with the per-PC distance profile cached on disk.
     """
     program = compile_source(params["source"],
                              optimize=params["optimize"])
@@ -62,8 +69,8 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
     configs = [CacheConfig(**entry) for entry in params["configs"]]
     results = []
     for config, stats in zip(configs,
-                             simulate_trace_multi(execution.trace,
-                                                  configs)):
+                             simulate_sweep(execution.trace, configs,
+                                            store=_PROFILE_STORE)):
         results.append({
             "config": protocol.cache_config_to_dict(config),
             "description": config.describe(),
