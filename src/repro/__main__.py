@@ -203,6 +203,51 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.fuzz import run_fuzz, run_self_check
+
+    def say(text: str) -> None:
+        print(text, file=sys.stderr)
+
+    oracle_names = None
+    if args.oracles != "all":
+        oracle_names = tuple(
+            name.strip() for name in args.oracles.split(",")
+            if name.strip())
+
+    if args.self_check:
+        payload = run_self_check(seed=args.seed, progress=say)
+        _emit_json(json.dumps(payload, indent=2), args.report)
+        say(f"self-check {'passed' if payload['ok'] else 'FAILED'}: "
+            f"mutation caught={payload['caught']}, shrunk to "
+            f"{payload['shrunk_rows']} rows, clean after "
+            f"restore={payload['clean_after_restore']}")
+        return 0 if payload["ok"] else 1
+
+    cases = args.cases
+    if cases is None and args.time is None:
+        cases = 200     # the default budget when neither is given
+    report = run_fuzz(
+        seed=args.seed,
+        cases=cases,
+        time_budget=args.time,
+        oracle_names=oracle_names,
+        shrink=not args.no_shrink,
+        corpus_dir=Path(args.corpus_dir) if args.corpus_dir else None,
+        progress=say)
+    payload = report.to_dict()
+    _emit_json(json.dumps(payload, indent=2), args.report)
+    say(f"fuzz: {report.cases_run} cases, "
+        f"{sum(report.oracle_runs.values())} oracle runs, "
+        f"{len(report.divergences)} divergence(s), "
+        f"{len(report.errors)} harness error(s) "
+        f"in {report.elapsed_seconds:.1f}s")
+    return 0 if report.ok else 1
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as tables_main
     forwarded = ["--tables", args.tables, "--scale", str(args.scale)]
@@ -322,6 +367,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="dump the final metrics snapshot as JSON "
                             "on shutdown")
     p_srv.set_defaults(func=cmd_serve)
+
+    p_fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the redundant fast paths "
+             "(see repro.fuzz and docs/testing.md)")
+    p_fuzz.add_argument("--seed", type=int, default=0,
+                        help="base seed; the same seed replays the "
+                             "same cases (default 0)")
+    p_fuzz.add_argument("--cases", type=int, default=None,
+                        help="number of cases to generate (default "
+                             "200 unless --time is given)")
+    p_fuzz.add_argument("--time", type=float, default=None,
+                        help="time budget in seconds (combinable "
+                             "with --cases; first limit wins)")
+    p_fuzz.add_argument("--oracles", default="all",
+                        help="comma-separated oracle names "
+                             "(default: all of engines, replay, "
+                             "service, pipeline, invariants)")
+    p_fuzz.add_argument("--report", default="-",
+                        help="where to write the JSON report "
+                             "('-': stdout, default)")
+    p_fuzz.add_argument("--corpus-dir", default=None,
+                        help="write shrunk reproducers of any "
+                             "divergence into this directory "
+                             "(e.g. tests/corpus)")
+    p_fuzz.add_argument("--no-shrink", action="store_true",
+                        help="report raw failing specs without "
+                             "minimizing them")
+    p_fuzz.add_argument("--self-check", action="store_true",
+                        help="inject an off-by-one into the compiled "
+                             "replay and verify the harness catches "
+                             "and shrinks it")
+    p_fuzz.set_defaults(func=cmd_fuzz)
     return parser
 
 

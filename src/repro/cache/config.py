@@ -12,6 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Seed of the pseudo-random replacement victim sequence.  Historically a
+#: hard-coded constant inside the cache model; it is now carried by the
+#: config (so fuzz runs can vary it) with this default preserving every
+#: existing digest and EXPERIMENTS number bit-for-bit.
+DEFAULT_RNG_SEED = 0x2545F491
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -21,6 +27,7 @@ class CacheConfig:
     assoc: int = 4
     block_size: int = 32
     replacement: str = "lru"      # "lru" | "fifo" | "random"
+    rng_seed: int = DEFAULT_RNG_SEED   # "random" victim sequence seed
 
     def __post_init__(self) -> None:
         if self.size % (self.assoc * self.block_size):
@@ -32,14 +39,24 @@ class CacheConfig:
                              f"got {self.num_sets}")
         if self.replacement not in ("lru", "fifo", "random"):
             raise ValueError(f"unknown replacement {self.replacement!r}")
+        if not isinstance(self.rng_seed, int) \
+                or not 0 <= self.rng_seed <= 0x7FFF_FFFF:
+            raise ValueError(f"rng_seed must be a 31-bit non-negative "
+                             f"int, got {self.rng_seed!r}")
 
     @property
     def num_sets(self) -> int:
         return self.size // (self.assoc * self.block_size)
 
     def describe(self) -> str:
-        return (f"{self.size // 1024}KB {self.assoc}-way "
+        text = (f"{self.size // 1024}KB {self.assoc}-way "
                 f"{self.block_size}B-block {self.replacement.upper()}")
+        if self.rng_seed != DEFAULT_RNG_SEED:
+            # Only non-default seeds are spelled out, keeping default
+            # describe() strings — and the disk-cache digests derived
+            # from them — exactly as before.
+            text += f" seed={self.rng_seed:#x}"
+        return text
 
 
 #: Section 6 training configuration: 256 sets x 4 ways x 32 B = 32 KB.

@@ -179,7 +179,8 @@ def simulate_trace_hierarchy_multi(trace: MemoryTrace,
     configs = list(configs)
     if not configs:
         return []
-    key = tuple((c.num_sets, c.assoc, c.block_size, c.replacement)
+    key = tuple((c.num_sets, c.assoc, c.block_size, c.replacement,
+                 c.rng_seed)
                 for pair in configs for c in (pair.l1, pair.l2))
     replay = _HIERARCHY_REPLAY_CACHE.get(key)
     if replay is None:

@@ -89,12 +89,13 @@ class Cache:
         self._lru = config.replacement == "lru"
         self._random = config.replacement == "random"
         self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
-        self._rng_state = 0x2545F491  # deterministic pseudo-random victims
+        # deterministic pseudo-random victims, seeded by the config
+        self._rng_state = config.rng_seed
 
     def reset(self) -> None:
         for ways in self._sets:
             ways.clear()
-        self._rng_state = 0x2545F491
+        self._rng_state = self.config.rng_seed
 
     def access(self, address: int) -> bool:
         """Touch ``address``; return True on hit."""
@@ -132,7 +133,7 @@ def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
     replacement = config.replacement
     lru = replacement == "lru"
     random_policy = replacement == "random"
-    rng_state = 0x2545F491
+    rng_state = config.rng_seed
 
     sets: list[list[int]] = [[] for _ in range(num_sets)]
     load_accesses: dict[int, int] = defaultdict(int)
@@ -233,7 +234,7 @@ def _emit_cache_update(tag: str, config: CacheConfig, block_var: str,
 def _emit_cache_state(tag: str, config: CacheConfig) -> list[str]:
     lines = [f"    sets{tag} = [[] for _ in range({config.num_sets})]"]
     if config.replacement == "random":
-        lines.append(f"    rng{tag} = 0x2545F491")
+        lines.append(f"    rng{tag} = {config.rng_seed:#x}")
     return lines
 
 
@@ -278,7 +279,8 @@ _REPLAY_CACHE = BoundedCache(64)
 
 
 def _replay_for(configs: Sequence[CacheConfig]):
-    key = tuple((c.num_sets, c.assoc, c.block_size, c.replacement)
+    key = tuple((c.num_sets, c.assoc, c.block_size, c.replacement,
+                 c.rng_seed)
                 for c in configs)
     replay = _REPLAY_CACHE.get(key)
     if replay is None:

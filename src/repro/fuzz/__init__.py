@@ -1,0 +1,45 @@
+"""Differential fuzzing and invariant checking (``repro fuzz``).
+
+The repo deliberately keeps several independent implementations of the
+same contracts — two execution engines behind one dispatch loop, three
+exact cache simulators, an in-process and a served analysis path, a
+cold and a disk-warmed pipeline.  This package keeps those redundant
+paths honest with generative testing:
+
+* :mod:`repro.fuzz.generators` — seeded, structured generators for
+  MiniC programs, raw assembly functions and synthetic memory traces,
+  biased toward the constructs that matter for address patterns
+  (nested loops, pointer chains, strided arrays, computed jumps);
+* :mod:`repro.fuzz.oracles` — the differential-oracle registry: each
+  oracle runs one input through two or more implementations and raises
+  :class:`~repro.fuzz.oracles.DivergenceError` on any mismatch;
+* :mod:`repro.fuzz.invariants` — single-implementation checkers for
+  properties every correct result must satisfy (conservation of
+  hit/miss counts, phi-score stability, classifier idempotence,
+  monotonicity the paper implies);
+* :mod:`repro.fuzz.shrinker` — ddmin-style minimization of failing
+  cases, producing corpus-sized reproducers;
+* :mod:`repro.fuzz.corpus` — the committed regression corpus under
+  ``tests/corpus/`` (replayed by ``tests/test_fuzz_corpus.py``);
+* :mod:`repro.fuzz.runner` — the fuzz loop behind
+  ``python -m repro fuzz``, including the mutation self-check that
+  proves the harness catches an injected off-by-one.
+"""
+
+from repro.fuzz.generators import CASE_KINDS, FuzzCase, generate_case
+from repro.fuzz.oracles import (ORACLES, DivergenceError, OracleContext,
+                                oracles_for)
+from repro.fuzz.runner import FuzzReport, run_fuzz, run_self_check
+
+__all__ = [
+    "CASE_KINDS",
+    "DivergenceError",
+    "FuzzCase",
+    "FuzzReport",
+    "ORACLES",
+    "OracleContext",
+    "generate_case",
+    "oracles_for",
+    "run_fuzz",
+    "run_self_check",
+]

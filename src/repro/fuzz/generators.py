@@ -1,0 +1,400 @@
+"""Seeded, structured input generators for the fuzz harness.
+
+Every case is generated *as a spec* — a plain JSON-able dict of
+structural choices — and rendered to its concrete input (MiniC text,
+assembly text, or a :class:`~repro.machine.trace.MemoryTrace`) by a
+pure function of that spec.  The indirection is what makes shrinking
+and the committed corpus work: the shrinker edits the spec (dropping
+segments, halving sizes, deleting trace rows) and re-renders, and a
+minimized spec serializes losslessly into ``tests/corpus/``.
+
+Generation is biased toward the constructs that matter for the paper's
+address patterns: nested loops, strided array walks, indirect
+(``a[b[i]]``) indexing, pointer chains over heap nodes, conditional
+bodies inside loops (superblock chaining), software prefetches and
+computed jumps (``jr`` through a register, the blocks engine's
+mid-block-entry path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.asm.program import TEXT_BASE
+from repro.cache.config import CacheConfig
+from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+
+#: The generator families; ``generate_case`` round-robins over these.
+CASE_KINDS = ("minic", "asm", "trace")
+
+SPEC_VERSION = 1
+
+
+@dataclass
+class FuzzCase:
+    """One generated (or corpus-loaded) input plus its cache configs."""
+
+    kind: str                   # "minic" | "asm" | "trace"
+    spec: dict                  # JSON-able; sufficient to rebuild inputs
+    label: str = ""             # human-readable provenance, e.g. "seed 7"
+    _source: Optional[str] = field(default=None, repr=False)
+    _trace: Optional[MemoryTrace] = field(default=None, repr=False)
+
+    def source(self) -> str:
+        """The program text (MiniC or assembly) for program-backed kinds."""
+        if self.kind == "trace":
+            raise ValueError("trace cases have no program source")
+        if self._source is None:
+            render = render_minic if self.kind == "minic" else render_asm
+            self._source = render(self.spec)
+        return self._source
+
+    def trace(self) -> MemoryTrace:
+        """The synthetic memory trace (``trace`` kind only)."""
+        if self.kind != "trace":
+            raise ValueError(f"{self.kind} cases build traces by "
+                             f"execution, not from the spec")
+        if self._trace is None:
+            self._trace = build_trace(self.spec)
+        return self._trace
+
+    def cache_configs(self) -> list[CacheConfig]:
+        return [CacheConfig(**entry)
+                for entry in self.spec.get("configs", [])] \
+            or [CacheConfig()]
+
+    def replaced(self, spec: dict) -> "FuzzCase":
+        """A copy with a different spec (shrinker steps)."""
+        return FuzzCase(kind=self.kind, spec=spec, label=self.label)
+
+
+# -- cache-config generation -------------------------------------------
+
+def gen_configs(rng: random.Random, max_configs: int = 4) -> list[dict]:
+    """1..max_configs small geometries across all three policies.
+
+    Sizes are kept small (512 B .. 32 KB) so generated workloads
+    actually stress eviction; ``random`` configs sometimes carry a
+    non-default victim-sequence seed.
+    """
+    configs: list[dict] = []
+    for _ in range(rng.randint(1, max_configs)):
+        block = rng.choice((16, 32, 32, 64))
+        num_sets = 1 << rng.randint(1, 6)
+        assoc = rng.choice((1, 2, 2, 4, 8))
+        replacement = rng.choice(("lru", "lru", "fifo", "random"))
+        entry = {"size": num_sets * assoc * block, "assoc": assoc,
+                 "block_size": block, "replacement": replacement}
+        if replacement == "random" and rng.random() < 0.5:
+            entry["rng_seed"] = rng.randrange(1, 1 << 31)
+        if entry not in configs:
+            configs.append(entry)
+    return configs
+
+
+# -- MiniC generation --------------------------------------------------
+#
+# A MiniC case is a list of *segments*, each one loop nest / chain walk
+# with its structural parameters.  Segments accumulate into a global
+# ``acc`` that is printed at the end, so every memory access feeds an
+# observable output and engine divergences surface even without traces.
+
+def _gen_stride(rng: random.Random, arrays: list[dict]) -> dict:
+    array = rng.randrange(len(arrays))
+    return {"op": "stride", "array": array,
+            "count": rng.randint(8, 200),
+            "step": rng.choice((1, 1, 2, 3, 4, 7, 16)),
+            "store": rng.random() < 0.4}
+
+
+def _gen_nest(rng: random.Random, arrays: list[dict]) -> dict:
+    return {"op": "nest", "array": rng.randrange(len(arrays)),
+            "rows": rng.randint(2, 12), "cols": rng.randint(2, 24),
+            "rowstep": rng.choice((1, 1, 2)),
+            "colstep": rng.choice((1, 1, 2, 5))}
+
+
+def _gen_indirect(rng: random.Random, arrays: list[dict]) -> dict:
+    src = rng.randrange(len(arrays))
+    idx = rng.randrange(len(arrays))
+    return {"op": "indirect", "src": src, "idx": idx,
+            "count": rng.randint(8, 120),
+            "scale": rng.choice((1, 3, 5))}
+
+
+def _gen_chain(rng: random.Random, arrays: list[dict]) -> dict:
+    return {"op": "chain", "nodes": rng.randint(4, 60),
+            "walks": rng.randint(1, 4)}
+
+
+def _gen_cond(rng: random.Random, arrays: list[dict]) -> dict:
+    return {"op": "cond", "array": rng.randrange(len(arrays)),
+            "count": rng.randint(8, 150),
+            "mask": rng.choice((1, 3, 7))}
+
+
+_SEGMENT_GENS = (_gen_stride, _gen_stride, _gen_nest, _gen_indirect,
+                 _gen_chain, _gen_cond)
+
+
+def gen_minic_spec(rng: random.Random) -> dict:
+    arrays = [{"name": f"g{index}", "size": rng.choice((32, 64, 128, 256))}
+              for index in range(rng.randint(1, 3))]
+    segments = [rng.choice(_SEGMENT_GENS)(rng, arrays)
+                for _ in range(rng.randint(1, 4))]
+    return {"version": SPEC_VERSION, "arrays": arrays,
+            "segments": segments, "configs": gen_configs(rng)}
+
+
+def _render_segment(index: int, seg: dict, arrays: list[dict]) -> str:
+    def size_of(position: int) -> int:
+        return arrays[position % len(arrays)]["size"]
+
+    def name_of(position: int) -> str:
+        return arrays[position % len(arrays)]["name"]
+
+    op = seg["op"]
+    if op == "stride":
+        a, mask = name_of(seg["array"]), size_of(seg["array"]) - 1
+        body = (f"{a}[(i * {seg['step']}) & {mask}] = acc + i;"
+                if seg["store"] else
+                f"acc = acc + {a}[(i * {seg['step']}) & {mask}];")
+        return (f"    for (i = 0; i < {seg['count']}; i = i + 1)\n"
+                f"        {body}\n")
+    if op == "nest":
+        a, mask = name_of(seg["array"]), size_of(seg["array"]) - 1
+        return (f"    for (i = 0; i < {seg['rows']}; "
+                f"i = i + {seg['rowstep']})\n"
+                f"        for (j = 0; j < {seg['cols']}; "
+                f"j = j + {seg['colstep']})\n"
+                f"            acc = acc + {a}[(i * {seg['cols']} + j)"
+                f" & {mask}];\n")
+    if op == "indirect":
+        src, src_mask = name_of(seg["src"]), size_of(seg["src"]) - 1
+        idx, idx_mask = name_of(seg["idx"]), size_of(seg["idx"]) - 1
+        return (f"    for (i = 0; i < {seg['count']}; i = i + 1) {{\n"
+                f"        {idx}[i & {idx_mask}] = i * {seg['scale']};\n"
+                f"        acc = acc + {src}[{idx}[i & {idx_mask}]"
+                f" & {src_mask}];\n"
+                f"    }}\n")
+    if op == "chain":
+        return (f"    head = NULL;\n"
+                f"    for (i = 0; i < {seg['nodes']}; i = i + 1)\n"
+                f"        acc = acc + push(i + {index});\n"
+                f"    for (i = 0; i < {seg['walks']}; i = i + 1)\n"
+                f"        acc = acc + walk();\n")
+    if op == "cond":
+        a, mask = name_of(seg["array"]), size_of(seg["array"]) - 1
+        return (f"    for (i = 0; i < {seg['count']}; i = i + 1) {{\n"
+                f"        if ((i & {seg['mask']}) == 0)\n"
+                f"            {a}[i & {mask}] = acc;\n"
+                f"        else\n"
+                f"            acc = acc + {a}[i & {mask}] + i;\n"
+                f"    }}\n")
+    raise ValueError(f"unknown segment op {op!r}")
+
+
+_CHAIN_HELPERS = """
+struct node { int value; struct node *next; };
+struct node *head;
+
+int push(int v) {
+    struct node *n;
+    n = (struct node*) malloc(sizeof(struct node));
+    n->value = v;
+    n->next = head;
+    head = n;
+    return v;
+}
+
+int walk() {
+    struct node *p;
+    int sum;
+    sum = 0;
+    p = head;
+    while (p != NULL) {
+        sum = sum + p->value;
+        p = p->next;
+    }
+    return sum;
+}
+"""
+
+
+def render_minic(spec: dict) -> str:
+    arrays = spec["arrays"]
+    decls = "\n".join(f"int {a['name']}[{a['size']}];" for a in arrays)
+    needs_chain = any(seg["op"] == "chain" for seg in spec["segments"])
+    helpers = _CHAIN_HELPERS if needs_chain else ""
+    body = "".join(_render_segment(index, seg, arrays)
+                   for index, seg in enumerate(spec["segments"]))
+    return (f"{decls}\n{helpers}\n"
+            f"int main() {{\n"
+            f"    int i;\n    int j;\n    int acc;\n"
+            f"    acc = 0;\n"
+            f"{body}"
+            f"    print_int(acc);\n"
+            f"    return 0;\n"
+            f"}}\n")
+
+
+# -- assembly generation -----------------------------------------------
+#
+# Raw assembly reaches paths MiniC cannot: hand-picked base registers,
+# software prefetch instructions, and computed jumps (`jr` through a
+# register holding a text address) that force the blocks engine through
+# its mid-block-entry stub.
+
+def gen_asm_spec(rng: random.Random) -> dict:
+    loops = []
+    for _ in range(rng.randint(1, 3)):
+        loops.append({
+            "count": rng.randint(4, 80),
+            "stride": rng.choice((4, 4, 8, 12, 32)),
+            "store": rng.random() < 0.5,
+            "prefetch": rng.random() < 0.3,
+        })
+    return {"version": SPEC_VERSION,
+            "words": rng.choice((64, 128, 256)),
+            "loops": loops,
+            "computed_jump": rng.random() < 0.5,
+            "configs": gen_configs(rng)}
+
+
+def render_asm(spec: dict) -> str:
+    words = spec["words"]
+    lines = ["    .text", "    .ent main", "main:",
+             "    la $s0, arr", "    li $s3, 0",
+             # fill the array so loads observe nonzero data
+             "    li $t0, 0",
+             f"    li $t1, {words}",
+             "init:",
+             "    sll $t2, $t0, 2",
+             "    addu $t2, $s0, $t2",
+             "    addiu $t3, $t0, 11",
+             "    mul $t3, $t3, $t0",
+             "    sw $t3, 0($t2)",
+             "    addiu $t0, $t0, 1",
+             "    blt $t0, $t1, init"]
+    for index, loop in enumerate(spec["loops"]):
+        mask = words * 4 - 4
+        lines += [
+            f"    li $t0, 0",
+            f"    li $t1, {loop['count']}",
+            f"loop{index}:",
+            f"    andi $t2, $t0, {mask}",
+            f"    addu $t2, $s0, $t2",
+            f"    lw $t3, 0($t2)",
+            f"    addu $s3, $s3, $t3",
+        ]
+        if loop["prefetch"]:
+            lines.append(f"    pref {loop['stride']}($t2)")
+        if loop["store"]:
+            lines.append(f"    sw $s3, 0($t2)")
+        lines += [
+            f"    addiu $t0, $t0, {loop['stride']}",
+            f"    addiu $t1, $t1, -1",
+            f"    bnez $t1, loop{index}",
+        ]
+    if spec.get("computed_jump"):
+        # a computed jump into the middle of the epilogue block
+        lines += ["    lta $t7, mid_entry",
+                  "    jr $t7",
+                  "    li $s3, 0          # skipped by the jump",
+                  "mid_entry:"]
+    lines += ["    move $a0, $s3",
+              "    li $v0, 1",
+              "    syscall",
+              "    li $a0, 0",
+              "    li $v0, 10",
+              "    syscall",
+              "    .end main",
+              "    .data",
+              "    .align 2",
+              f"arr: .space {words * 4}"]
+    return "\n".join(lines) + "\n"
+
+
+# -- synthetic trace generation ----------------------------------------
+#
+# Traces go straight at the cache engines without compiling anything.
+# Rows are generated from a handful of archetypal access patterns; each
+# static pc keeps a single access kind (loads, stores and prefetches
+# live at distinct pcs), matching what real executions produce and what
+# `shared_access_counts` assumes.
+
+def gen_trace_spec(rng: random.Random) -> dict:
+    num_loads = rng.randint(2, 8)
+    num_stores = rng.randint(0, 4)
+    num_prefetch = rng.randint(0, 2)
+    pcs = [TEXT_BASE + 4 * index
+           for index in range(num_loads + num_stores + num_prefetch)]
+    rng.shuffle(pcs)
+    load_pcs = pcs[:num_loads]
+    store_pcs = pcs[num_loads:num_loads + num_stores]
+    prefetch_pcs = pcs[num_loads + num_stores:]
+
+    rows: list[list[int]] = []
+    base = 0x1000_0000
+    for _ in range(rng.randint(2, 8)):
+        pattern = rng.choice(("seq", "seq", "conflict", "random",
+                              "hot", "chase"))
+        kind_pool = ([(pc, LOAD) for pc in load_pcs]
+                     + [(pc, STORE) for pc in store_pcs]
+                     + [(pc, PREFETCH) for pc in prefetch_pcs])
+        pc, kind = rng.choice(kind_pool)
+        n = rng.randint(10, 400)
+        if pattern == "seq":
+            start = base + rng.randrange(0, 1 << 16, 4)
+            stride = rng.choice((4, 4, 8, 16, 32, 64, 128))
+            rows += [[pc, (start + i * stride) & 0xFFFF_FFFF, kind]
+                     for i in range(n)]
+        elif pattern == "conflict":
+            # few blocks mapping to one set: eviction-order stress
+            start = base + rng.randrange(0, 1 << 12, 4)
+            gap = rng.choice((1 << 10, 1 << 12, 1 << 14))
+            blocks = rng.randint(2, 9)
+            rows += [[pc, (start + (i % blocks) * gap) & 0xFFFF_FFFF,
+                      kind] for i in range(n)]
+        elif pattern == "random":
+            span = rng.choice((1 << 12, 1 << 16, 1 << 20))
+            rows += [[pc, base + rng.randrange(0, span), kind]
+                     for _ in range(n)]
+        elif pattern == "hot":
+            hot = [base + rng.randrange(0, 1 << 14, 4)
+                   for _ in range(rng.randint(1, 6))]
+            rows += [[pc, rng.choice(hot), kind] for _ in range(n)]
+        else:  # chase: a fixed pseudo-random permutation walk
+            span = rng.randint(8, 128)
+            order = list(range(span))
+            rng.shuffle(order)
+            start = base + rng.randrange(0, 1 << 14, 4)
+            rows += [[pc, start + order[i % span] * 16, kind]
+                     for i in range(n)]
+    return {"version": SPEC_VERSION, "rows": rows,
+            "configs": gen_configs(rng)}
+
+
+def build_trace(spec: dict) -> MemoryTrace:
+    trace = MemoryTrace()
+    for pc, address, kind in spec["rows"]:
+        trace.append(pc, address, kind)
+    return trace
+
+
+# -- entry point -------------------------------------------------------
+
+_SPEC_GENS = {"minic": gen_minic_spec, "asm": gen_asm_spec,
+              "trace": gen_trace_spec}
+
+
+def generate_case(kind: str, seed: int) -> FuzzCase:
+    """Deterministically generate one case of ``kind`` from ``seed``."""
+    if kind not in _SPEC_GENS:
+        raise ValueError(f"unknown case kind {kind!r} "
+                         f"(expected one of {CASE_KINDS})")
+    rng = random.Random(f"repro-fuzz:{kind}:{seed}")
+    spec = _SPEC_GENS[kind](rng)
+    return FuzzCase(kind=kind, spec=spec, label=f"{kind} seed {seed}")

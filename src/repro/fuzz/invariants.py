@@ -1,0 +1,204 @@
+"""Single-implementation invariant checkers.
+
+Differential oracles need two implementations; these checkers instead
+assert properties that any *one* correct result must satisfy:
+
+* **conservation** — per-PC misses never exceed accesses, column totals
+  match the trace's own kind counts, total misses are bounded below by
+  the number of distinct blocks touched (every first touch is a miss);
+* **LRU inclusion** — growing the associativity of an LRU cache (same
+  set mapping, same block size) never adds misses;
+* **phi stability** — phi(i) is a max over a load's address patterns,
+  so reordering the pattern list must not change the score;
+* **idempotence** — classifying the same loads twice yields identical
+  scores, class sets and delinquent sets;
+* **delta monotonicity** — raising the threshold delta only shrinks the
+  delinquent set;
+* **weight monotonicity** — raising a single class weight never lowers
+  any phi(i);
+* **frequency monotonicity** — H5's frequency category climbs the
+  rare -> seldom -> fair ladder as E(i) grows, it never falls back.
+
+Violations raise :class:`~repro.fuzz.oracles.DivergenceError` with
+oracle name ``invariants`` so the runner and shrinker treat them like
+any other failing oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cache.config import CacheConfig
+from repro.cache.model import CacheStats, simulate_trace
+from repro.heuristic.classes import (FREQ_FAIR, FREQ_RARE, FREQ_SELDOM,
+                                     frequency_category)
+from repro.heuristic.classifier import DelinquencyClassifier
+from repro.machine.trace import MemoryTrace
+
+_NAME = "invariants"
+
+
+def _fail(message: str) -> None:
+    from repro.fuzz.oracles import DivergenceError
+    raise DivergenceError(_NAME, message)
+
+
+# -- cache accounting --------------------------------------------------
+
+def check_conservation(trace: MemoryTrace, config: CacheConfig,
+                       stats: CacheStats) -> None:
+    """Hit/miss bookkeeping must be consistent with the trace itself."""
+    tag = config.describe()
+    for label, accesses, misses in (
+            ("load", stats.load_accesses, stats.load_misses),
+            ("store", stats.store_accesses, stats.store_misses)):
+        for pc, count in misses.items():
+            if count < 0:
+                _fail(f"{tag}: negative {label} miss count at {pc:#x}")
+            if count > accesses.get(pc, 0):
+                _fail(f"{tag}: {label} misses {count} > accesses "
+                      f"{accesses.get(pc, 0)} at {pc:#x}")
+    if sum(stats.load_accesses.values()) != trace.load_count:
+        _fail(f"{tag}: load accesses "
+              f"{sum(stats.load_accesses.values())} != trace load "
+              f"count {trace.load_count}")
+    if sum(stats.store_accesses.values()) != trace.store_count:
+        _fail(f"{tag}: store accesses "
+              f"{sum(stats.store_accesses.values())} != trace store "
+              f"count {trace.store_count}")
+    if stats.prefetch_ops != trace.prefetch_count:
+        _fail(f"{tag}: prefetch ops {stats.prefetch_ops} != trace "
+              f"prefetch count {trace.prefetch_count}")
+    if not 0 <= stats.prefetch_fills <= stats.prefetch_ops:
+        _fail(f"{tag}: prefetch fills {stats.prefetch_fills} outside "
+              f"[0, {stats.prefetch_ops}]")
+    # Every distinct block's first touch must miss (or be a prefetch
+    # fill), so total misses are bounded below by the block count.
+    blocks = {address // config.block_size
+              for address in trace.addresses}
+    total_misses = (sum(stats.load_misses.values())
+                    + sum(stats.store_misses.values())
+                    + stats.prefetch_fills)
+    if total_misses < len(blocks):
+        _fail(f"{tag}: {total_misses} total misses for {len(blocks)} "
+              f"distinct blocks (compulsory misses unaccounted)")
+
+
+def check_lru_inclusion(trace: MemoryTrace,
+                        config: CacheConfig,
+                        stats: CacheStats) -> None:
+    """LRU inclusion property: more ways, same sets -> never more
+    misses (per PC, not just in aggregate)."""
+    if config.replacement != "lru":
+        return
+    bigger = replace(config, size=config.size * 2,
+                     assoc=config.assoc * 2)
+    bigger_stats = simulate_trace(trace, bigger)
+    for pc, count in bigger_stats.load_misses.items():
+        if count > stats.load_misses.get(pc, 0):
+            _fail(f"LRU inclusion violated at {pc:#x}: "
+                  f"{bigger.describe()} has {count} load misses, "
+                  f"{config.describe()} has "
+                  f"{stats.load_misses.get(pc, 0)}")
+    for pc, count in bigger_stats.store_misses.items():
+        if count > stats.store_misses.get(pc, 0):
+            _fail(f"LRU inclusion violated at {pc:#x}: "
+                  f"{bigger.describe()} has {count} store misses, "
+                  f"{config.describe()} has "
+                  f"{stats.store_misses.get(pc, 0)}")
+
+
+# -- classifier properties ---------------------------------------------
+
+def check_phi_stability(load_infos: dict) -> None:
+    """phi is a max over patterns: list order must not matter.
+
+    Only the score is order-independent — the *class set* ties break by
+    first maximum, so it may legitimately change under reordering.
+    """
+    classifier = DelinquencyClassifier()
+    for address, info in load_infos.items():
+        score, _ = classifier.score_load(info)
+        shuffled = replace(info,
+                           patterns=list(reversed(info.patterns)),
+                           features=list(reversed(info.features)))
+        reordered, _ = classifier.score_load(shuffled)
+        if score != reordered:
+            _fail(f"phi({address:#x}) changed under pattern "
+                  f"reordering: {score} != {reordered}")
+
+
+def check_idempotence(load_infos: dict) -> None:
+    """Classifying the same loads twice must agree exactly."""
+    classifier = DelinquencyClassifier()
+    first = classifier.classify(load_infos)
+    second = classifier.classify(load_infos)
+    for address in load_infos:
+        a, b = first.loads[address], second.loads[address]
+        if (a.score, a.classes, a.is_delinquent) != \
+                (b.score, b.classes, b.is_delinquent):
+            _fail(f"classify({address:#x}) not idempotent: "
+                  f"{a} != {b}")
+
+
+def check_delta_monotonicity(load_infos: dict) -> None:
+    """A stricter threshold only removes loads from the delinquent
+    set."""
+    base = DelinquencyClassifier()
+    loose = base.classify(load_infos).delinquent_set
+    for delta in (base.delta * 2, base.delta + 1.0):
+        strict = DelinquencyClassifier(delta=delta) \
+            .classify(load_infos).delinquent_set
+        if not strict <= loose:
+            _fail(f"delta={delta} delinquent set {sorted(strict)} is "
+                  f"not a subset of delta={base.delta} set "
+                  f"{sorted(loose)}")
+
+
+def check_weight_monotonicity(load_infos: dict) -> None:
+    """Raising one class weight never lowers any load's phi."""
+    base = DelinquencyClassifier()
+    before = base.classify(load_infos).scores()
+    weights = base.weights.as_dict()
+    for name in weights:
+        raised = dict(weights)
+        raised[name] = weights[name] + 0.25
+        after = DelinquencyClassifier(
+            weights=base.weights.from_dict(raised)) \
+            .classify(load_infos).scores()
+        for address, score in before.items():
+            if after[address] < score - 1e-12:
+                _fail(f"raising W({name}) lowered phi({address:#x}): "
+                      f"{score} -> {after[address]}")
+
+
+def check_frequency_monotonicity() -> None:
+    """H5's category ladder is monotone in the execution count."""
+    order = {FREQ_RARE: 0, FREQ_SELDOM: 1, FREQ_FAIR: 2}
+    last = -1
+    for count in (0, 1, 99, 100, 999, 1000, 10_000):
+        rank = order[frequency_category(count)]
+        if rank < last:
+            _fail(f"frequency_category({count}) fell back down the "
+                  f"rare/seldom/fair ladder")
+        last = rank
+
+
+# -- entry point -------------------------------------------------------
+
+def check_case(case) -> None:
+    """Every invariant applicable to one fuzz case."""
+    from repro.fuzz.oracles import case_trace, compile_case
+    trace = case_trace(case)
+    for config in case.cache_configs():
+        stats = simulate_trace(trace, config)
+        check_conservation(trace, config, stats)
+        check_lru_inclusion(trace, config, stats)
+    check_frequency_monotonicity()
+    if case.kind in ("minic", "asm"):
+        from repro.patterns.builder import build_load_infos
+        load_infos = build_load_infos(compile_case(case))
+        check_phi_stability(load_infos)
+        check_idempotence(load_infos)
+        check_delta_monotonicity(load_infos)
+        check_weight_monotonicity(load_infos)

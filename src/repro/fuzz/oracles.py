@@ -1,0 +1,319 @@
+"""The differential-oracle registry.
+
+An oracle takes one :class:`~repro.fuzz.generators.FuzzCase` and runs
+it through two or more implementations that are bit-identical by
+contract, raising :class:`DivergenceError` on any mismatch:
+
+``engines``
+    closure vs. blocks machine execution — exit code, printed output,
+    step count, block profile and byte-identical trace columns;
+``replay``
+    per-config :func:`~repro.cache.model.simulate_trace` vs. the
+    single-pass :func:`~repro.cache.model.simulate_trace_multi` vs. the
+    dispatching :func:`~repro.cache.stackdist.simulate_sweep` (cold and
+    profile-served re-sweep) — full :class:`CacheStats` equality across
+    LRU/FIFO/random geometries;
+``service``
+    in-process :func:`repro.api.analyze_program` vs. the long-lived
+    service path, canonical-JSON byte equality for both ``analyze`` and
+    the purely static ``classify``;
+``pipeline``
+    a cold :class:`~repro.pipeline.session.Session` vs. a fresh session
+    warmed from the first one's disk cache — stats, block profile and
+    step counts must match exactly;
+``invariants``
+    the single-implementation checkers from
+    :mod:`repro.fuzz.invariants`.
+
+Oracles are pure consumers: they never mutate the case, so a failing
+case can be re-checked verbatim by the shrinker and the corpus replay.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.cache.config import CacheConfig
+from repro.cache.model import CacheStats, simulate_trace, \
+    simulate_trace_multi
+from repro.cache.stackdist import ProfileStore, simulate_sweep
+from repro.machine.simulator import run_program
+from repro.machine.trace import MemoryTrace
+
+
+class DivergenceError(AssertionError):
+    """Two implementations of one contract disagreed."""
+
+    def __init__(self, oracle: str, message: str):
+        self.oracle = oracle
+        self.message = message
+        super().__init__(f"[{oracle}] {message}")
+
+
+class OracleContext:
+    """Shared expensive resources for one fuzz run.
+
+    The service oracle keeps one background server alive across cases;
+    the pipeline oracle gets a private scratch directory per call.  Use
+    as a context manager (or call :meth:`close`) so the server thread
+    and scratch space are reclaimed.
+    """
+
+    def __init__(self):
+        self._server = None
+        self._client = None
+        self._tmp: Optional[Path] = None
+
+    # -- lifecycle ----------------------------------------------------
+    def __enter__(self) -> "OracleContext":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        if self._tmp is not None:
+            shutil.rmtree(self._tmp, ignore_errors=True)
+            self._tmp = None
+
+    # -- resources ----------------------------------------------------
+    @property
+    def client(self):
+        """A connected client to the lazily started in-thread server."""
+        if self._server is None:
+            from repro.service.server import ServerConfig, serve_in_thread
+            self._server = serve_in_thread(ServerConfig(
+                port=0, workers=0, use_disk_cache=False))
+        if self._client is None:
+            from repro.service.client import ServiceClient
+            self._client = ServiceClient(self._server.host,
+                                         self._server.port, timeout=120.0)
+        return self._client
+
+    def scratch_dir(self) -> Path:
+        """A fresh empty subdirectory of the run's scratch space."""
+        if self._tmp is None:
+            self._tmp = Path(tempfile.mkdtemp(prefix="repro-fuzz-"))
+        return Path(tempfile.mkdtemp(dir=self._tmp))
+
+
+#: Step budget for fuzz-generated programs: far above anything the
+#: generators emit, so hitting it means an engine diverged into a loop.
+MAX_STEPS = 20_000_000
+
+
+def compile_case(case) -> "Program":  # noqa: F821 - doc only
+    """MiniC or assembly source to a linked Program."""
+    if case.kind == "minic":
+        from repro.compiler.driver import compile_source
+        return compile_source(case.source())
+    if case.kind == "asm":
+        from repro.asm.assembler import assemble
+        return assemble(case.source())
+    raise ValueError(f"{case.kind} cases have no program")
+
+
+def case_trace(case) -> MemoryTrace:
+    """The memory trace a case denotes (synthetic or by execution)."""
+    if case.kind == "trace":
+        return case.trace()
+    result = run_program(compile_case(case), max_steps=MAX_STEPS,
+                         engine="closures")
+    return result.trace
+
+
+def _diverge(oracle: str, what: str, a, b) -> None:
+    raise DivergenceError(oracle, f"{what}: {a!r} != {b!r}")
+
+
+def _require_equal(oracle: str, what: str, a, b) -> None:
+    if a != b:
+        _diverge(oracle, what, a, b)
+
+
+# -- engines oracle ----------------------------------------------------
+
+def _trace_bytes(trace: Optional[MemoryTrace]) -> tuple:
+    if trace is None:
+        return (None,)
+    return (trace.pcs.tobytes(), trace.addresses.tobytes(),
+            trace.kinds.tobytes())
+
+
+def check_engines(case, ctx: OracleContext) -> None:
+    """Closure engine vs. blocks engine on one program."""
+    program = compile_case(case)
+    reference = run_program(program, max_steps=MAX_STEPS,
+                            engine="closures")
+    candidate = run_program(program, max_steps=MAX_STEPS,
+                            engine="blocks")
+    name = "engines"
+    _require_equal(name, "exit code", reference.exit_code,
+                   candidate.exit_code)
+    _require_equal(name, "output", reference.output, candidate.output)
+    _require_equal(name, "steps", reference.steps, candidate.steps)
+    _require_equal(name, "block counts", reference.block_counts,
+                   candidate.block_counts)
+    if _trace_bytes(reference.trace) != _trace_bytes(candidate.trace):
+        ref, cand = reference.trace, candidate.trace
+        if len(ref) != len(cand):
+            _diverge(name, "trace length", len(ref), len(cand))
+        for index, (a, b) in enumerate(zip(ref, cand)):
+            if a != b:
+                _diverge(name, f"trace row {index}", a, b)
+        _diverge(name, "trace bytes", "reference", "candidate")
+
+
+# -- cache-simulator oracle --------------------------------------------
+
+def _stats_tuple(stats: CacheStats) -> tuple:
+    return (stats.load_accesses, stats.load_misses,
+            stats.store_accesses, stats.store_misses,
+            stats.prefetch_ops, stats.prefetch_fills)
+
+
+def _require_stats_equal(name: str, config: CacheConfig, what: str,
+                         a: CacheStats, b: CacheStats) -> None:
+    if _stats_tuple(a) != _stats_tuple(b):
+        for fld in ("load_accesses", "load_misses", "store_accesses",
+                    "store_misses", "prefetch_ops", "prefetch_fills"):
+            va, vb = getattr(a, fld), getattr(b, fld)
+            if va != vb:
+                _diverge(name, f"{config.describe()} {what} {fld}",
+                         va, vb)
+
+
+def check_replay(case, ctx: OracleContext) -> None:
+    """simulate_trace vs. simulate_trace_multi vs. simulate_sweep."""
+    trace = case_trace(case)
+    configs = case.cache_configs()
+    name = "replay"
+    singles = [simulate_trace(trace, config) for config in configs]
+    multi = simulate_trace_multi(trace, configs)
+    store = ProfileStore()
+    swept = simulate_sweep(trace, configs, store=store)
+    reswept = simulate_sweep(trace, configs, store=store)
+    for config, single, batched, cold, warm in zip(
+            configs, singles, multi, swept, reswept):
+        _require_stats_equal(name, config, "multi-vs-single",
+                             batched, single)
+        _require_stats_equal(name, config, "sweep-vs-single",
+                             cold, single)
+        _require_stats_equal(name, config, "resweep-vs-single",
+                             warm, single)
+
+
+# -- service oracle ----------------------------------------------------
+
+def check_service(case, ctx: OracleContext) -> None:
+    """Served analyze/classify vs. the in-process pipeline."""
+    from repro.api import analyze_program
+    from repro.export import canonical_json, report_to_dict
+    source = case.source()
+    name = "service"
+    client = ctx.client
+    served = canonical_json(client.analyze(source))
+    local = canonical_json(report_to_dict(analyze_program(source)))
+    if served != local:
+        _diverge(name, "analyze payload", served[:400], local[:400])
+    served = canonical_json(client.classify(source))
+    local = canonical_json(report_to_dict(analyze_program(
+        source, execute=False)))
+    if served != local:
+        _diverge(name, "classify payload", served[:400], local[:400])
+
+
+# -- pipeline-cache oracle ---------------------------------------------
+
+def check_pipeline(case, ctx: OracleContext) -> None:
+    """Cold Session vs. a fresh Session warmed from its disk cache."""
+    from repro.pipeline.session import Session
+    source = case.source()
+    config = case.cache_configs()[0]
+    name = "pipeline"
+    cache_dir = ctx.scratch_dir()
+
+    cold = Session(cache_dir=cache_dir, max_steps=MAX_STEPS)
+    key = cold.add_source("fuzzcase", source)
+    cold_stats = cold.stats("fuzzcase", cache_config=config)
+    cold_profile = cold.profile("fuzzcase")
+    if not cold._disk_path(key, config).exists():
+        raise DivergenceError(name, "cold session wrote no disk entry")
+
+    warm = Session(cache_dir=cache_dir, max_steps=MAX_STEPS)
+    warm.add_source("fuzzcase", source)
+    warm_stats = warm.stats("fuzzcase", cache_config=config)
+    warm_profile = warm.profile("fuzzcase")
+    if warm._traces:
+        raise DivergenceError(
+            name, "warm session re-executed instead of loading the "
+                  "disk entry")
+    _require_equal(name, "load_misses", cold_stats.load_misses,
+                   warm_stats.load_misses)
+    _require_equal(name, "load_accesses", cold_stats.load_accesses,
+                   warm_stats.load_accesses)
+    _require_equal(name, "block_counts", cold_profile.block_counts,
+                   warm_profile.block_counts)
+    _require_equal(name, "block_sizes", cold_profile.block_sizes,
+                   warm_profile.block_sizes)
+    _require_equal(name, "steps", cold._steps[key], warm._steps[key])
+
+
+# -- invariants oracle -------------------------------------------------
+
+def check_invariants(case, ctx: OracleContext) -> None:
+    """Apply every applicable single-implementation invariant."""
+    from repro.fuzz import invariants
+    invariants.check_case(case)
+
+
+# -- registry ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Oracle:
+    name: str
+    kinds: tuple[str, ...]          # applicable case kinds
+    check: Callable[[object, OracleContext], None]
+    description: str
+
+
+ORACLES: dict[str, Oracle] = {
+    oracle.name: oracle for oracle in (
+        Oracle("engines", ("minic", "asm"), check_engines,
+               "closures vs. blocks execution engines"),
+        Oracle("replay", ("minic", "asm", "trace"), check_replay,
+               "simulate_trace vs. simulate_trace_multi vs. "
+               "simulate_sweep (cold + re-sweep)"),
+        Oracle("service", ("minic",), check_service,
+               "in-process analyze/classify vs. the served path"),
+        Oracle("pipeline", ("minic",), check_pipeline,
+               "cold Session vs. disk-cache-warmed Session"),
+        Oracle("invariants", ("minic", "asm", "trace"), check_invariants,
+               "conservation/stability/monotonicity invariants"),
+    )
+}
+
+
+def oracles_for(kind: str,
+                names: Optional[Sequence[str]] = None) -> list[Oracle]:
+    """The selected oracles applicable to one case kind."""
+    if names is None:
+        selected = list(ORACLES.values())
+    else:
+        unknown = [n for n in names if n not in ORACLES]
+        if unknown:
+            raise ValueError(
+                f"unknown oracle(s): {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(ORACLES))})")
+        selected = [ORACLES[n] for n in names]
+    return [oracle for oracle in selected if kind in oracle.kinds]

@@ -1,0 +1,260 @@
+"""The fuzz loop behind ``python -m repro fuzz``.
+
+:func:`run_fuzz` drives generation -> oracles -> shrinking and returns
+a JSON-able :class:`FuzzReport`.  :func:`run_self_check` proves the
+harness can actually catch a bug: it injects an off-by-one into the
+compiled-replay eviction test (sets temporarily hold ``assoc + 1``
+blocks), verifies the ``replay`` oracle reports a divergence, shrinks
+the failure to a corpus-sized reproducer, and verifies the minimized
+case passes once the mutation is removed.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.fuzz.generators import CASE_KINDS, FuzzCase, generate_case
+from repro.fuzz.oracles import (DivergenceError, Oracle, OracleContext,
+                                oracles_for)
+from repro.fuzz.shrinker import shrink_case
+
+#: Seeds are spread out per case index so ``--seed 1`` does not replay
+#: a suffix of ``--seed 0``.
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass
+class Divergence:
+    """One oracle failure, with its shrunk reproducer."""
+
+    case_label: str
+    kind: str
+    oracle: str
+    message: str
+    spec: dict
+    shrunk_spec: Optional[dict] = None
+    shrink_evals: int = 0
+    corpus_file: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case_label,
+            "kind": self.kind,
+            "oracle": self.oracle,
+            "message": self.message,
+            "spec": self.spec,
+            "shrunk_spec": self.shrunk_spec,
+            "shrink_evals": self.shrink_evals,
+            "corpus_file": self.corpus_file,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz run produced."""
+
+    seed: int
+    cases_run: int = 0
+    elapsed_seconds: float = 0.0
+    oracle_runs: dict = field(default_factory=dict)   # name -> count
+    kind_counts: dict = field(default_factory=dict)   # kind -> count
+    divergences: list = field(default_factory=list)
+    errors: list = field(default_factory=list)        # harness bugs
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences and not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "cases_run": self.cases_run,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "oracle_runs": dict(sorted(self.oracle_runs.items())),
+            "kind_counts": dict(sorted(self.kind_counts.items())),
+            "divergences": [d.to_dict() for d in self.divergences],
+            "errors": list(self.errors),
+        }
+
+
+def _reproduces(oracle: Oracle, ctx: OracleContext
+                ) -> Callable[[FuzzCase], bool]:
+    """Shrink predicate: does this candidate still trip ``oracle``?"""
+    def predicate(candidate: FuzzCase) -> bool:
+        try:
+            oracle.check(candidate, ctx)
+        except DivergenceError:
+            return True
+        except Exception:
+            return False    # candidate is invalid, not a reproduction
+        return False
+    return predicate
+
+
+def run_fuzz(seed: int = 0,
+             cases: Optional[int] = 200,
+             time_budget: Optional[float] = None,
+             oracle_names: Optional[Sequence[str]] = None,
+             kinds: Sequence[str] = CASE_KINDS,
+             shrink: bool = True,
+             corpus_dir: Optional[Path] = None,
+             max_shrink_evals: int = 400,
+             progress: Optional[Callable[[str], None]] = None
+             ) -> FuzzReport:
+    """Generate cases and run every selected applicable oracle.
+
+    Stops after ``cases`` cases or ``time_budget`` seconds, whichever
+    comes first (pass ``cases=None`` for a purely time-boxed run).
+    Failures are shrunk (unless ``shrink=False``) and, when
+    ``corpus_dir`` is given, written there as corpus files.
+    """
+    if cases is None and time_budget is None:
+        raise ValueError("need a case budget or a time budget")
+    for kind in kinds:
+        oracles_for(kind, oracle_names)     # validate names eagerly
+    report = FuzzReport(seed=seed)
+    started = time.monotonic()
+    say = progress or (lambda text: None)
+    with OracleContext() as ctx:
+        index = 0
+        while True:
+            if cases is not None and index >= cases:
+                break
+            if time_budget is not None \
+                    and time.monotonic() - started >= time_budget:
+                break
+            kind = kinds[index % len(kinds)]
+            case = generate_case(kind,
+                                 seed * _SEED_STRIDE + index)
+            report.cases_run += 1
+            report.kind_counts[kind] = \
+                report.kind_counts.get(kind, 0) + 1
+            for oracle in oracles_for(kind, oracle_names):
+                try:
+                    oracle.check(case, ctx)
+                except DivergenceError as exc:
+                    say(f"DIVERGENCE {case.label} [{oracle.name}] "
+                        f"{exc.message}")
+                    divergence = Divergence(
+                        case_label=case.label, kind=kind,
+                        oracle=oracle.name, message=exc.message,
+                        spec=case.spec)
+                    if shrink:
+                        minimized, evals = shrink_case(
+                            case, _reproduces(oracle, ctx),
+                            max_evals=max_shrink_evals)
+                        divergence.shrunk_spec = minimized.spec
+                        divergence.shrink_evals = evals
+                        case_to_save = minimized
+                    else:
+                        case_to_save = case
+                    if corpus_dir is not None:
+                        from repro.fuzz.corpus import save_case
+                        path = save_case(
+                            case_to_save, corpus_dir,
+                            note=f"[{oracle.name}] {exc.message}")
+                        divergence.corpus_file = path.name
+                        say(f"saved reproducer to {path}")
+                    report.divergences.append(divergence)
+                except Exception:
+                    # an oracle crash is a harness bug, not a finding;
+                    # record it and keep fuzzing
+                    report.errors.append({
+                        "case": case.label,
+                        "oracle": oracle.name,
+                        "traceback": traceback.format_exc(limit=8),
+                    })
+                    say(f"ERROR {case.label} [{oracle.name}]")
+                else:
+                    report.oracle_runs[oracle.name] = \
+                        report.oracle_runs.get(oracle.name, 0) + 1
+            index += 1
+    report.elapsed_seconds = time.monotonic() - started
+    return report
+
+
+# -- mutation self-check -----------------------------------------------
+
+@contextmanager
+def inject_eviction_off_by_one():
+    """Make the compiled replay's sets hold one block too many.
+
+    Wraps :func:`repro.cache.model._emit_cache_update` so the emitted
+    eviction guard reads ``len(ways) >= assoc + 1`` — the classic
+    off-by-one — and clears the compiled-replay cache so the mutation
+    takes effect.  ``simulate_trace`` (a plain interpreted loop) is
+    untouched, so the ``replay`` oracle must report the divergence.
+    Restores both on exit.
+    """
+    from repro.cache import model
+    from repro.cache.lru import BoundedCache
+    original_emit = model._emit_cache_update
+    original_cache = model._REPLAY_CACHE
+
+    def mutated_emit(tag, config, block_var, miss_lines, indent):
+        lines = original_emit(tag, config, block_var, miss_lines,
+                              indent)
+        needle = f"if len(ways) >= {config.assoc}:"
+        patched = f"if len(ways) >= {config.assoc + 1}:"
+        return [line.replace(needle, patched) for line in lines]
+
+    model._emit_cache_update = mutated_emit
+    model._REPLAY_CACHE = BoundedCache(64)
+    try:
+        yield
+    finally:
+        model._emit_cache_update = original_emit
+        model._REPLAY_CACHE = original_cache
+
+
+def run_self_check(seed: int = 0, cases: int = 40,
+                   max_shrink_evals: int = 400,
+                   progress: Optional[Callable[[str], None]] = None
+                   ) -> dict:
+    """Prove the harness catches (and shrinks) an injected bug.
+
+    Returns a JSON-able dict with ``ok`` true iff the mutated run
+    diverged on the ``replay`` oracle AND the shrunk reproducer passes
+    once the mutation is removed.
+    """
+    with inject_eviction_off_by_one():
+        mutated = run_fuzz(seed=seed, cases=cases,
+                           oracle_names=("replay",), kinds=("trace",),
+                           shrink=True,
+                           max_shrink_evals=max_shrink_evals,
+                           progress=progress)
+    caught = bool(mutated.divergences)
+    clean_after = False
+    shrunk_rows = None
+    original_rows = None
+    if caught:
+        first = mutated.divergences[0]
+        original_rows = len(first.spec.get("rows", []))
+        spec = first.shrunk_spec or first.spec
+        shrunk_rows = len(spec.get("rows", []))
+        reproducer = FuzzCase(kind=first.kind, spec=spec,
+                              label="self-check reproducer")
+        from repro.fuzz.oracles import ORACLES
+        try:
+            with OracleContext() as ctx:
+                ORACLES["replay"].check(reproducer, ctx)
+            clean_after = True
+        except DivergenceError:
+            clean_after = False
+    return {
+        "ok": caught and clean_after,
+        "mutation": "compiled-replay eviction guard off by one "
+                    "(len(ways) >= assoc+1)",
+        "caught": caught,
+        "divergences": len(mutated.divergences),
+        "cases_run": mutated.cases_run,
+        "original_rows": original_rows,
+        "shrunk_rows": shrunk_rows,
+        "clean_after_restore": clean_after,
+    }

@@ -1,0 +1,168 @@
+"""ddmin-style minimization of failing fuzz cases.
+
+The shrinker never edits program text or traces directly — it edits the
+case *spec* (the JSON-able structural description) and re-renders, so
+every intermediate candidate is well-formed by construction or rejected
+by the predicate.  Two passes alternate to a fixpoint:
+
+* **list reduction** — classic delta-debugging over every top-level
+  list in the spec (``segments``, ``loops``, ``rows``, ``configs``,
+  ``arrays``): remove progressively smaller chunks while the failure
+  persists;
+* **scalar reduction** — walk the spec's dicts (top level plus the
+  dict elements of top-level lists) and shrink each integer toward 1
+  by jumping to 1, then halving, then decrementing.
+
+The *predicate* decides everything: it must return True iff the
+candidate still reproduces the original failure (and False for
+candidates that fail to render, crash differently, or pass).  Total
+predicate evaluations are bounded by ``max_evals`` so shrinking one
+case can never stall a fuzz run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.fuzz.generators import FuzzCase
+
+#: Spec keys whose values the scalar pass must not touch.
+_FROZEN_KEYS = frozenset({"version", "op", "name"})
+
+
+class Shrinker:
+    """Minimizes one failing case under a reproduction predicate."""
+
+    def __init__(self, predicate: Callable[[FuzzCase], bool],
+                 max_evals: int = 400):
+        self.predicate = predicate
+        self.max_evals = max_evals
+        self.evals = 0
+
+    # -- plumbing -----------------------------------------------------
+    def _holds(self, case: FuzzCase) -> bool:
+        if self.evals >= self.max_evals:
+            return False
+        self.evals += 1
+        return self.predicate(case)
+
+    # -- list pass ----------------------------------------------------
+    def _shrink_list(self, case: FuzzCase, key: str) -> FuzzCase:
+        items = list(case.spec[key])
+        granularity = 2
+        while len(items) >= 2:
+            chunk = max(1, len(items) // granularity)
+            reduced = False
+            start = 0
+            while start < len(items):
+                candidate_items = items[:start] + items[start + chunk:]
+                candidate = case.replaced(
+                    {**case.spec, key: candidate_items})
+                if candidate_items and self._holds(candidate):
+                    items = candidate_items
+                    case = candidate
+                    reduced = True
+                    # keep start: the next chunk slid into this slot
+                else:
+                    start += chunk
+            if reduced:
+                granularity = max(2, granularity - 1)
+            elif chunk == 1:
+                break
+            else:
+                granularity = min(len(items), granularity * 2)
+        return case
+
+    # -- scalar pass --------------------------------------------------
+    def _shrink_int(self, case: FuzzCase, path: tuple,
+                    value: int) -> FuzzCase:
+        def with_value(new_value: int) -> FuzzCase:
+            spec = _deep_copy(case.spec)
+            container = spec
+            for step in path[:-1]:
+                container = container[step]
+            container[path[-1]] = new_value
+            return case.replaced(spec)
+
+        current = value
+        candidate = with_value(1)
+        if current > 1 and self._holds(candidate):
+            return candidate
+        while current > 1:
+            candidate = with_value(current // 2)
+            if self._holds(candidate):
+                case, current = candidate, current // 2
+                continue
+            candidate = with_value(current - 1)
+            if self._holds(candidate):
+                case, current = candidate, current - 1
+                continue
+            break
+        return case
+
+    def _scalar_targets(self, spec: dict) -> list[tuple[tuple, int]]:
+        targets: list[tuple[tuple, int]] = []
+
+        def visit(container: dict, prefix: tuple) -> None:
+            for key, value in container.items():
+                if key in _FROZEN_KEYS:
+                    continue
+                if isinstance(value, bool):
+                    continue
+                if isinstance(value, int) and value > 1:
+                    targets.append((prefix + (key,), value))
+
+        visit(spec, ())
+        for key, value in spec.items():
+            if key == "rows" or not isinstance(value, list):
+                continue
+            for index, element in enumerate(value):
+                if isinstance(element, dict):
+                    visit(element, (key, index))
+        return targets
+
+    # -- driver -------------------------------------------------------
+    def shrink(self, case: FuzzCase) -> FuzzCase:
+        """The smallest spec found that still satisfies the predicate."""
+        while self.evals < self.max_evals:
+            before = case.spec
+            for key, value in list(case.spec.items()):
+                if isinstance(value, list) and len(value) >= 2:
+                    case = self._shrink_list(case, key)
+            for path, value in self._scalar_targets(case.spec):
+                container = case.spec
+                try:
+                    for step in path[:-1]:
+                        container = container[step]
+                    current = container[path[-1]]
+                except (IndexError, KeyError, TypeError):
+                    continue    # a list pass removed this element
+                if isinstance(current, int) and current > 1:
+                    case = self._shrink_int(case, path, current)
+            if case.spec == before:
+                break
+        return case
+
+
+def _deep_copy(value):
+    if isinstance(value, dict):
+        return {k: _deep_copy(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_deep_copy(v) for v in value]
+    return value
+
+
+def shrink_case(case: FuzzCase,
+                predicate: Callable[[FuzzCase], bool],
+                max_evals: int = 400) -> tuple[FuzzCase, int]:
+    """Minimize ``case``; returns (minimized case, predicate evals).
+
+    The original case is returned unchanged if the predicate cannot
+    even reproduce on it (a flaky failure — the caller should keep the
+    unshrunk spec).
+    """
+    shrinker = Shrinker(predicate, max_evals=max_evals)
+    if not shrinker._holds(case):
+        return case, shrinker.evals
+    minimized = shrinker.shrink(case)
+    return minimized, shrinker.evals

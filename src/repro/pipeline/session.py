@@ -141,6 +141,19 @@ class Session:
             if use_disk_cache else None)
 
     # -- stages ------------------------------------------------------
+    def add_source(self, workload: str, source: str,
+                   input_name: str = "input1") -> RunKey:
+        """Register literal MiniC text as a synthetic workload.
+
+        Lets callers outside the workload registry (the fuzz harness,
+        ad-hoc experiments) drive the full memoized pipeline — compile,
+        execute, cache-simulate, disk cache — on arbitrary sources.
+        The disk-cache digest hashes the source text itself, so
+        synthetic entries can never collide with registry workloads.
+        """
+        self._sources[(workload, input_name)] = source
+        return RunKey(workload, input_name, False)
+
     def source(self, workload: str, input_name: str = "input1") -> str:
         key = (workload, input_name)
         if key not in self._sources:

@@ -2,10 +2,25 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.compiler.driver import compile_source
 from repro.machine.simulator import run_program
+
+#: Timing-sensitive tests (service backpressure, batching windows,
+#: request timeouts) multiply every sleep and deadline bound by
+#: ``$REPRO_TEST_TIMEOUT``.  On a loaded CI runner, exporting e.g.
+#: ``REPRO_TEST_TIMEOUT=3`` stretches the schedule uniformly — the
+#: relative ordering the tests assert is untouched, only the margins
+#: grow.  Defaults to 1.0 (historical timings).
+TIME_SCALE = float(os.environ.get("REPRO_TEST_TIMEOUT", "1") or "1")
+
+
+def time_scaled(seconds: float) -> float:
+    """``seconds`` stretched by the ``$REPRO_TEST_TIMEOUT`` factor."""
+    return seconds * TIME_SCALE
 
 #: A program exercising arrays, structs, pointers, loops and calls —
 #: the common subject for integration-level assertions.

@@ -133,3 +133,42 @@ class TestInspection:
     def test_current_instruction_text(self, debugger):
         text = debugger.current_instruction()
         assert isinstance(text, str) and text
+
+
+class TestEngineDegradation:
+    """Opening a debugger inside a ``$REPRO_ENGINE=blocks`` session must
+    degrade to the closure engine cleanly: same exit, same step count,
+    and a byte-identical memory trace."""
+
+    def test_blocks_session_pins_closures(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "blocks")
+        from repro.machine.simulator import Machine, resolve_engine
+        assert resolve_engine(None) == "blocks"   # the session default
+
+        program = compile_source(SRC)
+        debugger = Debugger(program, trace_memory=True)
+        # the explicit engine="closures" pin overrides the environment
+        assert debugger.machine.engine == "closures"
+        reason = debugger.run()
+        assert reason.kind == "exit"
+
+        # the surrounding session still runs the blocks engine, and
+        # both executions agree exactly
+        machine = Machine(program, trace_memory=True)
+        assert machine.engine == "blocks"
+        result = machine.run()
+        assert result.exit_code == debugger.exit_code
+        # the debugger stops *at* the exiting syscall without counting
+        # it; the engine counts every retired instruction
+        assert result.steps == debugger.steps + 1
+        stepped = debugger.machine.trace
+        assert stepped is not None and result.trace is not None
+        assert result.trace.pcs.tobytes() == stepped.pcs.tobytes()
+        assert result.trace.addresses.tobytes() \
+            == stepped.addresses.tobytes()
+        assert result.trace.kinds.tobytes() == stepped.kinds.tobytes()
+
+    def test_debugger_defaults_skip_tracing(self):
+        debugger = Debugger(compile_source(SRC))
+        assert debugger.machine.trace is None
+        assert debugger.run().kind == "exit"

@@ -1,0 +1,49 @@
+"""Replay the committed regression corpus through every oracle.
+
+Each file under ``tests/corpus/`` is a minimized fuzz case that either
+once reproduced a real divergence (kept failing forever after the fix
+as a regression pin) or exercises a construct the generators rarely
+combine.  Every case must pass every applicable oracle on a clean
+tree; a failure here means a previously fixed (or deliberately pinned)
+behaviour regressed.
+
+To add a case: ``python -m repro fuzz --corpus-dir tests/corpus`` on a
+failing build, or save a handmade spec with
+:func:`repro.fuzz.corpus.save_case` — see docs/testing.md.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import OracleContext, oracles_for
+from repro.fuzz.corpus import load_corpus, spec_digest
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    """The committed corpus never shrinks below its seed population."""
+    assert len(CORPUS) >= 5
+
+
+def test_filenames_are_content_addressed():
+    for path, case in CORPUS:
+        assert path.name == f"{case.kind}-{spec_digest(case.spec)}.json"
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    with OracleContext() as context:
+        yield context
+
+
+@pytest.mark.parametrize(
+    "path,case", CORPUS,
+    ids=[path.stem for path, _ in CORPUS])
+def test_corpus_case_passes_all_oracles(path, case, ctx):
+    oracles = oracles_for(case.kind)
+    assert oracles, f"{path.name}: no applicable oracle"
+    for oracle in oracles:
+        oracle.check(case, ctx)

@@ -25,6 +25,7 @@ from repro.service.client import (ServiceClient, ServiceError,
 from repro.service.protocol import (PROTOCOL_VERSION, ProtocolError,
                                     parse_request, request_key)
 from repro.service.server import ServerConfig, serve_in_thread
+from tests.conftest import time_scaled
 
 SOURCE = r"""
 int a[512];
@@ -242,7 +243,8 @@ class TestBatching:
 
     def test_concurrent_simulates_merge_into_one_replay(self):
         config = ServerConfig(port=0, workers=0, use_disk_cache=False,
-                              batch_window=0.25, batch_max=8)
+                              batch_window=time_scaled(0.25),
+                              batch_max=8)
         sizes = (4 * 1024, 8 * 1024, 16 * 1024)
         results: dict[int, dict] = {}
         with serve_in_thread(config) as handle:
@@ -250,9 +252,9 @@ class TestBatching:
             blocker = threading.Thread(
                 target=lambda: ServiceClient(
                     handle.host, handle.port).call(
-                        "sleep", {"seconds": 0.4}))
+                        "sleep", {"seconds": time_scaled(0.4)}))
             blocker.start()
-            time.sleep(0.1)
+            time.sleep(time_scaled(0.1))
 
             def simulate(size: int) -> None:
                 with ServiceClient(handle.host, handle.port) as c:
@@ -292,12 +294,14 @@ class TestBackpressure:
                 with ServiceClient(handle.host, handle.port) as c:
                     c.call("sleep", {"seconds": seconds})
 
-            executing = threading.Thread(target=occupy, args=(0.8,))
+            executing = threading.Thread(
+                target=occupy, args=(time_scaled(0.8),))
             executing.start()
-            time.sleep(0.2)     # now computing, queue empty
-            queued = threading.Thread(target=occupy, args=(0.9,))
+            time.sleep(time_scaled(0.2))   # now computing, queue empty
+            queued = threading.Thread(
+                target=occupy, args=(time_scaled(0.9),))
             queued.start()
-            time.sleep(0.2)     # now queued, queue full
+            time.sleep(time_scaled(0.2))   # now queued, queue full
             with ServiceClient(handle.host, handle.port) as c:
                 started = time.perf_counter()
                 with pytest.raises(ServiceError) as err:
@@ -305,16 +309,17 @@ class TestBackpressure:
                 elapsed = time.perf_counter() - started
             assert err.value.code == "overloaded"
             # overload is an immediate response, not queued latency
-            assert elapsed < 0.5
+            assert elapsed < time_scaled(0.5)
             executing.join()
             queued.join()
 
     def test_per_request_timeout(self, client):
         started = time.perf_counter()
         with pytest.raises(ServiceError) as err:
-            client.call("sleep", {"seconds": 5.0}, timeout=0.2)
+            client.call("sleep", {"seconds": time_scaled(5.0)},
+                        timeout=time_scaled(0.2))
         assert err.value.code == "timeout"
-        assert time.perf_counter() - started < 3.0
+        assert time.perf_counter() - started < time_scaled(3.0)
 
 
 class TestMalformedRequests:
@@ -377,7 +382,7 @@ class TestShutdown:
         with ServiceClient(handle.host, handle.port) as c:
             assert c.shutdown() == {"stopping": True}
         handle.stop()
-        deadline = time.time() + 5.0
+        deadline = time.time() + time_scaled(5.0)
         while time.time() < deadline:
             try:
                 ServiceClient(handle.host, handle.port,
