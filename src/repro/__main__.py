@@ -8,6 +8,7 @@
     python -m repro verify PROG.c [--optimize]
     python -m repro warm [--jobs N] [--scale S] [--workloads W,...]
     python -m repro tables [--tables 1,7,11] [--scale S] [--report F]
+    python -m repro cache gc [--limit SIZE] [--dry-run]
     python -m repro serve [--port P] [--workers N] [--stats]
 
 ``run`` executes the program on the bundled simulator; ``analyze`` runs
@@ -248,6 +249,22 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    from pathlib import Path
+    from repro.pipeline.session import default_cache_dir
+    from repro.store.gc import collect_garbage, parse_size
+    root = Path(args.cache_dir) if args.cache_dir \
+        else default_cache_dir()
+    try:
+        limit = parse_size(args.limit)
+    except ValueError as error:
+        print(f"cache gc: {error}", file=sys.stderr)
+        return 2
+    report = collect_garbage(root, limit, dry_run=args.dry_run)
+    print(report.describe())
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as tables_main
     forwarded = ["--tables", args.tables, "--scale", str(args.scale)]
@@ -325,6 +342,23 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: .repro_cache)")
     p_warm.set_defaults(func=cmd_warm)
 
+    p_cache = sub.add_parser(
+        "cache", help="manage the on-disk result/trace cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command",
+                                       required=True)
+    p_gc = cache_sub.add_parser(
+        "gc", help="bound .repro_cache by size with LRU eviction")
+    p_gc.add_argument("--limit", default="512M",
+                      help="size budget, e.g. 100K / 512M / 2G "
+                           "(default 512M)")
+    p_gc.add_argument("--cache-dir", default=None,
+                      help="cache directory (default: the shared "
+                           ".repro_cache)")
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be evicted without "
+                           "deleting anything")
+    p_gc.set_defaults(func=cmd_cache_gc)
+
     p_tab = sub.add_parser("tables",
                            help="regenerate the paper's tables")
     p_tab.add_argument("--tables", default="all")
@@ -384,7 +418,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--oracles", default="all",
                         help="comma-separated oracle names "
                              "(default: all of engines, replay, "
-                             "service, pipeline, invariants)")
+                             "streaming, service, pipeline, "
+                             "invariants)")
     p_fuzz.add_argument("--report", default="-",
                         help="where to write the JSON report "
                              "('-': stdout, default)")

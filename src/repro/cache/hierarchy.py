@@ -18,9 +18,11 @@ from typing import Sequence
 
 from repro.cache.config import CacheConfig
 from repro.cache.lru import BoundedCache
-from repro.cache.model import (Cache, _block_vars, _emit_cache_state,
-                               _emit_cache_update, shared_access_counts)
-from repro.machine.trace import LOAD, MemoryTrace
+from repro.cache.model import (Cache, TraceSource, _AccessTally,
+                               _block_vars, _chunk_columns,
+                               _emit_cache_state, _emit_cache_update,
+                               source_access_counts)
+from repro.machine.trace import LOAD, ChunkStream, MemoryTrace
 
 
 @dataclass(frozen=True)
@@ -73,10 +75,10 @@ class HierarchyStats:
         return covered / total
 
 
-def simulate_trace_hierarchy(trace: MemoryTrace,
+def simulate_trace_hierarchy(source: TraceSource,
                              config: HierarchyConfig = DEFAULT_HIERARCHY
                              ) -> HierarchyStats:
-    """Replay ``trace`` through a cold two-level hierarchy."""
+    """Replay a trace source through a cold two-level hierarchy."""
     l1_access = Cache(config.l1).access
     l2_access = Cache(config.l2).access
     load_accesses: dict[int, int] = defaultdict(int)
@@ -86,24 +88,24 @@ def simulate_trace_hierarchy(trace: MemoryTrace,
     l1_store_misses = 0
     l2_store_misses = 0
 
-    for pc, address, kind in zip(trace.pcs, trace.addresses,
-                                 trace.kinds):
-        l1_hit = l1_access(address)
-        l2_hit = True
-        if not l1_hit:
-            l2_hit = l2_access(address)
-        if kind == LOAD:
-            load_accesses[pc] += 1
+    for pcs, addresses, kinds in _chunk_columns(source):
+        for pc, address, kind in zip(pcs, addresses, kinds):
+            l1_hit = l1_access(address)
+            l2_hit = True
             if not l1_hit:
-                l1_misses[pc] += 1
-                if not l2_hit:
-                    l2_misses[pc] += 1
-        else:
-            store_accesses += 1
-            if not l1_hit:
-                l1_store_misses += 1
-                if not l2_hit:
-                    l2_store_misses += 1
+                l2_hit = l2_access(address)
+            if kind == LOAD:
+                load_accesses[pc] += 1
+                if not l1_hit:
+                    l1_misses[pc] += 1
+                    if not l2_hit:
+                        l2_misses[pc] += 1
+            else:
+                store_accesses += 1
+                if not l1_hit:
+                    l1_store_misses += 1
+                    if not l2_hit:
+                        l2_store_misses += 1
 
     return HierarchyStats(
         config=config,
@@ -125,7 +127,7 @@ def _compile_hierarchy_replay(configs: Sequence[HierarchyConfig]):
     """
     flat = [c for pair in configs for c in (pair.l1, pair.l2)]
     blocks = _block_vars(flat)
-    lines = ["def replay(pcs, addresses, kinds):"]
+    lines = ["def replay(columns):"]
     for index, config in enumerate(configs):
         lines += _emit_cache_state(f"{index}a", config.l1)
         lines += _emit_cache_state(f"{index}b", config.l2)
@@ -135,7 +137,11 @@ def _compile_hierarchy_replay(configs: Sequence[HierarchyConfig]):
                   f"    l2ma{index} = l2m{index}.append",
                   f"    s1_{index} = 0",
                   f"    s2_{index} = 0"]
-    lines.append("    for pc, address, kind in zip(pcs, addresses,"
+    # Chunk loop at indent 4, row loop at indent 6: per-access code
+    # below keeps its materialized-path indentation, cache state folds
+    # across chunk boundaries in the function locals.
+    lines.append("    for pcs, addresses, kinds in columns:")
+    lines.append("      for pc, address, kind in zip(pcs, addresses,"
                  " kinds):")
     for size, name in blocks.items():
         lines.append(f"        {name} = address // {size}")
@@ -166,10 +172,10 @@ def _compile_hierarchy_replay(configs: Sequence[HierarchyConfig]):
 _HIERARCHY_REPLAY_CACHE = BoundedCache(64)
 
 
-def simulate_trace_hierarchy_multi(trace: MemoryTrace,
+def simulate_trace_hierarchy_multi(source: TraceSource,
                                    configs: Sequence[HierarchyConfig]
                                    ) -> list[HierarchyStats]:
-    """Replay ``trace`` once through N cold two-level hierarchies.
+    """Replay a trace source once through N cold two-level hierarchies.
 
     Single-pass counterpart of :func:`simulate_trace_hierarchy`: the
     trace decode, kind dispatch, block division and per-PC load-access
@@ -186,9 +192,22 @@ def simulate_trace_hierarchy_multi(trace: MemoryTrace,
     if replay is None:
         replay = _compile_hierarchy_replay(configs)
         _HIERARCHY_REPLAY_CACHE.put(key, replay)
-    raw = replay(trace.pcs, trace.addresses, trace.kinds)
-    load_accesses, _ = shared_access_counts(trace)
-    store_accesses = len(trace) - trace.kinds.count(LOAD)
+    if isinstance(source, MemoryTrace) or (
+            isinstance(source, ChunkStream)
+            and source._load_accesses is not None):
+        raw = replay(_chunk_columns(source))
+        load_accesses, stores, prefetch_ops = \
+            source_access_counts(source)
+    else:
+        # One-shot (or metadata-less) stream: tally inline so the
+        # replay pass is the only pass.
+        tally = _AccessTally()
+        raw = replay(tally.feed(_chunk_columns(source)))
+        load_accesses, stores = tally.access_counts()
+        prefetch_ops = tally.prefetch_ops
+    # The hierarchy model routes every non-load access down the store
+    # path, so its store total includes prefetch records.
+    store_accesses = sum(stores.values()) + prefetch_ops
     return [
         HierarchyStats(
             config=config,

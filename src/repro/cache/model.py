@@ -1,23 +1,35 @@
 """Set-associative data-cache simulator.
 
-Replays a :class:`~repro.machine.trace.MemoryTrace` and produces per-static-
-instruction hit/miss counters — M(i, C) in the paper's notation — which the
-training formulae, the metrics (rho, ideal-Delta) and Table 2 all consume.
+Replays an access stream and produces per-static-instruction hit/miss
+counters — M(i, C) in the paper's notation — which the training
+formulae, the metrics (rho, ideal-Delta) and Table 2 all consume.
 
 The cache is write-allocate (stores fetch the block on miss), with LRU,
 FIFO or pseudo-random replacement.  One trace can be replayed under many
 configurations; execution and cache simulation are deliberately decoupled.
+
+Every replay entry point accepts either a materialized
+:class:`~repro.machine.trace.MemoryTrace` or a chunked source (a
+:class:`~repro.machine.trace.ChunkStream` or any iterable of
+:class:`~repro.machine.trace.TraceChunk`): cache state folds over the
+chunk sequence exactly as it folds over the monolithic columns, so the
+two shapes are bit-identical by construction and out-of-core traces
+replay with bounded RSS.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Iterator, Sequence, Union
 
 from repro.cache.config import CacheConfig
 from repro.cache.lru import BoundedCache
-from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+from repro.machine.trace import (LOAD, PREFETCH, STORE, ChunkStream,
+                                 MemoryTrace, TraceChunk)
+
+#: Anything the replay engines can consume.
+TraceSource = Union[MemoryTrace, ChunkStream, Iterable[TraceChunk]]
 
 
 @dataclass
@@ -124,8 +136,78 @@ class Cache:
         return block in self._sets[block & self._set_mask]
 
 
-def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
-    """Replay ``trace`` through a cold cache of geometry ``config``."""
+def _chunk_columns(source: TraceSource
+                   ) -> Iterator[tuple]:
+    """Yield ``(pcs, addresses, kinds)`` column triples for ``source``.
+
+    A materialized trace is a single triple (the monolithic columns —
+    no slicing, no copies); a chunked source yields one triple per
+    chunk.  Replay state folds across the triples, so consumers see the
+    same access sequence either way.
+    """
+    if isinstance(source, MemoryTrace):
+        yield source.pcs, source.addresses, source.kinds
+        return
+    for chunk in source:
+        yield chunk.pcs, chunk.addresses, chunk.kinds
+
+
+class _AccessTally:
+    """Per-PC access counts accumulated while chunks flow past.
+
+    One-shot chunk iterators cannot be rescanned after the replay, so
+    the counting work :func:`shared_access_counts` does for materialized
+    traces happens inline: wrap the column feed with :meth:`feed`, then
+    read the totals after the replay has drained it.
+    """
+
+    def __init__(self):
+        self.counts: Counter = Counter()
+        self.kind_of: dict[int, int] = {}
+        self.prefetch_ops = 0
+
+    def feed(self, columns: Iterable[tuple]) -> Iterator[tuple]:
+        for pcs, addresses, kinds in columns:
+            self.counts.update(pcs)
+            self.kind_of.update(zip(pcs, kinds))
+            self.prefetch_ops += kinds.count(PREFETCH)
+            yield pcs, addresses, kinds
+
+    def access_counts(self) -> tuple[dict[int, int], dict[int, int]]:
+        load_accesses: dict[int, int] = {}
+        store_accesses: dict[int, int] = {}
+        kind_of = self.kind_of
+        for pc, count in self.counts.items():
+            kind = kind_of[pc]
+            if kind == LOAD:
+                load_accesses[pc] = count
+            elif kind != PREFETCH:
+                store_accesses[pc] = count
+        return load_accesses, store_accesses
+
+
+def source_access_counts(source: TraceSource
+                         ) -> tuple[dict[int, int], dict[int, int], int]:
+    """Per-PC (load, store) access counts and the prefetch total.
+
+    Materialized traces use the memoized column scan; streams answer
+    from producer metadata (store-backed streams record the counts at
+    write time) or one counting pass.
+    """
+    if isinstance(source, MemoryTrace):
+        load_accesses, store_accesses = shared_access_counts(source)
+        return load_accesses, store_accesses, source.prefetch_count
+    if isinstance(source, ChunkStream):
+        return source.access_counts()
+    tally = _AccessTally()
+    for _ in tally.feed(_chunk_columns(source)):
+        pass
+    load_accesses, store_accesses = tally.access_counts()
+    return load_accesses, store_accesses, tally.prefetch_ops
+
+
+def simulate_trace(source: TraceSource, config: CacheConfig) -> CacheStats:
+    """Replay an access stream through a cold cache of ``config``."""
     num_sets = config.num_sets
     set_mask = num_sets - 1
     block_size = config.block_size
@@ -144,35 +226,37 @@ def simulate_trace(trace: MemoryTrace, config: CacheConfig) -> CacheStats:
     prefetch_fills = 0
 
     load_kind, prefetch_kind = LOAD, PREFETCH  # hoisted global loads
-    for pc, address, kind in zip(trace.pcs, trace.addresses, trace.kinds):
-        block = address // block_size
-        ways = sets[block & set_mask]
-        if block in ways:
-            hit = True
-            if lru and ways[0] != block:
-                ways.remove(block)
+    for pcs, addresses, kinds in _chunk_columns(source):
+        for pc, address, kind in zip(pcs, addresses, kinds):
+            block = address // block_size
+            ways = sets[block & set_mask]
+            if block in ways:
+                hit = True
+                if lru and ways[0] != block:
+                    ways.remove(block)
+                    ways.insert(0, block)
+            else:
+                hit = False
+                if len(ways) >= assoc:
+                    if random_policy:
+                        rng_state = (rng_state * 1103515245 + 12345) \
+                            & 0x7FFF_FFFF
+                        ways.pop(rng_state % len(ways))
+                    else:
+                        ways.pop()
                 ways.insert(0, block)
-        else:
-            hit = False
-            if len(ways) >= assoc:
-                if random_policy:
-                    rng_state = (rng_state * 1103515245 + 12345) & 0x7FFF_FFFF
-                    ways.pop(rng_state % len(ways))
-                else:
-                    ways.pop()
-            ways.insert(0, block)
-        if kind == load_kind:
-            load_accesses[pc] += 1
-            if not hit:
-                load_misses[pc] += 1
-        elif kind == prefetch_kind:
-            prefetch_ops += 1
-            if not hit:
-                prefetch_fills += 1
-        else:
-            store_accesses[pc] += 1
-            if not hit:
-                store_misses[pc] += 1
+            if kind == load_kind:
+                load_accesses[pc] += 1
+                if not hit:
+                    load_misses[pc] += 1
+            elif kind == prefetch_kind:
+                prefetch_ops += 1
+                if not hit:
+                    prefetch_fills += 1
+            else:
+                store_accesses[pc] += 1
+                if not hit:
+                    store_misses[pc] += 1
 
     return CacheStats(
         config=config,
@@ -245,9 +329,15 @@ def _block_vars(configs: Sequence[CacheConfig]) -> dict[int, str]:
 
 
 def _compile_replay(configs: Sequence[CacheConfig]):
-    """Build ``replay(pcs, addresses, kinds) -> [(lm, sm, fills), ...]``."""
+    """Build ``replay(columns) -> [(lm, sm, fills), ...]``.
+
+    ``columns`` is an iterable of ``(pcs, addresses, kinds)`` triples
+    (one for a materialized trace, one per chunk for a stream); all
+    cache state lives in locals and folds across the triples, so chunk
+    boundaries are invisible to the replay semantics.
+    """
     blocks = _block_vars(configs)
-    lines = ["def replay(pcs, addresses, kinds):"]
+    lines = ["def replay(columns):"]
     for index, config in enumerate(configs):
         lines += _emit_cache_state(str(index), config)
         lines += [f"    lm{index} = []",
@@ -255,7 +345,8 @@ def _compile_replay(configs: Sequence[CacheConfig]):
                   f"    sm{index} = []",
                   f"    sma{index} = sm{index}.append",
                   f"    fills{index} = 0"]
-    lines.append("    for pc, address, kind in zip(pcs, addresses,"
+    lines.append("    for pcs, addresses, kinds in columns:")
+    lines.append("      for pc, address, kind in zip(pcs, addresses,"
                  " kinds):")
     for size, name in blocks.items():
         lines.append(f"        {name} = address // {size}")
@@ -316,23 +407,37 @@ def shared_access_counts(trace: MemoryTrace
     return load_accesses, store_accesses
 
 
-def simulate_trace_multi(trace: MemoryTrace,
+def simulate_trace_multi(source: TraceSource,
                          configs: Sequence[CacheConfig]
                          ) -> list[CacheStats]:
-    """Replay ``trace`` once through N cold caches, one per config.
+    """Replay an access stream once through N cold caches.
 
     Produces bit-identical results to N separate :func:`simulate_trace`
     calls while paying the trace decode, the kind dispatch, the block
     division (per distinct block size) and the per-PC *access* counting
     — all config-independent — only once; only the hit/miss state is
-    per-config.
+    per-config.  Chunked sources replay with bounded RSS; when the
+    stream carries no producer-recorded counts, the access tally rides
+    the same single pass.
     """
     configs = list(configs)
     if not configs:
         return []
-    raw = _replay_for(configs)(trace.pcs, trace.addresses, trace.kinds)
-    load_accesses, store_accesses = shared_access_counts(trace)
-    prefetch_ops = trace.prefetch_count
+    replay = _replay_for(configs)
+    if isinstance(source, MemoryTrace):
+        raw = replay(_chunk_columns(source))
+        load_accesses, store_accesses = shared_access_counts(source)
+        prefetch_ops = source.prefetch_count
+    elif (isinstance(source, ChunkStream)
+          and source._load_accesses is not None):
+        raw = replay(_chunk_columns(source))
+        load_accesses, store_accesses, prefetch_ops = \
+            source.access_counts()
+    else:
+        tally = _AccessTally()
+        raw = replay(tally.feed(_chunk_columns(source)))
+        load_accesses, store_accesses = tally.access_counts()
+        prefetch_ops = tally.prefetch_ops
     return [
         CacheStats(
             config=config,

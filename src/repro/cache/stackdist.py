@@ -33,7 +33,6 @@ again.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,9 +42,11 @@ from collections import Counter
 
 from repro.cache.config import CacheConfig
 from repro.cache.lru import BoundedCache
-from repro.cache.model import (CacheStats, shared_access_counts,
-                               simulate_trace_multi)
-from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+from repro.cache.model import (CacheStats, TraceSource, _chunk_columns,
+                               simulate_trace_multi,
+                               source_access_counts)
+from repro.machine.trace import (LOAD, PREFETCH, STORE, ChunkStream,
+                                 MemoryTrace)
 
 #: Distances are tracked exactly at least up to this associativity.
 DEFAULT_CAPACITY = 16
@@ -112,19 +113,20 @@ class SweepProfile:
         )
 
 
-def trace_digest(trace: MemoryTrace) -> str:
-    """Content hash of a trace, memoized on the trace object."""
-    memo = getattr(trace, "_stackdist_digest", None)
-    if memo is not None and memo[0] == len(trace):
-        return memo[1]
-    h = hashlib.sha1()
-    h.update(str(len(trace)).encode())
-    h.update(trace.pcs.tobytes())
-    h.update(trace.addresses.tobytes())
-    h.update(trace.kinds.tobytes())
-    digest = h.hexdigest()
-    trace._stackdist_digest = (len(trace), digest)
-    return digest
+def trace_digest(source: TraceSource) -> str:
+    """Canonical content hash of a trace or chunk stream.
+
+    Delegates to the rolling per-column scheme
+    (:class:`~repro.machine.trace.RollingTraceDigest`), which is
+    chunk-boundary-independent — a store-backed stream and the
+    materialized trace it was written from share one digest, so profile
+    store entries are reusable across both paths.
+    """
+    if isinstance(source, MemoryTrace):
+        return source.digest()
+    if isinstance(source, ChunkStream):
+        return source.digest
+    raise TypeError("trace_digest needs a MemoryTrace or ChunkStream")
 
 
 # -- the profiling pass ------------------------------------------------
@@ -146,7 +148,7 @@ _PASS_CACHE = BoundedCache(32)
 def _compile_profile_pass(specs: Sequence[tuple[int, int, int]]):
     """specs: ``(block_size, num_sets, capacity)`` per group."""
     blocks = {bs: f"block{bs}" for bs, _, _ in specs}
-    lines = ["def profile_pass(pcs, addresses, kinds):"]
+    lines = ["def profile_pass(columns):"]
     for index, (_, num_sets, capacity) in enumerate(specs):
         lines += [f"    sets{index} = [[-1] for _ in range({num_sets})]",
                   f"    le{index} = _array('Q')",
@@ -154,7 +156,12 @@ def _compile_profile_pass(specs: Sequence[tuple[int, int, int]]):
                   f"    se{index} = _array('Q')",
                   f"    sea{index} = se{index}.append",
                   f"    pb{index} = [0] * {capacity + 1}"]
-    lines.append("    for pc, address, kind in zip(pcs, addresses,"
+    # Outer chunk loop at indent 4, row loop at indent 6: the per-row
+    # body below stays at its materialized-path indentation, so the
+    # generated per-access code is textually identical either way and
+    # recency state simply persists across chunk boundaries.
+    lines.append("    for pcs, addresses, kinds in columns:")
+    lines.append("      for pc, address, kind in zip(pcs, addresses,"
                  " kinds):")
     for size, name in blocks.items():
         lines.append(f"        {name} = address // {size}")
@@ -222,12 +229,12 @@ def _suffix_sum(bins: list[int]) -> list[int]:
     return tail
 
 
-def compute_groups(trace: MemoryTrace,
+def compute_groups(source: TraceSource,
                    specs: Sequence[tuple[int, int, int]]
                    ) -> list[GroupProfile]:
-    """One fused trace pass producing a profile per requested spec."""
+    """One fused pass over a trace source, one profile per spec."""
     specs = tuple(specs)
-    raw = _pass_for(specs)(trace.pcs, trace.addresses, trace.kinds)
+    raw = _pass_for(specs)(_chunk_columns(source))
     groups = []
     for (_, num_sets, capacity), (loads, stores, pref) in zip(specs, raw):
         groups.append(GroupProfile(
@@ -322,7 +329,7 @@ _DEFAULT_STORE = ProfileStore()
 
 # -- the dispatching sweep ---------------------------------------------
 
-def simulate_sweep(trace: MemoryTrace,
+def simulate_sweep(source: TraceSource,
                    configs: Sequence[CacheConfig],
                    store: Optional[ProfileStore] = None
                    ) -> list[CacheStats]:
@@ -337,10 +344,18 @@ def simulate_sweep(trace: MemoryTrace,
     :func:`~repro.cache.model.simulate_trace_multi`.  Either route
     returns :class:`CacheStats` bit-identical to per-config
     :func:`~repro.cache.model.simulate_trace`.
+
+    ``source`` may be a :class:`MemoryTrace` or a re-openable
+    :class:`ChunkStream` (the sweep may pass over the access stream more
+    than once: the fused profile pass plus the fallback replay).  A
+    one-shot chunk iterator is replayed in a single
+    :func:`simulate_trace_multi` pass with no profile serving.
     """
     configs = list(configs)
     if not configs:
         return []
+    if not isinstance(source, (MemoryTrace, ChunkStream)):
+        return simulate_trace_multi(source, configs)
     if store is None:
         store = _DEFAULT_STORE
 
@@ -352,7 +367,7 @@ def simulate_sweep(trace: MemoryTrace,
         else:
             fallback.append(index)
 
-    digest = trace_digest(trace) if by_block else None
+    digest = trace_digest(source) if by_block else None
     profiled: list[int] = []        # config indices served by profiles
     profiles: dict[int, SweepProfile] = {}
     specs: list[tuple[int, int, int]] = []   # fused pass work list
@@ -380,15 +395,15 @@ def simulate_sweep(trace: MemoryTrace,
 
     if specs:
         for (block_size, num_sets, _), group in zip(
-                specs, compute_groups(trace, specs)):
+                specs, compute_groups(source, specs)):
             profiles[block_size].groups[num_sets] = group
         for block_size in sorted({bs for bs, _, _ in specs}):
             store.put(digest, block_size, profiles[block_size])
 
     results: dict[int, CacheStats] = {}
     if profiled:
-        load_accesses, store_accesses = shared_access_counts(trace)
-        prefetch_ops = trace.prefetch_count
+        (load_accesses, store_accesses,
+         prefetch_ops) = source_access_counts(source)
         for index in profiled:
             config = configs[index]
             results[index] = profiles[config.block_size].evaluate(
@@ -396,7 +411,7 @@ def simulate_sweep(trace: MemoryTrace,
     if fallback:
         for index, stats in zip(
                 fallback,
-                simulate_trace_multi(trace,
+                simulate_trace_multi(source,
                                      [configs[i] for i in fallback])):
             results[index] = stats
     return [results[index] for index in range(len(configs))]

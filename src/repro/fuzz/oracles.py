@@ -13,6 +13,11 @@ contract, raising :class:`DivergenceError` on any mismatch:
     dispatching :func:`~repro.cache.stackdist.simulate_sweep` (cold and
     profile-served re-sweep) — full :class:`CacheStats` equality across
     LRU/FIFO/random geometries;
+``streaming``
+    chunked replay — in-memory chunking and a trace-store round-trip,
+    cold and store-warmed — vs. the materialized path: CacheStats,
+    rolling digests, stack-distance profiles and streamed execution
+    must all be bit-identical;
 ``service``
     in-process :func:`repro.api.analyze_program` vs. the long-lived
     service path, canonical-JSON byte equality for both ``analyze`` and
@@ -213,6 +218,67 @@ def check_replay(case, ctx: OracleContext) -> None:
                              warm, single)
 
 
+# -- streaming oracle --------------------------------------------------
+
+def check_streaming(case, ctx: OracleContext) -> None:
+    """Chunked replay — cold and store-warmed — vs. materialized.
+
+    Verifies the whole out-of-core pipeline on one case: in-memory
+    chunking at awkward chunk sizes, a store round-trip (delta + zlib
+    columns), the chunk-boundary-independent digest, the stack-distance
+    profile pass, and (for program cases) streaming execution itself —
+    all bit-identical to the materialized path.
+    """
+    trace = case_trace(case)
+    configs = case.cache_configs()
+    name = "streaming"
+    singles = [simulate_trace(trace, config) for config in configs]
+
+    for chunk_accesses in (7, 1024):
+        stream = trace.chunk_stream(chunk_accesses)
+        multi = simulate_trace_multi(stream, configs)
+        for config, single, chunked in zip(configs, singles, multi):
+            _require_stats_equal(name, config,
+                                 f"chunk{chunk_accesses}-multi",
+                                 chunked, single)
+    _require_equal(name, "rolling digest",
+                   trace.chunk_stream(13).digest, trace.digest())
+
+    from repro.cache.stackdist import compute_groups
+    from repro.store import TraceStore
+    store = TraceStore(ctx.scratch_dir() / "traces")
+    store.put_trace("case", trace, chunk_accesses=64)
+    profile_store = ProfileStore()
+    cold = simulate_sweep(store.open("case"), configs,
+                          store=profile_store)
+    warm = simulate_sweep(store.open("case"), configs,
+                          store=profile_store)
+    for config, single, a, b in zip(configs, singles, cold, warm):
+        _require_stats_equal(name, config, "store-sweep", a, single)
+        _require_stats_equal(name, config, "store-resweep", b, single)
+    if configs:
+        specs = [(configs[0].block_size, configs[0].num_sets, 8)]
+        _require_equal(name, "stack-distance groups",
+                       compute_groups(trace, specs),
+                       compute_groups(store.open("case"), specs))
+
+    if case.kind in ("minic", "asm"):
+        from repro.machine.simulator import Machine
+        program = compile_case(case)
+        rebuilt = MemoryTrace()
+        streamed = Machine(program, max_steps=MAX_STEPS).run_streaming(
+            lambda c: rebuilt.extend(c.pcs, c.addresses, c.kinds),
+            chunk_accesses=512)
+        reference = run_program(program, max_steps=MAX_STEPS)
+        _require_equal(name, "streamed steps", streamed.steps,
+                       reference.steps)
+        _require_equal(name, "streamed block counts",
+                       streamed.block_counts, reference.block_counts)
+        if _trace_bytes(rebuilt) != _trace_bytes(reference.trace):
+            _diverge(name, "streamed trace bytes", "streamed",
+                     "materialized")
+
+
 # -- service oracle ----------------------------------------------------
 
 def check_service(case, ctx: OracleContext) -> None:
@@ -294,6 +360,9 @@ ORACLES: dict[str, Oracle] = {
         Oracle("replay", ("minic", "asm", "trace"), check_replay,
                "simulate_trace vs. simulate_trace_multi vs. "
                "simulate_sweep (cold + re-sweep)"),
+        Oracle("streaming", ("minic", "asm", "trace"), check_streaming,
+               "chunked/store-streamed replay vs. materialized "
+               "(stats, digests, stack-distance profiles)"),
         Oracle("service", ("minic",), check_service,
                "in-process analyze/classify vs. the served path"),
         Oracle("pipeline", ("minic",), check_pipeline,

@@ -120,7 +120,7 @@ def _ftrunc32(bits: int) -> int:
 #: tuple; block functions close over them as cell variables (one
 #: LOAD_DEREF each — no attribute lookups in the hot path).
 _ENV_NAMES = ("r, mem, mget, ldb, stb, sys_, counts, budget, "
-              "tpa, taa, tka, tpe, tae, tke, "
+              "tpa, taa, tka, tpe, tae, tke, tlen, stream, "
               "MachineError, StepLimitExceeded, "
               "pi, uf, f2b, div32, rem32, ftrunc32")
 
@@ -311,6 +311,7 @@ class _Emitter:
             for line in self._flush_code():
                 out(line)
             self.pending = []
+            self._spill_check(out)
             out("continue")
             return
         if (target in self.engine._leader_set
@@ -326,6 +327,23 @@ class _Emitter:
             out(line)
         self.pending = []
         out(f"return {target}")
+
+    def _spill_check(self, out, indent: str = "") -> None:
+        """Streaming hook on in-function loop backedges.
+
+        A fused loop runs whole iterations without returning to the
+        dispatch loop, so :meth:`Machine.run_streaming` could never
+        drain the trace columns mid-loop and a loop-heavy program would
+        materialize its entire trace anyway.  Each backedge therefore
+        re-checks the column length against the machine's stream cell
+        (``[threshold, drain]``) right after the flush, when the three
+        columns are consistent; outside streaming the threshold is an
+        unreachable sentinel, so ``run()`` pays one C-level length call
+        and an int compare per loop iteration and nothing else.
+        """
+        if self.engine._traced:
+            out(f"{indent}if tlen() >= stream[0]:")
+            out(f"{indent}    stream[1]()")
 
     # -- trace batching ------------------------------------------------
     def _flush_code(self, indent: str = "") -> List[str]:
@@ -482,6 +500,7 @@ class _Emitter:
             self.loops = True
             for line in self._flush_code(indent="    "):
                 out(line)
+            self._spill_check(out, indent="    ")
             out("    continue")
         elif (target in self.engine._leader_set
                 and target not in self._emitted
@@ -676,6 +695,8 @@ class BlockEngine:
                 machine._syscall, machine._block_counts,
                 machine._entry_budget,
                 tpa, taa, tka, tpe, tae, tke,
+                trace.pcs.__len__ if trace is not None else None,
+                machine._stream,
                 MachineError, StepLimitExceeded,
                 _PACK_I, _UNPACK_F, float_to_bits,
                 _div32, _rem32, _ftrunc32)

@@ -49,9 +49,14 @@ from repro.cfg.blocks import leader_addresses
 from repro.isa.instructions import Format, Instruction
 from repro.isa.registers import A0, GP, RA, SP, V0, ZERO
 from repro.machine.errors import MachineError, StepLimitExceeded
-from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+from repro.machine.trace import (DEFAULT_CHUNK_ACCESSES, LOAD, PREFETCH,
+                                 STORE, MemoryTrace, TraceChunk)
 
 _MASK = 0xFFFF_FFFF
+
+#: Column-length threshold no trace can reach: the disarmed state of
+#: the streaming spill cell (see Machine._stream / run_streaming).
+_NO_SPILL = 1 << 62
 _PACK_I = struct.Struct("<I").pack
 _UNPACK_I = struct.Struct("<I").unpack
 _PACK_F = struct.Struct("<f").pack
@@ -147,6 +152,10 @@ class Machine:
         self._leaders = leader_addresses(program)
         self._block_counts: dict[int, int] = {}
         self._entry_budget = [0, max_steps]
+        # Streaming spill cell, shared with the block engine's fused
+        # loops: [column-length threshold, drain callable].  run() never
+        # trips the sentinel; run_streaming arms it for its duration.
+        self._stream: list = [_NO_SPILL, None]
         self.engine = resolve_engine(engine)
         self._block_engine = None
         self._ops: Optional[list[Callable[[], int]]] = None
@@ -641,6 +650,105 @@ class Machine:
             exit_code=exit_code,
             block_counts=dict(self._block_counts),
             trace=self.trace,
+            output=list(self.output),
+        )
+
+    def run_streaming(self, sink: Callable[[TraceChunk], None],
+                      args: Sequence[int] = (), *,
+                      chunk_accesses: int = DEFAULT_CHUNK_ACCESSES
+                      ) -> ExecutionResult:
+        """Execute like :meth:`run`, emitting the trace as chunks.
+
+        The engines keep appending to the machine's trace columns
+        through the bound column methods they captured at compile time;
+        this loop interleaves dispatch quanta with drains that slice
+        full ``chunk_accesses``-row :class:`TraceChunk`\\ s off the
+        front and truncate the columns in place (``del col[:n]``
+        preserves the array objects, so the bound methods stay valid).
+        Every emitted chunk except the last holds exactly
+        ``chunk_accesses`` rows, and the in-RAM buffer stays near that
+        budget: the block engine's fused in-function loops spill
+        through the machine's stream cell at each backedge (see
+        ``_Emitter._spill_check``), so even a loop that never returns
+        to this dispatch loop drains on schedule, and the buffer can
+        overshoot only by what one dispatch quantum or one loop
+        iteration appends.  Peak RSS is thus bounded by a constant
+        independent of trace length.
+
+        Returns an :class:`ExecutionResult` with ``trace=None`` — the
+        access stream lives only in the chunks handed to ``sink``.
+        Exceptions from execution (or from the sink) propagate without
+        a final drain, so a failed run never emits a truncated tail
+        chunk that could be mistaken for a complete trace.
+        """
+        if self.trace is None:
+            raise MachineError(
+                "run_streaming requires trace_memory=True")
+        if chunk_accesses <= 0:
+            raise ValueError("chunk_accesses must be positive")
+        self.write_data_segment()
+        self.regs[SP] = STACK_TOP
+        self.regs[GP] = self.program.gp_value
+        for position, value in enumerate(args[:4]):
+            self.regs[A0 + position] = value & _MASK
+        index = self.program.index_of(self.program.entry)
+        ops = (self._block_engine.funcs if self._block_engine is not None
+               else self._ops)
+        pcs = self.trace.pcs
+        addresses = self.trace.addresses
+        kinds = self.trace.kinds
+        emitted = 0
+
+        def drain() -> None:
+            nonlocal emitted
+            while len(pcs) >= chunk_accesses:
+                sink(TraceChunk(pcs[:chunk_accesses],
+                                addresses[:chunk_accesses],
+                                kinds[:chunk_accesses], emitted))
+                del pcs[:chunk_accesses]
+                del addresses[:chunk_accesses]
+                del kinds[:chunk_accesses]
+                emitted += chunk_accesses
+
+        exit_code = 0
+        # Arm the spill cell: the block engine's fused loops call the
+        # drain from their backedges (after each flush), so even a loop
+        # that never returns to this dispatch loop keeps the columns
+        # near the chunk budget.
+        self._stream[0] = chunk_accesses
+        self._stream[1] = drain
+        try:
+            while True:
+                # One dispatch quantum (4096 op chain steps), then a
+                # drain check — frequent enough to keep the buffer near
+                # the chunk budget, rare enough to stay off the hot
+                # path.
+                for _ in range(1024):
+                    index = ops[ops[ops[ops[index]()]()]()]()
+                drain()
+        except _Exit as stop:
+            exit_code = stop.code
+        except IndexError:
+            raise MachineError("fell off the text segment")
+        finally:
+            self._stream[0] = _NO_SPILL
+            self._stream[1] = None
+        drain()
+        if pcs:
+            sink(TraceChunk(pcs[:], addresses[:], kinds[:], emitted))
+            del pcs[:]
+            del addresses[:]
+            del kinds[:]
+        # Drains shrink and regrow the columns, so length-keyed memos
+        # on the trace object could go stale — drop them.
+        self.trace._kind_counts_memo = None
+        self.trace._digest_memo = None
+        steps = self._count_steps()
+        return ExecutionResult(
+            steps=steps,
+            exit_code=exit_code,
+            block_counts=dict(self._block_counts),
+            trace=None,
             output=list(self.output),
         )
 

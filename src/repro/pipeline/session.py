@@ -30,12 +30,14 @@ from repro.asm.program import Program
 from repro.cache.config import (BASELINE_CONFIG, TRAINING_CONFIG,
                                 CacheConfig, associativity_sweep,
                                 size_sweep)
-from repro.cache.model import CacheStats
+from repro.cache.model import CacheStats, TraceSource
 from repro.cache.stackdist import ProfileStore, simulate_sweep
 from repro.compiler.driver import compile_source
 from repro.machine.simulator import Machine
 from repro.patterns.builder import LoadInfo, build_load_infos
 from repro.profiling.profile import BlockProfile
+from repro.store.tracestore import (TraceStore, TraceStoreCorrupt,
+                                    trace_key)
 from repro.workloads.base import Workload
 from repro.workloads.registry import (ALL_WORKLOADS, get as get_workload,
                                       training_workloads)
@@ -139,6 +141,12 @@ class Session:
         self._profile_store = ProfileStore(
             disk_dir=(self.cache_dir / "stackdist")
             if use_disk_cache else None)
+        # The chunked trace store (see repro.store): executions stream
+        # their access trace straight to disk, replays stream it back,
+        # so a workload is executed at most once per content key and no
+        # whole trace needs to fit in RAM.
+        self._trace_store = TraceStore(self.cache_dir / "traces") \
+            if use_disk_cache else None
 
     # -- stages ------------------------------------------------------
     def add_source(self, workload: str, source: str,
@@ -178,16 +186,97 @@ class Session:
                 self.program(workload, input_name, optimize))
         return self._analyses[key]
 
-    def _execute(self, key: RunKey) -> None:
+    def _trace_key(self, key: RunKey) -> str:
+        return trace_key(self.source(key.workload, key.input_name),
+                         key.optimize, self.max_steps)
+
+    def _execute(self, key: RunKey, streaming: bool = True) -> None:
+        """Run the workload once, streaming into the trace store.
+
+        With the store available the access trace goes straight to disk
+        in compressed chunks (bounded RSS, reusable by later sessions
+        and the service); without it — or with ``streaming=False`` as
+        the last-resort fallback when the store misbehaves — the trace
+        is materialized into the in-memory LRU as before.
+        """
         program = self.program(key.workload, key.input_name, key.optimize)
         machine = Machine(program, trace_memory=True,
                           max_steps=self.max_steps, engine=self.engine)
-        result = machine.run()
+        writer = None
+        if streaming and self._trace_store is not None:
+            try:
+                writer = self._trace_store.writer(self._trace_key(key))
+            except OSError:
+                writer = None
+        if writer is not None:
+            try:
+                result = machine.run_streaming(writer)
+            except BaseException:
+                writer.abort()
+                raise
+            try:
+                writer.close(block_counts=result.block_counts,
+                             steps=result.steps,
+                             exit_code=result.exit_code,
+                             output=result.output)
+            except OSError:
+                self._trace_store.delete(self._trace_key(key))
+        else:
+            result = machine.run()
+            self._traces[key] = result.trace
+            while len(self._traces) > _TRACE_LRU:
+                self._traces.popitem(last=False)
         self._profiles[key] = BlockProfile.from_execution(program, result)
         self._steps[key] = result.steps
-        self._traces[key] = result.trace
-        while len(self._traces) > _TRACE_LRU:
-            self._traces.popitem(last=False)
+
+    def _absorb_trace_meta(self, key: RunKey) -> bool:
+        """Adopt profile facts from a trace store hit (no execution)."""
+        if self._trace_store is None:
+            return False
+        meta = self._trace_store.meta(self._trace_key(key))
+        if not meta or not meta.get("block_counts"):
+            return False
+        try:
+            block_counts = {int(a): int(c) for a, c
+                            in meta["block_counts"].items()}
+            steps = int(meta.get("steps", 0))
+        except (AttributeError, TypeError, ValueError):
+            return False
+        program = self.program(key.workload, key.input_name, key.optimize)
+        self._profiles[key] = BlockProfile.from_block_counts(
+            program, block_counts)
+        self._steps[key] = steps
+        return True
+
+    def _trace_source(self, key: RunKey) -> TraceSource:
+        """The cheapest available access stream for one run.
+
+        Preference order: the in-memory trace LRU, then a chunked
+        stream from the on-disk trace store (absorbing the stored block
+        profile on the way), then execution — which streams into the
+        store when possible, so the next call is a store hit.
+        """
+        trace = self._traces.get(key)
+        if trace is not None:
+            self._traces.move_to_end(key)
+            return trace
+        if self._trace_store is not None:
+            stream = self._trace_store.open(self._trace_key(key))
+            if stream is not None:
+                if key not in self._profiles:
+                    self._absorb_trace_meta(key)
+                return stream
+        self._execute(key)
+        trace = self._traces.get(key)
+        if trace is not None:
+            return trace
+        stream = self._trace_store.open(self._trace_key(key))
+        if stream is not None:
+            return stream
+        # The store swallowed the streamed trace (e.g. a failed close):
+        # re-execute materialized so the caller always gets a source.
+        self._execute(key, streaming=False)
+        return self._traces[key]
 
     def profile(self, workload: str, input_name: str = "input1",
                 optimize: bool = False) -> BlockProfile:
@@ -195,6 +284,8 @@ class Session:
         if key not in self._profiles:
             loaded = self._load_disk(key, BASELINE_CONFIG,
                                      profile_only=True)
+            if not loaded:
+                loaded = self._absorb_trace_meta(key)
             if not loaded:
                 self._execute(key)
         return self._profiles[key]
@@ -217,14 +308,19 @@ class Session:
             if config not in missing:
                 missing.append(config)
         if missing:
-            if key not in self._traces:
-                self._execute(key)
-            self._traces.move_to_end(key)
-            trace = self._traces[key]
-            for config, stats in zip(missing,
-                                     simulate_sweep(
-                                         trace, missing,
-                                         store=self._profile_store)):
+            source = self._trace_source(key)
+            try:
+                stats_list = simulate_sweep(source, missing,
+                                            store=self._profile_store)
+            except TraceStoreCorrupt:
+                # A stored trace failed to decode mid-replay: drop the
+                # entry and re-execute materialized (guaranteed to
+                # produce a source even if the disk is misbehaving).
+                self._trace_store.delete(self._trace_key(key))
+                self._execute(key, streaming=False)
+                stats_list = simulate_sweep(self._traces[key], missing,
+                                            store=self._profile_store)
+            for config, stats in zip(missing, stats_list):
                 self._stats[(key, config)] = stats
                 if self.use_disk_cache:
                     self._store_disk(key, config, stats)

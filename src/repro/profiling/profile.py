@@ -32,14 +32,27 @@ class BlockProfile:
     @classmethod
     def from_execution(cls, program: Program,
                        result: ExecutionResult) -> "BlockProfile":
-        leaders = sorted(result.block_counts)
+        return cls.from_block_counts(program, result.block_counts)
+
+    @classmethod
+    def from_block_counts(cls, program: Program,
+                          block_counts: Mapping[int, int]
+                          ) -> "BlockProfile":
+        """Rebuild a profile from bare block-entry counts.
+
+        Block sizes are derived from the sorted leaders (every leader
+        runs to the next leader, the last to ``text_end``), so entry
+        counts alone — an execution result, a cache payload, a trace
+        store meta record — fully determine the profile.
+        """
+        leaders = sorted(block_counts)
         sizes: dict[int, int] = {}
         for position, leader in enumerate(leaders):
             end = leaders[position + 1] if position + 1 < len(leaders) \
                 else program.text_end
             sizes[leader] = (end - leader) // 4
         return cls(program=program,
-                   block_counts=dict(result.block_counts),
+                   block_counts=dict(block_counts),
                    block_sizes=sizes)
 
     # ------------------------------------------------------------------
@@ -163,14 +176,22 @@ class BlockProfile:
         return counts
 
 
-def observed_load_exec_counts(trace) -> dict[int, int]:
+def observed_load_exec_counts(source) -> dict[int, int]:
     """E(i) measured from a memory trace instead of block counts.
 
     ``BlockProfile.load_exec_counts`` derives execution counts from
     block-entry frequency (the paper's profiling model); this variant
-    counts actual trace records.  Uses the load-column fast path
-    (:meth:`repro.machine.trace.MemoryTrace.load_pcs`), so the tally is
-    a single C-speed pass over the packed pc column.
+    counts actual trace records.  Accepts a materialized
+    :class:`~repro.machine.trace.MemoryTrace` (load-column fast path:
+    one C-speed pass over the packed pc column) or any chunk source,
+    tallied chunk by chunk with the same per-chunk fast path.
     """
     from collections import Counter
-    return dict(Counter(trace.load_pcs()))
+    from repro.machine.trace import LOAD, MemoryTrace
+    if isinstance(source, MemoryTrace):
+        return dict(Counter(source.load_pcs()))
+    from itertools import compress
+    counts: Counter = Counter()
+    for chunk in source:
+        counts.update(compress(chunk.pcs, map(LOAD.__eq__, chunk.kinds)))
+    return dict(counts)

@@ -23,11 +23,20 @@ from repro.heuristic.classes import Weights
 from repro.machine.simulator import Machine
 from repro.pipeline.session import default_cache_dir
 from repro.service import protocol
+from repro.store.tracestore import (TraceStore, TraceStoreCorrupt,
+                                    trace_key)
 
 #: Stack-distance profiles for the merged ``simulate`` op, sharing the
 #: pipeline/service warm directory: a re-sweep of a known program with
 #: new LRU geometries is answered from histograms, not a trace replay.
 _PROFILE_STORE = ProfileStore(disk_dir=default_cache_dir() / "stackdist")
+
+#: Chunked trace store shared with the pipeline session (same content
+#: keys): a ``simulate`` request for a known program skips execution
+#: entirely and streams the stored trace; a cold request streams its
+#: execution into the store, so the server never holds a whole trace
+#: per request.
+_TRACE_STORE = TraceStore(default_cache_dir() / "traces")
 
 
 def run_analysis(params: dict[str, Any]) -> dict[str, Any]:
@@ -49,28 +58,71 @@ def run_analysis(params: dict[str, Any]) -> dict[str, Any]:
 
 
 def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
-    """``simulate``: one execution, every config in a single replay.
+    """``simulate``: at most one execution ever, streamed replays.
 
     Routes through the dispatching sweep engine
     (:func:`repro.cache.stackdist.simulate_sweep`): a request for N
     configs — or N batched requests for one config each — costs at most
     one trace pass, and LRU geometry sweeps collapse to one pass per
-    set mapping with the per-PC distance profile cached on disk.
+    set mapping with the per-PC distance profile cached on disk.  The
+    trace itself lives in the chunked trace store: a repeat request for
+    the same (source, optimize, max_steps) skips execution and streams
+    the stored chunks, a cold request streams its execution into the
+    store, and a corrupt entry is dropped and re-executed.
     """
     program = compile_source(params["source"],
                              optimize=params["optimize"])
-    # The engine knob is an operator-side switch (params may carry it,
-    # e.g. from $REPRO_ENGINE on the server); it is deliberately absent
-    # from request/cache keys because both engines are bit-identical.
-    machine = Machine(program, trace_memory=True,
-                      max_steps=params["max_steps"],
-                      engine=params.get("engine"))
-    execution = machine.run()
     configs = [CacheConfig(**entry) for entry in params["configs"]]
+    key = trace_key(params["source"], params["optimize"],
+                    params["max_steps"])
+
+    def execute(streaming: bool):
+        """One execution; streamed into the store when possible."""
+        # The engine knob is an operator-side switch (params may carry
+        # it, e.g. from $REPRO_ENGINE on the server); it is absent from
+        # request/cache/store keys because both engines are
+        # bit-identical.
+        machine = Machine(program, trace_memory=True,
+                          max_steps=params["max_steps"],
+                          engine=params.get("engine"))
+        writer = None
+        if streaming:
+            try:
+                writer = _TRACE_STORE.writer(key)
+            except OSError:
+                writer = None
+        if writer is None:
+            execution = machine.run()
+            return execution.steps, execution.trace
+        try:
+            execution = machine.run_streaming(writer)
+        except BaseException:
+            writer.abort()
+            raise
+        try:
+            writer.close(block_counts=execution.block_counts,
+                         steps=execution.steps,
+                         exit_code=execution.exit_code,
+                         output=execution.output)
+        except OSError:
+            _TRACE_STORE.delete(key)
+        return execution.steps, _TRACE_STORE.open(key)
+
+    source = _TRACE_STORE.open(key)
+    if source is not None:
+        steps = int(_TRACE_STORE.meta(key)["steps"])
+    else:
+        steps, source = execute(streaming=True)
+        if source is None:
+            steps, source = execute(streaming=False)
+    try:
+        sweep = simulate_sweep(source, configs, store=_PROFILE_STORE)
+    except TraceStoreCorrupt:
+        _TRACE_STORE.delete(key)
+        steps, source = execute(streaming=False)
+        sweep = simulate_sweep(source, configs, store=_PROFILE_STORE)
     results = []
-    for config, stats in zip(configs,
-                             simulate_sweep(execution.trace, configs,
-                                            store=_PROFILE_STORE)):
+    for config, stats in zip(configs, sweep):
         results.append({
             "config": protocol.cache_config_to_dict(config),
             "description": config.describe(),
@@ -82,7 +134,7 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
                               sorted(stats.load_accesses.items())},
         })
     return {
-        "steps": execution.steps,
+        "steps": steps,
         "num_loads": program.num_loads(),
         "results": results,
     }

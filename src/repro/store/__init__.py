@@ -1,0 +1,14 @@
+"""Persistent, content-addressed storage for execution artifacts.
+
+The package currently holds one store: the chunked columnar trace store
+(:mod:`repro.store.tracestore`), which persists memory-access streams so
+a workload is executed at most once per (source, input, optimize,
+engine-contract) key, plus the cache garbage collector
+(:mod:`repro.store.gc`) that bounds every on-disk cache tier by size.
+"""
+
+from repro.store.tracestore import (TraceStore, TraceStoreCorrupt,
+                                    TraceStoreWriter, trace_key)
+
+__all__ = ["TraceStore", "TraceStoreCorrupt", "TraceStoreWriter",
+           "trace_key"]

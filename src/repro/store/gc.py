@@ -1,0 +1,200 @@
+"""Size-bounded garbage collection for the on-disk cache directory.
+
+``.repro_cache/`` accumulates four tiers of content-addressed entries,
+none of which ever expire on their own:
+
+* ``pipeline`` — per-(run, config) simulation payloads in the root
+  (``<workload>-<digest>.json``);
+* ``service`` — served responses (``svc-<key>.json``, also root);
+* ``stackdist`` — stack-distance profiles (``stackdist/sd-*.json``);
+* ``traces`` — the chunked trace store (``traces/tr-*.json`` meta +
+  ``traces/tr-*.bin`` columns, evicted as a pair).
+
+:func:`collect_garbage` bounds the whole directory by total size with
+LRU eviction: entries are ranked by mtime (trace store reads touch
+their entry, so recently streamed traces survive) and the oldest are
+deleted until the budget holds.  Undecodable or incomplete entries —
+orphaned trace bins, meta without a bin, malformed JSON, stale ``.tmp``
+leftovers from dead writers — are *reported and removed first*; every
+tier re-creates missing entries on demand, so removal is always safe.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class GcEntry:
+    """One evictable unit: a cache entry and every file backing it."""
+
+    tier: str
+    name: str
+    paths: tuple[Path, ...]
+    size: int
+    mtime: float
+
+
+@dataclass
+class GcReport:
+    """What a :func:`collect_garbage` pass found and did."""
+
+    limit: int
+    dry_run: bool
+    scanned: int = 0                 # total bytes across live entries
+    kept: int = 0                    # bytes remaining after eviction
+    evicted: list[GcEntry] = field(default_factory=list)
+    corrupt: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def evicted_bytes(self) -> int:
+        return sum(entry.size for entry in self.evicted)
+
+    def describe(self) -> str:
+        verb = "would evict" if self.dry_run else "evicted"
+        lines = [f"scanned {self.scanned} bytes, limit {self.limit}: "
+                 f"{verb} {len(self.evicted)} entr"
+                 f"{'y' if len(self.evicted) == 1 else 'ies'} "
+                 f"({self.evicted_bytes} bytes), {self.kept} bytes kept"]
+        for tier, name, reason in self.corrupt:
+            lines.append(f"corrupt [{tier}] {name}: {reason}")
+        for entry in self.evicted:
+            lines.append(f"{verb} [{entry.tier}] {entry.name} "
+                         f"({entry.size} bytes)")
+        return "\n".join(lines)
+
+
+def _stat(paths: tuple[Path, ...]) -> tuple[int, float]:
+    size = 0
+    mtime = 0.0
+    for path in paths:
+        stat = path.stat()
+        size += stat.st_size
+        mtime = max(mtime, stat.st_mtime)
+    return size, mtime
+
+
+def _json_ok(path: Path) -> bool:
+    try:
+        json.loads(path.read_text())
+        return True
+    except (OSError, ValueError):
+        return False
+
+
+def scan_entries(root: Path) -> tuple[list[GcEntry],
+                                      list[tuple[str, str, str, tuple]]]:
+    """Every live entry plus every corrupt/stale item under ``root``.
+
+    Corrupt items come back as ``(tier, name, reason, paths)`` so the
+    caller can delete them (or just report, under ``--dry-run``).
+    """
+    root = Path(root)
+    entries: list[GcEntry] = []
+    corrupt: list[tuple[str, str, str, tuple]] = []
+    if not root.is_dir():
+        return entries, corrupt
+
+    def add(tier: str, name: str, paths: tuple[Path, ...]) -> None:
+        try:
+            size, mtime = _stat(paths)
+        except OSError:
+            return                   # vanished mid-scan: nothing to do
+        entries.append(GcEntry(tier, name, paths, size, mtime))
+
+    for path in root.glob("*.json"):
+        tier = "service" if path.name.startswith("svc-") else "pipeline"
+        if _json_ok(path):
+            add(tier, path.name, (path,))
+        else:
+            corrupt.append((tier, path.name, "malformed JSON", (path,)))
+
+    stackdist = root / "stackdist"
+    if stackdist.is_dir():
+        for path in stackdist.glob("sd-*.json"):
+            if _json_ok(path):
+                add("stackdist", path.name, (path,))
+            else:
+                corrupt.append(("stackdist", path.name,
+                                "malformed JSON", (path,)))
+
+    traces = root / "traces"
+    if traces.is_dir():
+        bins = {path.name[:-4]: path for path in traces.glob("tr-*.bin")}
+        for meta in traces.glob("tr-*.json"):
+            stem = meta.name[:-5]
+            bin_path = bins.pop(stem, None)
+            if bin_path is None:
+                corrupt.append(("traces", meta.name, "meta without bin",
+                                (meta,)))
+            elif not _json_ok(meta):
+                corrupt.append(("traces", stem, "malformed meta",
+                                (meta, bin_path)))
+            else:
+                add("traces", stem, (meta, bin_path))
+        for stem, bin_path in bins.items():
+            corrupt.append(("traces", bin_path.name, "bin without meta",
+                            (bin_path,)))
+
+    for pattern in ("*.tmp", "stackdist/*.tmp", "traces/*.tmp"):
+        for path in root.glob(pattern):
+            corrupt.append((path.parent.name if path.parent != root
+                            else "pipeline", path.name,
+                            "stale temp file", (path,)))
+    return entries, corrupt
+
+
+def _remove(paths: tuple[Path, ...]) -> None:
+    for path in paths:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def collect_garbage(root: Path, limit: int,
+                    dry_run: bool = False) -> GcReport:
+    """Bound the cache directory to ``limit`` bytes, oldest-first.
+
+    Corrupt items are always (reported and, unless ``dry_run``)
+    removed; live entries are then evicted in LRU order until the
+    total size fits the budget.
+    """
+    entries, corrupt_items = scan_entries(root)
+    report = GcReport(limit=limit, dry_run=dry_run)
+    for tier, name, reason, paths in corrupt_items:
+        report.corrupt.append((tier, name, reason))
+        if not dry_run:
+            _remove(paths)
+    report.scanned = sum(entry.size for entry in entries)
+    total = report.scanned
+    for entry in sorted(entries, key=lambda e: e.mtime):
+        if total <= limit:
+            break
+        report.evicted.append(entry)
+        total -= entry.size
+        if not dry_run:
+            _remove(entry.paths)
+    report.kept = total
+    return report
+
+
+def parse_size(text: str) -> int:
+    """``'512M'``/``'2G'``/``'100K'``/plain bytes to an int."""
+    text = text.strip().upper()
+    factor = 1
+    for suffix, scale in (("K", 1 << 10), ("M", 1 << 20),
+                          ("G", 1 << 30)):
+        if text.endswith(suffix):
+            factor = scale
+            text = text[:-1]
+            break
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r}") from None
+    if value < 0:
+        raise ValueError("size must be non-negative")
+    return int(value * factor)

@@ -29,6 +29,7 @@ from repro.compiler.driver import compile_source
 from repro.machine.simulator import Machine
 from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
 from repro.pipeline.session import Session
+from repro.store import TraceStore, trace_key
 from repro.workloads.registry import get, names
 
 EQUIVALENCE_SCALE = 0.01
@@ -343,8 +344,11 @@ class TestSessionIntegration:
     def test_stats_multi_sweep_matches_reference(self, tmp_path):
         session = Session(scale=0.03, cache_dir=tmp_path)
         sweep = session.stats_multi("129.compress", configs=self.GRID)
-        trace = session._traces[
-            next(iter(session._traces))]  # single executed run
+        # the single executed run streamed into the trace store
+        store = TraceStore(tmp_path / "traces")
+        trace = store.open(trace_key(session.source("129.compress"),
+                                     False, session.max_steps))
+        assert trace is not None
         for config, stats in zip(self.GRID, sweep):
             assert stats_key(stats) == stats_key(
                 simulate_trace(trace, config))
