@@ -4,6 +4,7 @@
 Run from the repository root (CI does)::
 
     PYTHONPATH=src python scripts/service_smoke.py
+    PYTHONPATH=src python scripts/service_smoke.py --cluster
 
 Spawns ``python -m repro serve`` as a subprocess on an ephemeral port,
 waits for its listening banner, then checks with a client that
@@ -14,6 +15,11 @@ waits for its listening banner, then checks with a client that
 3. the repeat request is served from the cache,
 4. ``metrics`` reports the traffic,
 5. the ``shutdown`` op terminates the process cleanly (exit code 0).
+
+``--cluster`` runs the same probe against ``python -m repro cluster``
+fronting two spawned workers, then SIGKILLs one worker mid-run and
+asserts every subsequent request still succeeds (failover) and the
+router reports the ejection.
 
 Exits non-zero on the first failed check.
 """
@@ -101,5 +107,94 @@ def main() -> int:
             proc.wait()
 
 
+def cluster_main() -> int:
+    import signal
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "cluster", "--port", "0",
+         "--workers", "2", "--spawn", "--no-disk-cache",
+         "--probe-interval", "0.3"],
+        stdout=subprocess.PIPE, text=True, env=env, cwd=REPO_ROOT)
+    try:
+        banner = proc.stdout.readline().strip()
+        print(f"smoke: {banner}")
+        prefix = "repro cluster listening on "
+        assert banner.startswith(prefix), f"unexpected banner: {banner!r}"
+        address = banner[len(prefix):].split(" ")[0]
+        host, port = address.rsplit(":", 1)
+
+        with ServiceClient(host, int(port), timeout=120.0) as client:
+            health = client.health()
+            assert health["status"] == "ok", health
+            assert health["role"] == "router", health
+            assert health["workers"]["healthy"] == 2, health["workers"]
+            print(f"smoke: router health ok "
+                  f"({health['workers']['healthy']} healthy workers, "
+                  f"{health['ring']['vnodes']} vnodes)")
+
+            served = client.analyze(SOURCE)
+            local = report_to_dict(analyze_program(SOURCE))
+            assert json.dumps(served) == json.dumps(local), \
+                "routed analyze diverges from in-process pipeline"
+            print("smoke: routed analyze identical to in-process")
+
+            repeat = client.request("analyze", {"source": SOURCE})
+            assert repeat["cached"] == "memory", repeat.get("cached")
+            print("smoke: repeat request hit the warm worker's cache")
+
+            status = client.call("cluster", {"action": "status"})
+            pids = [worker["pid"] for worker in status["workers"]]
+            assert all(pid for pid in pids), status["workers"]
+            victim = pids[0]
+            os.kill(victim, signal.SIGKILL)
+            print(f"smoke: killed worker pid {victim}")
+
+            errors = 0
+            for index in range(8):
+                variant = SOURCE + "\n" * (index + 1)
+                try:
+                    client.analyze(variant)
+                except Exception as exc:   # noqa: BLE001 - count all
+                    errors += 1
+                    print(f"smoke: request {index} FAILED: {exc}")
+            assert errors == 0, f"{errors} request(s) failed after kill"
+            print("smoke: 8/8 requests succeeded during failover")
+
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                status = client.call("cluster", {"action": "status"})
+                healthy = sum(1 for worker in status["workers"]
+                              if worker["healthy"])
+                if healthy == 1:
+                    break
+                time.sleep(0.2)
+            assert healthy == 1, status["workers"]
+            print(f"smoke: dead worker ejected "
+                  f"(failovers={status['router']['failovers']}, "
+                  f"ejections={status['router']['ejections']})")
+
+            metrics = client.metrics()
+            assert metrics["cluster"]["workers"]["reporting"] == 1, \
+                metrics["cluster"]["workers"]
+            assert metrics["cluster"]["requests"]["total"] > 0, \
+                metrics["cluster"]["requests"]
+            print("smoke: cluster metrics aggregation ok")
+
+            client.shutdown()
+
+        proc.wait(timeout=30)
+        assert proc.returncode == 0, \
+            f"router exited with {proc.returncode}"
+        print("smoke: clean cluster shutdown — all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(cluster_main() if "--cluster" in sys.argv else main())

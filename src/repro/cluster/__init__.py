@@ -1,0 +1,41 @@
+"""Sharded analysis cluster: router, hash ring, worker lifecycle.
+
+A thin horizontal-scaling layer over :mod:`repro.service`: one
+:class:`AnalysisRouter` speaks the existing JSON-lines protocol
+unchanged and consistent-hash routes compute requests across N worker
+servers by their content-hash request key — so each key lands on the
+worker whose cache is already warm, and worker join/leave remaps only
+≈K/N keys.  Workers are probed, ejected and re-admitted automatically;
+idempotent ops fail over to the next ring node; the ``metrics`` op
+aggregates every worker's snapshot into one cluster view.
+
+``ClusterClient`` is just :class:`~repro.service.client.ServiceClient`
+pointed at the router — the wire is byte-identical to a single server.
+"""
+
+from repro.cluster.metrics import RouterMetrics, aggregate_worker_metrics
+from repro.cluster.ring import HashRing
+from repro.cluster.router import (AnalysisRouter, ClusterHandle,
+                                  RouterConfig, RouterHandle,
+                                  cluster_in_thread, route_in_thread,
+                                  run_router)
+from repro.cluster.spawn import WorkerProcess, spawn_workers
+from repro.cluster.upstream import UpstreamWorker
+from repro.service.client import ServiceClient as ClusterClient
+
+__all__ = [
+    "AnalysisRouter",
+    "ClusterClient",
+    "ClusterHandle",
+    "HashRing",
+    "RouterConfig",
+    "RouterHandle",
+    "RouterMetrics",
+    "UpstreamWorker",
+    "WorkerProcess",
+    "aggregate_worker_metrics",
+    "cluster_in_thread",
+    "route_in_thread",
+    "run_router",
+    "spawn_workers",
+]

@@ -1,0 +1,156 @@
+"""Router metrics and cluster-wide aggregation.
+
+:class:`RouterMetrics` mirrors the worker-side
+:class:`~repro.service.metrics.ServiceMetrics` discipline — cheap
+in-process counters plus bounded latency windows — but counts routing
+events: per-op forwarded requests and round-trip latency through the
+router, failovers, upstream failures, ring ejections/re-admissions,
+drains and locally answered protocol errors.
+
+:func:`aggregate_worker_metrics` folds the per-worker ``metrics``
+snapshots the router fetches into one cluster view: summed request /
+error / cache / batching counters, a combined cache hit rate, summed
+queue-depth and in-flight gauges, and per-op latency percentiles
+aggregated as count-weighted means plus worst-worker maxima (exact
+percentile merging needs the raw samples; min/mean/max of per-worker
+percentiles is the honest summary of what the router can see).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Any, Optional
+
+from repro.service.metrics import percentile
+
+_WINDOW = 2048
+
+
+class RouterMetrics:
+    """Mutable counters for one router instance."""
+
+    def __init__(self):
+        self.started_at = time.time()
+        self.routed_by_op: Counter = Counter()
+        self.failovers = 0            # retries onto another ring node
+        self.upstream_failures = 0    # transport/shutdown upstream errors
+        self.ejections = 0            # healthy -> unhealthy transitions
+        self.readmissions = 0         # unhealthy -> healthy transitions
+        self.drains = 0               # drain admin ops honoured
+        self.admin_ops = 0
+        self.local_errors: Counter = Counter()   # answered at the router
+        self._latency_s: dict[str, deque] = {}
+
+    # -- recording ---------------------------------------------------
+    def record_routed(self, op: str, elapsed_s: float) -> None:
+        self.routed_by_op[op] += 1
+        window = self._latency_s.setdefault(op, deque(maxlen=_WINDOW))
+        window.append(elapsed_s)
+
+    def record_local_error(self, code: str) -> None:
+        self.local_errors[code] += 1
+
+    # -- snapshot ----------------------------------------------------
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        summary = {}
+        for op, window in sorted(self._latency_s.items()):
+            values = sorted(window)
+            summary[op] = {
+                "count": len(values),
+                "p50_ms": round(percentile(values, 0.50) * 1e3, 3),
+                "p90_ms": round(percentile(values, 0.90) * 1e3, 3),
+                "p99_ms": round(percentile(values, 0.99) * 1e3, 3),
+                "max_ms": round(max(values) * 1e3, 3),
+            }
+        return summary
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "routed": {
+                "total": sum(self.routed_by_op.values()),
+                "by_op": dict(sorted(self.routed_by_op.items())),
+            },
+            "latency": self.latency_summary(),
+            "failovers": self.failovers,
+            "upstream_failures": self.upstream_failures,
+            "ejections": self.ejections,
+            "readmissions": self.readmissions,
+            "drains": self.drains,
+            "admin_ops": self.admin_ops,
+            "local_errors": dict(sorted(self.local_errors.items())),
+        }
+
+
+def aggregate_worker_metrics(rows: list[dict[str, Any]]
+                             ) -> dict[str, Any]:
+    """Fold per-worker describe+snapshot rows into cluster totals.
+
+    ``rows`` entries are :meth:`UpstreamWorker.describe` dicts with an
+    extra ``"metrics"`` key holding that worker's ``metrics`` snapshot
+    (or None when it was unreachable).
+    """
+    reporting = [row["metrics"] for row in rows if row.get("metrics")]
+    totals: dict[str, Any] = {
+        "workers": {
+            "total": len(rows),
+            "healthy": sum(1 for row in rows if row["healthy"]),
+            "draining": sum(1 for row in rows if row["draining"]),
+            "reporting": len(reporting),
+        },
+        "requests": {"total": 0, "ok": 0, "in_flight": 0},
+        "errors": {"total": 0},
+        "cache": {"entries": 0, "memory_hits": 0, "disk_hits": 0,
+                  "misses": 0, "evictions": 0, "hit_rate": 0.0},
+        "queue": {"depth": 0, "peak": 0},
+        "batching": {"computations": 0, "coalesced_requests": 0,
+                     "merged_simulate_requests": 0},
+        "latency": {},
+    }
+    acc: dict[str, list[dict[str, float]]] = {}
+    for snapshot in reporting:
+        requests = snapshot.get("requests", {})
+        totals["requests"]["total"] += requests.get("total", 0)
+        totals["requests"]["ok"] += requests.get("ok", 0)
+        totals["requests"]["in_flight"] += requests.get("in_flight", 0)
+        totals["errors"]["total"] += \
+            snapshot.get("errors", {}).get("total", 0)
+        cache = snapshot.get("cache", {})
+        for field in ("entries", "memory_hits", "disk_hits", "misses",
+                      "evictions"):
+            totals["cache"][field] += cache.get(field, 0)
+        queue = snapshot.get("queue", {})
+        totals["queue"]["depth"] += queue.get("depth", 0)
+        totals["queue"]["peak"] = max(totals["queue"]["peak"],
+                                      queue.get("peak", 0))
+        batching = snapshot.get("batching", {})
+        for field in ("computations", "coalesced_requests",
+                      "merged_simulate_requests"):
+            totals["batching"][field] += batching.get(field, 0)
+        for op, entry in snapshot.get("latency", {}).items():
+            acc.setdefault(op, []).append(entry)
+    cache = totals["cache"]
+    lookups = cache["memory_hits"] + cache["disk_hits"] + cache["misses"]
+    if lookups:
+        cache["hit_rate"] = round(
+            (cache["memory_hits"] + cache["disk_hits"]) / lookups, 4)
+    for op, entries in sorted(acc.items()):
+        count = sum(entry.get("count", 0) for entry in entries)
+        merged: dict[str, float] = {"count": count}
+        for field in ("p50_ms", "p90_ms", "p99_ms"):
+            values = [entry[field] for entry in entries
+                      if field in entry]
+            if not values:
+                continue
+            weights = [max(1, entry.get("count", 1))
+                       for entry in entries if field in entry]
+            mean = sum(v * w for v, w in zip(values, weights)) \
+                / sum(weights)
+            merged[field] = round(mean, 3)
+            merged[f"{field}_max"] = round(max(values), 3)
+        merged["max_ms"] = round(max(
+            (entry.get("max_ms", 0.0) for entry in entries),
+            default=0.0), 3)
+        totals["latency"][op] = merged
+    return totals

@@ -1,0 +1,99 @@
+"""Consistent hash ring: deterministic, cache-aware key placement.
+
+Each worker contributes ``replicas`` virtual nodes at sha256-derived
+positions on a 64-bit ring; a request key (the content hash from
+:func:`repro.service.protocol.request_key`) lands on the first virtual
+node clockwise from its own hash.  Properties the router relies on:
+
+* **determinism** — positions come from :mod:`hashlib`, never from
+  ``hash()``, so every process (router restarts, test subprocesses)
+  computes identical placements;
+* **warm affinity** — a repeated key maps to the same worker for as
+  long as that worker stays in the ring, so its memory-tier result
+  cache is already hot;
+* **bounded remapping** — adding a worker moves only the ≈K/N keys
+  that now fall to the new worker's virtual nodes, and removing one
+  moves only the keys it owned; every other key keeps its placement
+  (and its warm cache).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, Optional
+
+
+def _point(data: str) -> int:
+    """A stable 64-bit ring position for one string."""
+    return int.from_bytes(hashlib.sha256(data.encode()).digest()[:8],
+                          "big")
+
+
+class HashRing:
+    """Sorted ring of (position, node) virtual-node pairs."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        self._ring: list[tuple[int, str]] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(self._nodes)
+
+    @property
+    def vnodes(self) -> int:
+        return len(self._ring)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for index in range(self.replicas):
+            bisect.insort(self._ring, (_point(f"{node}#{index}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [entry for entry in self._ring if entry[1] != node]
+
+    def node_for(self, key: str) -> Optional[str]:
+        """The node owning ``key`` (None on an empty ring)."""
+        owners = self.nodes_for(key, count=1)
+        return owners[0] if owners else None
+
+    def nodes_for(self, key: str,
+                  count: Optional[int] = None) -> list[str]:
+        """Up to ``count`` distinct nodes in ring order from ``key``.
+
+        The first entry is the key's owner; the rest are the failover
+        successors, in the order an idempotent request should retry.
+        """
+        if not self._ring:
+            return []
+        if count is None:
+            count = len(self._nodes)
+        start = bisect.bisect_left(self._ring, (_point(key), ""))
+        owners: list[str] = []
+        seen: set[str] = set()
+        size = len(self._ring)
+        for step in range(size):
+            node = self._ring[(start + step) % size][1]
+            if node not in seen:
+                seen.add(node)
+                owners.append(node)
+                if len(owners) >= count:
+                    break
+        return owners

@@ -1,0 +1,594 @@
+"""The cluster router: cache-aware consistent-hash request front end.
+
+``AnalysisRouter`` accepts the service's JSON-lines wire protocol
+*unchanged* and forwards each request, as raw bytes, to one of N
+worker servers:
+
+* **routing** — compute ops (``analyze``/``classify``/``simulate``)
+  are placed on the :class:`~repro.cluster.ring.HashRing` by their
+  content-hash request key, so a repeated key always lands on the
+  worker whose memory-tier cache is already warm and membership
+  changes remap only ≈K/N keys; keyless scheduled ops (``sleep``) go
+  to the least-loaded eligible worker;
+* **passthrough** — the original request line is relayed verbatim and
+  the worker's response line is returned verbatim (the client's id
+  travels through), so a response through the router is byte-identical
+  to one from a single server;
+* **lifecycle** — a periodic prober marks workers unhealthy after
+  ``fail_after`` consecutive failed health probes (immediately on a
+  transport failure or a dead spawned process) and ejects them from
+  the ring; a later successful probe re-admits them.  The ``cluster``
+  admin op drains a worker (no new keys, in-flight finishes) and
+  un-drains it;
+* **failover** — idempotent compute ops that hit a dead or
+  shutting-down worker retry on the next distinct ring node, so
+  killing a worker mid-stream is invisible to clients;
+* **control ops** — ``health``/``metrics``/``shutdown`` are answered
+  by the router itself; ``metrics`` aggregates every worker's snapshot
+  into cluster totals (see :mod:`repro.cluster.metrics`).
+
+Entry points mirror the service: :func:`run_router` behind
+``python -m repro cluster``, :func:`route_in_thread` /
+:func:`cluster_in_thread` for tests, benchmarks and embedding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Optional, Union
+
+from repro import __version__
+from repro.cluster.metrics import RouterMetrics, aggregate_worker_metrics
+from repro.cluster.ring import HashRing
+from repro.cluster.upstream import UpstreamWorker
+from repro.service import protocol
+from repro.service.client import ServiceError
+from repro.service.protocol import (MAX_REQUEST_BYTES, ProtocolError,
+                                    Request, encode, error_response,
+                                    ok_response)
+
+import json
+
+
+@dataclass
+class RouterConfig:
+    """Everything tunable about one router instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8652            # 0: pick an ephemeral port
+    replicas: int = 64          # virtual nodes per worker
+    probe_interval: float = 1.0     # seconds between health probes
+    fail_after: int = 2         # consecutive probe failures to eject
+    max_attempts: int = 3       # distinct workers tried per compute op
+    connect_timeout: float = 5.0    # upstream connect/probe timeout
+    upstream_timeout: float = 120.0  # floor for upstream read timeouts
+    pool_size: int = 4          # idle connections kept per worker
+    executor_threads: int = 16  # concurrent upstream round trips
+    upstream_retries: int = 1   # per-connection resend (same worker)
+    upstream_backoff: float = 0.05
+
+
+class AnalysisRouter:
+    """One long-lived routing front end over N workers."""
+
+    def __init__(self, config: Optional[RouterConfig] = None,
+                 upstreams: tuple = (),
+                 processes: Optional[dict[str, Any]] = None):
+        self.config = config or RouterConfig()
+        self.metrics = RouterMetrics()
+        self.workers: dict[str, UpstreamWorker] = {}
+        for address in upstreams:
+            self.add_worker(address,
+                            (processes or {}).get(address))
+        self.ring = HashRing(replicas=self.config.replicas)
+        self._rebuild_ring()
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._shutdown = None
+        self._connections: set = set()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._prober: Optional[asyncio.Task] = None
+        self._rr = 0
+
+    # -- membership ----------------------------------------------------
+    def add_worker(self, address: str, process: Any = None) -> None:
+        if address in self.workers:
+            return
+        worker = UpstreamWorker(
+            address,
+            connect_timeout=self.config.connect_timeout,
+            pool_size=self.config.pool_size,
+            retries=self.config.upstream_retries,
+            backoff=self.config.upstream_backoff)
+        worker.process = process
+        self.workers[address] = worker
+
+    def _rebuild_ring(self) -> None:
+        ring = HashRing(replicas=self.config.replicas)
+        for address, worker in self.workers.items():
+            if worker.eligible:
+                ring.add(address)
+        self.ring = ring
+
+    # -- lifecycle ---------------------------------------------------
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.executor_threads,
+            thread_name_prefix="repro-router")
+        await self._probe_all(initial=True)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+            limit=MAX_REQUEST_BYTES + 2)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        self._prober = asyncio.get_running_loop().create_task(
+            self._probe_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._shutdown.wait()
+            await asyncio.sleep(0.05)   # flush final responses
+            for task in list(self._connections):
+                task.cancel()
+            if self._connections:
+                await asyncio.gather(*self._connections,
+                                     return_exceptions=True)
+        if self._prober is not None:
+            self._prober.cancel()
+            try:
+                await self._prober
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._prober = None
+        for worker in self.workers.values():
+            worker.close()
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    def request_stop(self) -> None:
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    # -- health probing ------------------------------------------------
+    async def _probe_loop(self) -> None:
+        try:
+            while not self._shutdown.is_set():
+                await asyncio.sleep(self.config.probe_interval)
+                await self._probe_all()
+        except asyncio.CancelledError:
+            pass
+
+    async def _probe_all(self, initial: bool = False) -> None:
+        loop = asyncio.get_running_loop()
+
+        async def one(worker: UpstreamWorker) -> None:
+            if worker.process is not None and not worker.process.alive():
+                ok = False      # supervised process died: skip the TCP probe
+            else:
+                ok = await loop.run_in_executor(self._executor,
+                                                worker.probe)
+            self._note_probe(worker, ok, initial=initial)
+
+        await asyncio.gather(*(one(worker)
+                               for worker in list(self.workers.values())),
+                             return_exceptions=True)
+
+    def _note_probe(self, worker: UpstreamWorker, ok: bool,
+                    initial: bool = False) -> None:
+        if ok:
+            worker.consecutive_failures = 0
+            if not worker.healthy:
+                worker.healthy = True
+                if not initial:
+                    self.metrics.readmissions += 1
+                self._rebuild_ring()
+        else:
+            worker.consecutive_failures += 1
+            if worker.healthy and (
+                    initial or worker.consecutive_failures
+                    >= self.config.fail_after):
+                worker.healthy = False
+                if not initial:
+                    self.metrics.ejections += 1
+                self._rebuild_ring()
+
+    def _mark_failed(self, worker: UpstreamWorker) -> None:
+        """Immediate ejection on a transport failure mid-request."""
+        worker.consecutive_failures = max(worker.consecutive_failures,
+                                          self.config.fail_after)
+        if worker.healthy:
+            worker.healthy = False
+            self.metrics.ejections += 1
+            self._rebuild_ring()
+
+    # -- one connection ----------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode(error_response(
+                        None, protocol.BAD_REQUEST,
+                        "request exceeds size limit")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self._handle_line(line)
+                writer.write(response if isinstance(response, bytes)
+                             else encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError,
+                    RuntimeError):
+                pass
+
+    async def _handle_line(self, line: bytes
+                           ) -> Union[bytes, dict[str, Any]]:
+        started = time.perf_counter()
+        # the router-only admin op is peeled off before protocol
+        # validation; everything else goes through the same
+        # parse_request as a worker, so malformed requests earn
+        # byte-identical errors here or there
+        admin = self._maybe_admin(line)
+        if admin is not None:
+            return admin
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            self.metrics.record_local_error(exc.code)
+            return error_response(None, exc.code, exc.message)
+        if request.op == "health":
+            return ok_response(request.id, self._health())
+        if request.op == "metrics":
+            return ok_response(request.id, await self._cluster_metrics())
+        if request.op == "shutdown":
+            self.request_stop()
+            return ok_response(request.id, {"stopping": True})
+        response = await self._route(request, line)
+        if isinstance(response, bytes):
+            self.metrics.record_routed(request.op,
+                                       time.perf_counter() - started)
+        return response
+
+    # -- routing -------------------------------------------------------
+    def _pick(self, key: Optional[str],
+              tried: set[str]) -> Optional[UpstreamWorker]:
+        if key is not None:
+            for address in self.ring.nodes_for(key):
+                if address in tried:
+                    continue
+                worker = self.workers.get(address)
+                if worker is not None and worker.eligible:
+                    return worker
+            return None
+        eligible = [worker for worker in self.workers.values()
+                    if worker.eligible and worker.address not in tried]
+        if not eligible:
+            return None
+        lowest = min(worker.in_flight for worker in eligible)
+        candidates = [worker for worker in eligible
+                      if worker.in_flight == lowest]
+        self._rr += 1
+        return candidates[self._rr % len(candidates)]
+
+    async def _route(self, request: Request, line: bytes
+                     ) -> Union[bytes, dict[str, Any]]:
+        loop = asyncio.get_running_loop()
+        idempotent = request.op in protocol.CACHEABLE_OPS
+        attempts = self.config.max_attempts if idempotent else 1
+        # the socket bound must outlive the worker's own wait-timeout
+        # enforcement so "timeout" errors come back on the wire
+        timeout = max(self.config.upstream_timeout,
+                      request.timeout or 0.0) + 5.0
+        tried: set[str] = set()
+        failure = "no healthy upstream workers"
+        for attempt in range(attempts):
+            worker = self._pick(request.key, tried)
+            if worker is None:
+                break
+            tried.add(worker.address)
+            if attempt:
+                self.metrics.failovers += 1
+            try:
+                raw = await loop.run_in_executor(
+                    self._executor, worker.transact, line, timeout)
+            except (ServiceError, OSError, ValueError) as exc:
+                self.metrics.upstream_failures += 1
+                failure = f"upstream {worker.address}: {exc}"
+                self._mark_failed(worker)
+                continue
+            if idempotent and b'"code":"shutting_down"' in raw:
+                # mid-shutdown worker: a membership event, not an error
+                self.metrics.upstream_failures += 1
+                failure = f"upstream {worker.address}: shutting down"
+                self._mark_failed(worker)
+                continue
+            return raw
+        self.metrics.record_local_error(protocol.UNAVAILABLE)
+        return error_response(request.id, protocol.UNAVAILABLE, failure)
+
+    # -- control + admin ops ---------------------------------------------
+    def _maybe_admin(self, line: bytes
+                     ) -> Optional[dict[str, Any]]:
+        """Handle the router-only ``cluster`` op; None otherwise."""
+        try:
+            obj = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return None     # parse_request will answer bad_request
+        if not isinstance(obj, dict) or obj.get("op") != "cluster":
+            return None
+        self.metrics.admin_ops += 1
+        rid = obj.get("id")
+        version = obj.get("version", protocol.PROTOCOL_VERSION)
+        if version != protocol.PROTOCOL_VERSION:
+            return error_response(
+                None, protocol.BAD_REQUEST,
+                f"unsupported protocol version: {version!r}")
+        params = obj.get("params") or {}
+        if not isinstance(params, dict):
+            return error_response(rid, protocol.BAD_REQUEST,
+                                  "request field 'params' must be "
+                                  "an object")
+        action = params.get("action", "status")
+        if action == "status":
+            return ok_response(rid, self._status())
+        if action not in ("drain", "undrain"):
+            return error_response(
+                rid, protocol.BAD_REQUEST,
+                f"unknown cluster action {action!r}; valid: "
+                f"status, drain, undrain")
+        worker = self.workers.get(params.get("worker", ""))
+        if worker is None:
+            return error_response(
+                rid, protocol.BAD_REQUEST,
+                f"unknown worker {params.get('worker')!r}; known: "
+                f"{', '.join(sorted(self.workers))}")
+        if action == "drain" and not worker.draining:
+            worker.draining = True
+            self.metrics.drains += 1
+            self._rebuild_ring()
+        elif action == "undrain" and worker.draining:
+            worker.draining = False
+            self._rebuild_ring()
+        return ok_response(rid, worker.describe())
+
+    def _ring_info(self) -> dict[str, Any]:
+        return {"nodes": self.ring.nodes,
+                "replicas": self.config.replicas,
+                "vnodes": self.ring.vnodes}
+
+    def _health(self) -> dict[str, Any]:
+        rows = [worker.describe() for worker in self.workers.values()]
+        return {
+            "status": "ok",
+            "role": "router",
+            "version": __version__,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "uptime_s": round(time.time() - self.metrics.started_at, 3),
+            "workers": {
+                "total": len(rows),
+                "healthy": sum(1 for row in rows if row["healthy"]),
+                "draining": sum(1 for row in rows if row["draining"]),
+            },
+            "ring": self._ring_info(),
+        }
+
+    def _status(self) -> dict[str, Any]:
+        return {
+            "role": "router",
+            "uptime_s": round(time.time() - self.metrics.started_at, 3),
+            "ring": self._ring_info(),
+            "workers": [worker.describe()
+                        for worker in self.workers.values()],
+            "router": self.metrics.snapshot(),
+        }
+
+    async def _cluster_metrics(self) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+
+        async def fetch(worker: UpstreamWorker):
+            try:
+                return await loop.run_in_executor(
+                    self._executor, worker.fetch_metrics)
+            except Exception:
+                return None
+
+        workers = list(self.workers.values())
+        snapshots = await asyncio.gather(*(fetch(worker)
+                                           for worker in workers))
+        rows = [dict(worker.describe(), metrics=snapshot)
+                for worker, snapshot in zip(workers, snapshots)]
+        return {
+            "role": "router",
+            "uptime_s": round(time.time() - self.metrics.started_at, 3),
+            "ring": self._ring_info(),
+            "cluster": aggregate_worker_metrics(rows),
+            "workers": rows,
+            "router": self.metrics.snapshot(),
+        }
+
+
+# -- entry points ----------------------------------------------------
+
+def run_router(config: Optional[RouterConfig] = None,
+               upstreams: tuple = (),
+               processes: Optional[dict[str, Any]] = None,
+               stats: bool = False) -> dict[str, Any]:
+    """Blocking router loop; returns the final status snapshot."""
+    config = config or RouterConfig()
+    holder: dict[str, Any] = {}
+
+    async def main() -> None:
+        router = AnalysisRouter(config, tuple(upstreams), processes)
+        await router.start()
+        # parsed by scripts/service_smoke.py — keep the format stable
+        print(f"repro cluster listening on "
+              f"{router.host}:{router.port} "
+              f"fronting {len(router.workers)} worker(s)", flush=True)
+        try:
+            await router.serve_until_shutdown()
+        finally:
+            holder["snapshot"] = router._status()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+    snapshot = holder.get("snapshot", {})
+    if stats and snapshot:
+        print(json.dumps(snapshot, indent=2))
+    return snapshot
+
+
+class RouterHandle:
+    """A router running on a background thread (tests/benchmarks)."""
+
+    def __init__(self, router: AnalysisRouter, loop, thread):
+        self.router = router
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def address(self) -> str:
+        return f"{self.router.host}:{self.router.port}"
+
+    def stop(self, timeout: float = 10.0) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self.router.request_stop)
+        except RuntimeError:
+            pass
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "RouterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def route_in_thread(config: Optional[RouterConfig] = None,
+                    upstreams: tuple = (),
+                    processes: Optional[dict[str, Any]] = None
+                    ) -> RouterHandle:
+    """Start a router on a daemon thread; block until it listens."""
+    config = config or RouterConfig(port=0)
+    ready = threading.Event()
+    box: dict[str, Any] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        router = AnalysisRouter(config, tuple(upstreams), processes)
+        box["loop"] = loop
+        box["router"] = router
+
+        async def main() -> None:
+            await router.start()
+            ready.set()
+            await router.serve_until_shutdown()
+
+        try:
+            loop.run_until_complete(main())
+        except Exception as exc:
+            box["error"] = exc
+            ready.set()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=runner,
+                              name="repro-router", daemon=True)
+    thread.start()
+    ready.wait(30.0)
+    if "error" in box:
+        raise box["error"]
+    if not ready.is_set():
+        raise RuntimeError("router failed to start within 30s")
+    return RouterHandle(box["router"], box["loop"], thread)
+
+
+class ClusterHandle:
+    """An in-thread cluster: one router + N in-thread workers."""
+
+    def __init__(self, router: RouterHandle, workers: list):
+        self.router = router
+        self.workers = workers
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    @property
+    def address(self) -> str:
+        return self.router.address
+
+    def stop(self) -> None:
+        self.router.stop()
+        for worker in self.workers:
+            worker.stop()
+
+    def __enter__(self) -> "ClusterHandle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def cluster_in_thread(num_workers: int = 2, *,
+                      router_config: Optional[RouterConfig] = None,
+                      worker_config=None) -> ClusterHandle:
+    """One router + ``num_workers`` in-thread workers (tests, fuzzing).
+
+    Workers default to single-thread pools with the disk tier off so a
+    throwaway cluster leaves no shared state behind.
+    """
+    from repro.service.server import ServerConfig, serve_in_thread
+    if worker_config is None:
+        worker_config = ServerConfig(port=0, workers=0,
+                                     use_disk_cache=False)
+    workers = []
+    try:
+        for _ in range(num_workers):
+            workers.append(serve_in_thread(replace(worker_config,
+                                                   port=0)))
+        router = route_in_thread(
+            router_config or RouterConfig(port=0, probe_interval=0.25),
+            tuple(handle.address for handle in workers))
+    except BaseException:
+        for handle in workers:
+            handle.stop()
+        raise
+    return ClusterHandle(router, workers)

@@ -1,0 +1,108 @@
+"""Spawn-and-supervise local worker server subprocesses.
+
+``python -m repro cluster --workers N --spawn`` fronts N fresh
+``python -m repro serve`` subprocesses on ephemeral ports.  Each
+:class:`WorkerProcess` owns one subprocess: it parses the server's
+listening banner for the bound address, exposes liveness for the
+router's supervision probe (a dead process is ejected from the ring
+without waiting for a TCP timeout), and tears down with a best-effort
+``shutdown`` op before escalating to terminate/kill.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+_BANNER = "repro service listening on "
+
+
+def _worker_env() -> dict[str, str]:
+    """Inherited environment with the repro package importable."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    path = env.get("PYTHONPATH")
+    if not path:
+        env["PYTHONPATH"] = src_root
+    elif src_root not in path.split(os.pathsep):
+        env["PYTHONPATH"] = src_root + os.pathsep + path
+    return env
+
+
+class WorkerProcess:
+    """One supervised ``repro serve`` subprocess."""
+
+    def __init__(self, *, pool_workers: int = 0,
+                 disk_cache: bool = True,
+                 cache_dir: Optional[str] = None,
+                 queue_size: Optional[int] = None):
+        command = [sys.executable, "-m", "repro", "serve",
+                   "--port", "0", "--workers", str(pool_workers)]
+        if not disk_cache:
+            command.append("--no-disk-cache")
+        if cache_dir:
+            command += ["--cache-dir", str(cache_dir)]
+        if queue_size is not None:
+            command += ["--queue-size", str(queue_size)]
+        self.proc = subprocess.Popen(command, stdout=subprocess.PIPE,
+                                     text=True, env=_worker_env())
+        banner = (self.proc.stdout.readline() or "").strip()
+        if not banner.startswith(_BANNER):
+            self.kill()
+            raise RuntimeError(
+                f"worker failed to start (banner: {banner!r})")
+        self.address = banner[len(_BANNER):].strip()
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown op, then terminate, then kill."""
+        if self.alive():
+            from repro.service.client import ServiceClient, ServiceError
+            try:
+                ServiceClient.connect(self.address,
+                                      timeout=5.0).shutdown()
+            except (ServiceError, OSError, ValueError):
+                pass
+            try:
+                self.proc.wait(timeout)
+            except subprocess.TimeoutExpired:
+                self.proc.terminate()
+                try:
+                    self.proc.wait(5.0)
+                except subprocess.TimeoutExpired:
+                    self.kill()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+    def kill(self) -> None:
+        if self.alive():
+            self.proc.kill()
+            self.proc.wait()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+
+def spawn_workers(count: int, *, pool_workers: int = 0,
+                  disk_cache: bool = True,
+                  cache_dir: Optional[str] = None) -> list[WorkerProcess]:
+    """Spawn ``count`` local workers; kill all on any startup failure."""
+    workers: list[WorkerProcess] = []
+    try:
+        for _ in range(count):
+            workers.append(WorkerProcess(pool_workers=pool_workers,
+                                         disk_cache=disk_cache,
+                                         cache_dir=cache_dir))
+    except BaseException:
+        for worker in workers:
+            worker.kill()
+        raise
+    return workers

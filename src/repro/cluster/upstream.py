@@ -1,0 +1,161 @@
+"""Upstream worker state and pooled connections for the router.
+
+One :class:`UpstreamWorker` per worker server: a small stack of idle
+:class:`~repro.service.client.ServiceClient` connections (created
+lazily, reused across requests, capped at ``pool_size``), the
+lifecycle flags the router flips (``healthy`` via health probes and
+transport failures, ``draining`` via the ``cluster`` admin op), and
+per-worker gauges/counters (``in_flight``, ``routed``, ``failures``).
+
+``transact`` is the forwarding primitive: it runs on a router executor
+thread, relays one raw request line to the worker and returns the raw
+response line — byte passthrough, so the wire schema a client sees
+through the router is *exactly* what a single worker would have sent.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from repro.service.client import ServiceClient, ServiceError, \
+    parse_address
+
+
+class UpstreamWorker:
+    """One worker endpoint: connection pool + lifecycle + counters."""
+
+    def __init__(self, address: str, *,
+                 connect_timeout: float = 5.0,
+                 pool_size: int = 4,
+                 retries: int = 1,
+                 backoff: float = 0.05):
+        self.address = address
+        self.host, self.port = parse_address(address)
+        self.connect_timeout = connect_timeout
+        self.pool_size = max(1, pool_size)
+        self.retries = retries
+        self.backoff = backoff
+        # lifecycle (mutated only on the router's event loop)
+        self.healthy = True
+        self.draining = False
+        self.consecutive_failures = 0
+        #: set when the router spawned this worker (WorkerProcess)
+        self.process = None
+        # counters (mutated from executor threads, hence the lock)
+        self.in_flight = 0
+        self.routed = 0
+        self.failures = 0
+        self.last_error: Optional[str] = None
+        self._idle: list[ServiceClient] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def eligible(self) -> bool:
+        """May receive *new* keys (in the ring, probed healthy)."""
+        return self.healthy and not self.draining and not self._closed
+
+    # -- connection pool ---------------------------------------------
+    def _new_client(self) -> ServiceClient:
+        return ServiceClient(self.host, self.port,
+                             timeout=self.connect_timeout,
+                             retries=self.retries,
+                             backoff=self.backoff)
+
+    def acquire(self) -> ServiceClient:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return self._new_client()
+
+    def release(self, client: ServiceClient) -> None:
+        with self._lock:
+            if not self._closed and len(self._idle) < self.pool_size:
+                self._idle.append(client)
+                return
+        client.close()
+
+    # -- blocking operations (run on executor threads) -----------------
+    def transact(self, line: bytes, timeout: float) -> bytes:
+        """Relay one raw request line; return the raw response line."""
+        with self._lock:
+            self.in_flight += 1
+        client: Optional[ServiceClient] = None
+        try:
+            client = self.acquire()
+            raw = client.transact(line, timeout=timeout)
+            self.release(client)
+            client = None
+            with self._lock:
+                self.routed += 1
+            return raw
+        except (ServiceError, OSError, ValueError) as exc:
+            with self._lock:
+                self.failures += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+            if isinstance(exc, ServiceError):
+                raise
+            raise ServiceError("transport", str(exc),
+                               address=self.address)
+        finally:
+            if client is not None:
+                client.close()
+            with self._lock:
+                self.in_flight -= 1
+
+    def _call(self, op: str) -> Any:
+        client: Optional[ServiceClient] = None
+        try:
+            client = self.acquire()
+            result = client.call(op)
+            self.release(client)
+            client = None
+            return result
+        finally:
+            if client is not None:
+                client.close()
+
+    def probe(self) -> bool:
+        """One health round trip; False on any failure."""
+        try:
+            return self._call("health").get("status") == "ok"
+        except (ServiceError, OSError, ValueError):
+            return False
+
+    def fetch_metrics(self) -> Optional[dict[str, Any]]:
+        """The worker's ``metrics`` snapshot (None if unreachable)."""
+        try:
+            return self._call("metrics")
+        except (ServiceError, OSError, ValueError):
+            return None
+
+    def shutdown(self) -> None:
+        """Best-effort ``shutdown`` op (spawned-worker teardown)."""
+        try:
+            self._call("shutdown")
+        except (ServiceError, OSError, ValueError):
+            pass
+
+    # -- reporting -----------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "address": self.address,
+                "healthy": self.healthy,
+                "draining": self.draining,
+                "in_flight": self.in_flight,
+                "routed": self.routed,
+                "failures": self.failures,
+                "consecutive_failures": self.consecutive_failures,
+                "pid": self.process.pid
+                       if self.process is not None else None,
+                "last_error": self.last_error,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for client in idle:
+            client.close()

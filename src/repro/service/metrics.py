@@ -40,6 +40,11 @@ class ServiceMetrics:
         self.merged_simulate_requests = 0
         self.queue_peak = 0
         self.rejected_connections = 0
+        #: scheduled requests currently being handled (gauge, not a
+        #: counter; health/metrics probes are excluded so they never
+        #: observe themselves): the cluster router aggregates this
+        #: across workers for meaningful live load numbers.
+        self.in_flight = 0
         self._latency_s: dict[str, deque] = {}
 
     # -- recording ---------------------------------------------------
@@ -52,6 +57,12 @@ class ServiceMetrics:
 
     def record_error(self, code: str) -> None:
         self.errors_by_code[code] += 1
+
+    def begin_request(self) -> None:
+        self.in_flight += 1
+
+    def end_request(self) -> None:
+        self.in_flight = max(0, self.in_flight - 1)
 
     def record_latency(self, op: str, elapsed_s: float) -> None:
         window = self._latency_s.setdefault(op, deque(maxlen=_WINDOW))
@@ -87,6 +98,7 @@ class ServiceMetrics:
             "requests": {
                 "total": sum(self.requests_by_op.values()),
                 "ok": self.responses_ok,
+                "in_flight": self.in_flight,
                 "by_op": dict(sorted(self.requests_by_op.items())),
             },
             "errors": {

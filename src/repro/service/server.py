@@ -171,7 +171,13 @@ class AnalysisServer:
         if request.op == "shutdown":
             self.request_stop()
             return {"stopping": True}, None
-        return await self.scheduler.submit(request)
+        # the in-flight gauge counts scheduled work only, so a metrics
+        # or health probe never observes itself
+        self.metrics.begin_request()
+        try:
+            return await self.scheduler.submit(request)
+        finally:
+            self.metrics.end_request()
 
     def _health(self) -> dict[str, Any]:
         return {
@@ -180,6 +186,7 @@ class AnalysisServer:
             "protocol_version": protocol.PROTOCOL_VERSION,
             "uptime_s": round(time.time() - self.metrics.started_at, 3),
             "queue_depth": self.scheduler.queue_depth,
+            "in_flight": self.metrics.in_flight,
             "workers": self.scheduler.workers,
             "pool_mode": self.scheduler.pool_mode,
         }

@@ -1,0 +1,386 @@
+"""Sharded-cluster tests: hash ring, router, lifecycle, failover.
+
+The ring tests are pure (placement determinism across processes,
+bounded K/N remapping on membership change).  The router tests run a
+real cluster — one in-thread router fronting in-thread workers — and
+check byte-equality with the in-process pipeline, warm-cache affinity,
+drain/undrain, ejection + re-admission, failover with zero
+client-visible errors, cluster-wide metrics aggregation, and the
+client's opt-in retry/backoff.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import analyze_program
+from repro.cluster import (ClusterClient, HashRing, RouterConfig,
+                           cluster_in_thread)
+from repro.export import report_to_dict
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import parse_request
+from repro.service.server import ServerConfig, serve_in_thread
+from tests.conftest import time_scaled
+
+SMALL = ("int a[64]; int main() { int i; "
+         "for (i = 0; i < 64; i = i + 1) a[i] = i; "
+         "print_int(a[9]); return 0; }")
+
+
+def _variant(tag: int) -> str:
+    """A distinct-but-cheap source per test, for fresh cache keys."""
+    return SMALL.replace("a[9]", f"a[{tag}]")
+
+
+def _source_key(source: str) -> str:
+    """The request key an analyze of ``source`` routes by."""
+    line = json.dumps({"op": "analyze",
+                       "params": {"source": source}}).encode() + b"\n"
+    return parse_request(line).key
+
+
+# -- hash ring ----------------------------------------------------------
+
+class TestHashRing:
+    NODES = [f"10.0.0.{i}:8642" for i in range(1, 5)]
+
+    def test_placement_is_deterministic_across_processes(self):
+        ring = HashRing(self.NODES)
+        keys = [f"key-{i}" for i in range(8)]
+        local = [ring.node_for(key) for key in keys]
+        script = (
+            "from repro.cluster import HashRing\n"
+            f"ring = HashRing({self.NODES!r})\n"
+            f"print('\\n'.join(ring.node_for(k) for k in {keys!r}))\n")
+        src = Path(__file__).resolve().parents[1] / "src"
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True,
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"})
+        assert out.stdout.split("\n")[:len(keys)] == local
+
+    def test_join_moves_only_bounded_fraction(self):
+        before = HashRing(self.NODES)
+        after = HashRing(self.NODES + ["10.0.0.5:8642"])
+        keys = [f"key-{i}" for i in range(2000)]
+        moved = [key for key in keys
+                 if before.node_for(key) != after.node_for(key)]
+        # every moved key must land on the new node, and roughly
+        # K/N = 1/5 of keys move (virtual nodes keep the variance low)
+        assert all(after.node_for(key) == "10.0.0.5:8642"
+                   for key in moved)
+        assert 0.05 <= len(moved) / len(keys) <= 0.40
+
+    def test_leave_moves_only_owned_keys(self):
+        before = HashRing(self.NODES)
+        victim = self.NODES[2]
+        after = HashRing([n for n in self.NODES if n != victim])
+        for key in (f"key-{i}" for i in range(500)):
+            owner = before.node_for(key)
+            if owner != victim:
+                assert after.node_for(key) == owner
+
+    def test_successors_are_distinct_and_start_at_owner(self):
+        ring = HashRing(self.NODES)
+        for key in ("alpha", "beta", "gamma"):
+            nodes = ring.nodes_for(key)
+            assert nodes[0] == ring.node_for(key)
+            assert sorted(nodes) == sorted(set(nodes))
+            assert set(nodes) == set(self.NODES)
+
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.node_for("anything") is None
+        assert ring.nodes_for("anything") == []
+
+
+# -- a live 3-worker cluster ---------------------------------------------
+
+@pytest.fixture(scope="module")
+def cluster():
+    handle = cluster_in_thread(
+        3, router_config=RouterConfig(port=0,
+                                      probe_interval=time_scaled(0.3),
+                                      fail_after=1))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture()
+def client(cluster):
+    with ClusterClient(cluster.host, cluster.port, timeout=60.0) as c:
+        yield c
+
+
+class TestRouting:
+    def test_analyze_byte_identical_to_in_process(self, client):
+        source = _variant(11)
+        served = client.analyze(source)
+        local = report_to_dict(analyze_program(source))
+        assert json.dumps(served) == json.dumps(local)
+
+    def test_classify_byte_identical_to_in_process(self, client):
+        source = _variant(12)
+        served = client.classify(source)
+        local = report_to_dict(analyze_program(source, execute=False))
+        assert json.dumps(served) == json.dumps(local)
+
+    def test_repeat_hits_the_warm_workers_memory_cache(self, client):
+        source = _variant(13)
+        first = client.request("analyze", {"source": source})
+        assert first["cached"] is False
+        second = client.request("analyze", {"source": source})
+        assert second["cached"] == "memory"
+
+    def test_sleep_routes_without_a_key(self, client):
+        assert client.call("sleep", {"seconds": 0.01})["slept"] == 0.01
+
+    def test_parse_errors_match_single_server_shape(self, client):
+        raw = client.transact(b"this is not json\n")
+        obj = json.loads(raw)
+        assert obj["id"] is None and not obj["ok"]
+        assert obj["error"]["code"] == "bad_request"
+
+    def test_health_reports_router_role_and_ring(self, client):
+        health = client.health()
+        assert health["role"] == "router"
+        assert health["workers"]["total"] == 3
+        assert health["ring"]["vnodes"] == 3 * 64
+
+    def test_metrics_aggregates_across_workers(self, cluster, client):
+        client.analyze(_variant(14))
+        metrics = client.metrics()
+        assert metrics["cluster"]["workers"]["reporting"] == 3
+        assert metrics["cluster"]["requests"]["total"] > 0
+        assert len(metrics["workers"]) == 3
+        addresses = {row["address"] for row in metrics["workers"]}
+        assert addresses == {w.address for w in cluster.workers}
+        assert "analyze" in metrics["cluster"]["latency"]
+
+    def test_routed_latency_recorded(self, client):
+        client.analyze(_variant(15))
+        status = client.call("cluster", {"action": "status"})
+        assert status["router"]["routed"]["by_op"]["analyze"] >= 1
+        assert "analyze" in status["router"]["latency"]
+
+
+class TestDraining:
+    def test_drain_redirects_new_keys_and_undrain_restores(
+            self, cluster, client):
+        source = _variant(21)
+        ring = HashRing([w.address for w in cluster.workers])
+        owner = ring.node_for(_source_key(source))
+        drained = client.call("cluster",
+                              {"action": "drain", "worker": owner})
+        assert drained["draining"] is True
+        try:
+            health = client.health()
+            assert health["workers"]["draining"] == 1
+            assert health["ring"]["nodes"] == sorted(
+                w.address for w in cluster.workers if w.address != owner)
+            # the key's owner is out of the ring: the request must
+            # succeed on another worker
+            assert client.analyze(source)["summary"]["num_loads"] >= 0
+        finally:
+            restored = client.call("cluster", {"action": "undrain",
+                                               "worker": owner})
+        assert restored["draining"] is False
+        assert client.health()["workers"]["draining"] == 0
+
+    def test_unknown_worker_is_a_bad_request(self, client):
+        raw = client.transact(json.dumps(
+            {"id": 5, "op": "cluster",
+             "params": {"action": "drain",
+                        "worker": "nowhere:1"}}).encode() + b"\n")
+        obj = json.loads(raw)
+        assert obj["id"] == 5 and not obj["ok"]
+        assert obj["error"]["code"] == "bad_request"
+
+    def test_unknown_action_is_a_bad_request(self, client):
+        with pytest.raises(ServiceError) as info:
+            client.call("cluster", {"action": "explode"})
+        assert info.value.code == "bad_request"
+
+
+class TestFailover:
+    def test_killed_worker_is_invisible_to_clients(self):
+        with cluster_in_thread(
+                3, router_config=RouterConfig(
+                    port=0, probe_interval=time_scaled(0.2),
+                    fail_after=1)) as handle:
+            with ClusterClient(handle.host, handle.port,
+                               timeout=60.0) as client:
+                client.analyze(_variant(31))
+                handle.workers[0].stop()      # abrupt, mid-run
+                for tag in range(32, 44):
+                    client.analyze(_variant(tag))
+                status = client.call("cluster", {"action": "status"})
+                healthy = [w for w in status["workers"] if w["healthy"]]
+                assert len(healthy) == 2
+                assert status["router"]["ejections"] >= 1
+
+    def test_no_workers_means_unavailable_not_hang(self):
+        with cluster_in_thread(
+                1, router_config=RouterConfig(
+                    port=0, probe_interval=time_scaled(0.2),
+                    fail_after=1)) as handle:
+            with ClusterClient(handle.host, handle.port,
+                               timeout=60.0) as client:
+                handle.workers[0].stop()
+                with pytest.raises(ServiceError) as info:
+                    client.analyze(_variant(45))
+                assert info.value.code == "unavailable"
+
+    def test_ejected_worker_is_readmitted_when_it_returns(self):
+        with cluster_in_thread(
+                2, router_config=RouterConfig(
+                    port=0, probe_interval=time_scaled(0.2),
+                    fail_after=1)) as handle:
+            with ClusterClient(handle.host, handle.port,
+                               timeout=60.0) as client:
+                victim = handle.workers[0]
+                port = victim.port
+                victim.stop()
+                deadline = time.time() + time_scaled(20)
+                while time.time() < deadline:
+                    if client.health()["workers"]["healthy"] == 1:
+                        break
+                    time.sleep(0.05)
+                assert client.health()["workers"]["healthy"] == 1
+
+                # a replacement worker comes back on the same port
+                replacement = _serve_on_port(port)
+                try:
+                    deadline = time.time() + time_scaled(20)
+                    while time.time() < deadline:
+                        if client.health()["workers"]["healthy"] == 2:
+                            break
+                        time.sleep(0.05)
+                    health = client.health()
+                    assert health["workers"]["healthy"] == 2
+                    assert len(health["ring"]["nodes"]) == 2
+                    status = client.call("cluster", {"action": "status"})
+                    assert status["router"]["readmissions"] >= 1
+                finally:
+                    replacement.stop()
+
+
+def _serve_on_port(port, attempts=40):
+    """Start an in-thread worker on a specific (just-freed) port."""
+    last = None
+    for _ in range(attempts):
+        try:
+            return serve_in_thread(ServerConfig(
+                port=port, workers=0, use_disk_cache=False))
+        except OSError as exc:
+            last = exc
+            time.sleep(0.1)
+    raise last
+
+
+# -- client retry/backoff (satellite) ------------------------------------
+
+class TestClientRetry:
+    def test_service_error_carries_upstream_address(self):
+        handle = serve_in_thread(ServerConfig(
+            port=0, workers=0, use_disk_cache=False))
+        address = handle.address
+        with ClusterClient.connect(address, timeout=5.0) as client:
+            with pytest.raises(ServiceError) as info:
+                client.call("sleep", {"seconds": -1})
+        handle.stop()
+        assert info.value.address == address
+        assert address in str(info.value)
+
+    def test_reconnect_retry_survives_a_server_restart(self):
+        handle = serve_in_thread(ServerConfig(
+            port=0, workers=0, use_disk_cache=False))
+        port = handle.port
+        client = ServiceClient(handle.host, port, timeout=5.0,
+                               retries=3, backoff=0.01)
+        try:
+            assert client.health()["status"] == "ok"
+            handle.stop()
+            replacement = _serve_on_port(port)
+            try:
+                # the pooled socket is dead; the retry reconnects
+                assert client.health()["status"] == "ok"
+            finally:
+                replacement.stop()
+        finally:
+            client.close()
+
+    def test_retries_off_by_default(self):
+        handle = serve_in_thread(ServerConfig(
+            port=0, workers=0, use_disk_cache=False))
+        client = ServiceClient(handle.host, handle.port, timeout=5.0)
+        assert client.health()["status"] == "ok"
+        handle.stop()
+        with pytest.raises((ServiceError, OSError, ValueError)):
+            client.health()
+        client.close()
+
+    def test_connect_retry_exhaustion_raises(self):
+        # nothing listens on this port (bind-and-close to reserve one)
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError):
+            ServiceClient("127.0.0.1", port, timeout=0.2,
+                          retries=1, backoff=0.01)
+
+
+# -- in-flight gauge (satellite) ------------------------------------------
+
+class TestInFlightGauge:
+    def test_metrics_show_in_flight_requests(self):
+        with serve_in_thread(ServerConfig(
+                port=0, workers=0, use_disk_cache=False)) as handle:
+            hold = time_scaled(1.5)
+            done = threading.Event()
+
+            def sleeper():
+                with ClusterClient(handle.host, handle.port,
+                                   timeout=60.0) as c:
+                    c.call("sleep", {"seconds": hold})
+                done.set()
+
+            thread = threading.Thread(target=sleeper, daemon=True)
+            thread.start()
+            time.sleep(min(0.3, hold / 3))
+            with ClusterClient(handle.host, handle.port,
+                               timeout=60.0) as client:
+                snapshot = client.metrics()
+            assert snapshot["requests"]["in_flight"] >= 1
+            done.wait(time_scaled(30))
+            thread.join(time_scaled(30))
+            with ClusterClient(handle.host, handle.port,
+                               timeout=60.0) as client:
+                snapshot = client.metrics()
+            assert snapshot["requests"]["in_flight"] == 0
+
+
+# -- CLI ------------------------------------------------------------------
+
+class TestClusterCli:
+    def test_parser_accepts_cluster_options(self):
+        from repro.__main__ import build_parser
+        args = build_parser().parse_args(
+            ["cluster", "--workers", "4", "--spawn", "--port", "0",
+             "--probe-interval", "0.5", "--no-disk-cache"])
+        assert args.workers == "4" and args.spawn
+        assert args.func.__name__ == "cmd_cluster"
+
+    def test_address_list_without_colon_is_rejected(self, capsys):
+        from repro.__main__ import cmd_cluster, build_parser
+        args = build_parser().parse_args(
+            ["cluster", "--workers", "not-an-address"])
+        assert cmd_cluster(args) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
