@@ -1,0 +1,155 @@
+"""Analytic reuse-engine benchmark: the grid with zero executions.
+
+Times the analytic prediction path (``predict_profile`` + per-config
+``evaluate``) against the fastest *measured* answer to the same
+question — one machine execution to obtain the trace plus one
+stack-distance sweep over the grid — and records the numbers in
+``BENCH_analytic.json`` at the repository root.
+
+The grid is the paper's associativity + size sweep (tables 8/9), the
+same one ``repro predict --sweep`` serves.  The measured path uses the
+sweep engine (already ~10x faster than replay, see ``bench_sweep``),
+so the gated speedup is against the strongest baseline that still has
+to run the workload.  The analytic phase is executed under a tripwire
+that fails the bench if any machine execution starts, making "zero
+executions" an assertion rather than a claim.
+
+Once a trace exists, a histogram-served re-sweep answers new configs in
+microseconds — faster than predicting.  That number is recorded too
+(``resweep_warm_s``): the analytic win is *avoiding the execution*, not
+beating warmed histograms.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.analytic import predict_profile
+from repro.cache.config import associativity_sweep, size_sweep
+from repro.cache.stackdist import ProfileStore, simulate_sweep
+from repro.compiler.driver import compile_source
+from repro.machine import simulator
+from repro.workloads.registry import get
+
+WORKLOAD = os.environ.get("REPRO_ANALYTIC_WORKLOAD", "101.tomcatv")
+SCALE = float(os.environ.get("REPRO_SCALE", "0.15"))
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RESULTS_PATH = REPO_ROOT / "BENCH_analytic.json"
+ROUNDS = 3
+
+#: Tables 8/9: the associativity sweep crossed with the size sweep,
+#: deduplicated — exactly the grid ``repro predict --sweep`` evaluates.
+GRID = list(dict.fromkeys(associativity_sweep() + size_sweep()))
+
+_results: dict = {}
+
+
+def _flush() -> None:
+    payload = {
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+        },
+        "workload": WORKLOAD,
+        "scale": SCALE,
+        "results": _results,
+    }
+    try:
+        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    except OSError:
+        pass
+
+
+class _ExecutionTripwire:
+    """Fails the analytic phase if a machine execution ever starts."""
+
+    def __init__(self):
+        self.armed = False
+        self._original = simulator.Machine.run
+
+    def __enter__(self):
+        tripwire = self
+
+        def guarded(machine, *args, **kwargs):
+            if tripwire.armed:
+                raise AssertionError(
+                    "machine execution during the analytic phase")
+            return tripwire._original(machine, *args, **kwargs)
+
+        simulator.Machine.run = guarded
+        return self
+
+    def __exit__(self, *exc):
+        simulator.Machine.run = self._original
+
+
+@pytest.fixture(scope="module")
+def program():
+    source = get(WORKLOAD).generate("input1", scale=SCALE)
+    return compile_source(source)
+
+
+def test_analytic_grid_speedup(program):
+    execute_s = sweep_cold_s = resweep_warm_s = float("inf")
+    predict_s = evaluate_s = float("inf")
+    profiles = {}
+
+    with _ExecutionTripwire() as tripwire:
+        # -- measured path: one execution, then the sweep engine ------
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            trace = simulator.Machine(program).run().trace
+            execute_s = min(execute_s, time.perf_counter() - start)
+
+            store = ProfileStore()       # fresh: cold pass each round
+            start = time.perf_counter()
+            simulate_sweep(trace, GRID, store=store)
+            sweep_cold_s = min(sweep_cold_s,
+                               time.perf_counter() - start)
+
+            start = time.perf_counter()
+            simulate_sweep(trace, GRID, store=store)
+            resweep_warm_s = min(resweep_warm_s,
+                                 time.perf_counter() - start)
+
+        # -- analytic path: no trace, no machine, ever ----------------
+        tripwire.armed = True
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            profiles = {}
+            for config in GRID:
+                if config.block_size not in profiles:
+                    profiles[config.block_size] = predict_profile(
+                        program, block_size=config.block_size)
+            predict_s = min(predict_s, time.perf_counter() - start)
+
+            start = time.perf_counter()
+            for config in GRID:
+                profiles[config.block_size].evaluate(config)
+            evaluate_s = min(evaluate_s, time.perf_counter() - start)
+
+    measured_total = execute_s + sweep_cold_s
+    analytic_total = predict_s + evaluate_s
+    speedup = measured_total / analytic_total
+    _results["analytic_engine"] = {
+        "configs": len(GRID),
+        "machine_executions": 0,         # enforced by the tripwire
+        "execute_s": round(execute_s, 4),
+        "sweep_cold_s": round(sweep_cold_s, 4),
+        "resweep_warm_s": round(resweep_warm_s, 6),
+        "analytic_predict_s": round(predict_s, 4),
+        "analytic_evaluate_s": round(evaluate_s, 4),
+        "analytic_total_s": round(analytic_total, 4),
+        "measured_total_s": round(measured_total, 4),
+        "speedup_vs_measured": round(speedup, 2),
+        "coverage": {str(bs): round(profile.coverage, 4)
+                     for bs, profile in sorted(profiles.items())},
+    }
+    _flush()
+    # answering the grid without the execution: measured ~8-15x on the
+    # paper workloads; the acceptance gate is >= 5x
+    assert speedup >= 5.0

@@ -1,0 +1,10 @@
+"""Bench: regenerate Table 15 (see repro.experiments.table15)."""
+
+from repro.experiments import table15
+
+
+def test_table15(benchmark, session, record_table):
+    table = benchmark.pedantic(
+        table15.run, args=(session,), iterations=1, rounds=1)
+    record_table(15, table)
+    assert table.rows

@@ -74,14 +74,14 @@ def pytest_sessionfinish(session, exitstatus):
     """Write the consolidated report once benches ran.
 
     The root EXPERIMENTS.md is only (re)written when every main table
-    (1-14) was produced in this run; partial runs (a single bench, the
+    (1-15) was produced in this run; partial runs (a single bench, the
     ablations alone) go to benchmarks/results/REPORT.md instead so they
     never clobber the canonical full report.
     """
     if not _collected:
         return
     from repro.experiments.report import write_report
-    complete = set(range(1, 15)) <= set(_collected)
+    complete = set(range(1, 16)) <= set(_collected)
     target = (REPO_ROOT / "EXPERIMENTS.md") if complete \
         else (RESULTS_DIR / "REPORT.md")
     try:

@@ -114,7 +114,20 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.heuristic.static_frequency import static_exec_counts
     report = analyze_program(
         _read(args.source), optimize=args.optimize,
-        execute=not args.static, delta=args.delta)
+        execute=not (args.static or args.analytic), delta=args.delta)
+    if args.analytic:
+        # Trace-free "observed" numbers: predicted per-PC misses from
+        # the analytic reuse engine stand in for the measured ones, so
+        # coverage (rho) is available with zero machine executions.
+        from repro.analytic import predict_profile
+        from repro.cache.config import BASELINE_CONFIG
+        profile = predict_profile(report.program,
+                                  block_size=BASELINE_CONFIG.block_size)
+        report.cache_stats = profile.evaluate(BASELINE_CONFIG)
+        note = "confident" if profile.confident \
+            else "LOW - misses below are rough estimates"
+        print(f"analytic prediction: coverage {profile.coverage:.1%} "
+              f"({note})")
     if args.static:
         # re-classify with statically estimated frequencies
         from repro.heuristic.classifier import DelinquencyClassifier
@@ -138,6 +151,99 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     for address in sorted(delta_set, key=lambda a: -scores[a]):
         print(report.describe_load(address))
         print()
+    return 0
+
+
+def _predict_configs(args: argparse.Namespace):
+    from repro.cache.config import (BASELINE_CONFIG, CacheConfig,
+                                    associativity_sweep, size_sweep)
+    configs = []
+    if args.sweep:
+        configs = list(dict.fromkeys(associativity_sweep()
+                                     + size_sweep()))
+    for text in args.config:
+        parts = [int(p) for p in text.split(",")]
+        if not 1 <= len(parts) <= 3:
+            raise ValueError(f"bad --config {text!r}; expected "
+                             "SIZE[,ASSOC[,BLOCK_SIZE]]")
+        configs.append(CacheConfig(
+            size=parts[0],
+            assoc=parts[1] if len(parts) > 1 else 1,
+            block_size=parts[2] if len(parts) > 2 else 32))
+    return configs or [BASELINE_CONFIG]
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    """Per-PC miss prediction for a geometry grid, zero executions."""
+    import json
+
+    from repro.service.protocol import cache_config_to_dict
+    source = _read(args.source)
+    try:
+        configs = _predict_configs(args)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    if args.remote:
+        from repro.service.client import ServiceClient, ServiceError
+        try:
+            with ServiceClient.connect(args.remote) as client:
+                payload = client.predict(
+                    source, optimize=args.optimize,
+                    configs=[cache_config_to_dict(c) for c in configs],
+                    fallback=not args.no_fallback)
+        except (ValueError, ServiceError, ConnectionError,
+                OSError) as exc:
+            print(f"repro: service error: {exc}", file=sys.stderr)
+            return 3
+    else:
+        from repro.pipeline.session import Session
+        session = Session()
+        session.add_source("cli-predict", source)
+        pred = session.predict_stats("cli-predict",
+                                     optimize=args.optimize,
+                                     configs=configs,
+                                     fallback=not args.no_fallback)
+        payload = {
+            "analytic": pred.analytic,
+            "coverage": pred.coverage,
+            "low_confidence_pcs": {f"{pc:#x}": list(r) for pc, r
+                                   in sorted(
+                                       pred.low_confidence_pcs.items())},
+            "results": [{
+                "config": cache_config_to_dict(stats.config),
+                "description": stats.config.describe(),
+                "total_load_misses": stats.total_load_misses,
+                "total_load_accesses": sum(
+                    stats.load_accesses.values()),
+                "load_misses": {f"{a:#x}": m for a, m in
+                                sorted(stats.load_misses.items())},
+                "load_accesses": {f"{a:#x}": m for a, m in
+                                  sorted(stats.load_accesses.items())},
+            } for stats in pred.stats],
+        }
+    if args.json is not None:
+        _emit_json(json.dumps(payload, indent=2), args.json)
+        return 0
+    mode = "analytic (no execution)" if payload.get("analytic") \
+        else "measured fallback (low static confidence)"
+    print(f"prediction mode: {mode}; "
+          f"coverage {payload.get('coverage', 0.0):.1%}")
+    low = payload.get("low_confidence_pcs") or {}
+    if low:
+        flagged = ", ".join(f"{pc} ({'/'.join(reasons)})"
+                            for pc, reasons in sorted(low.items()))
+        print(f"low-confidence loads: {flagged}")
+    print()
+    for entry in payload["results"]:
+        print(f"{entry['description']}: "
+              f"{entry['total_load_misses']} predicted load misses / "
+              f"{entry['total_load_accesses']} accesses")
+        top = sorted(entry["load_misses"].items(),
+                     key=lambda kv: -kv[1])[:args.top]
+        for pc, misses in top:
+            accesses = entry["load_accesses"].get(pc, 0)
+            print(f"  {pc}: {misses} / {accesses}")
     return 0
 
 
@@ -345,6 +451,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_an.add_argument("--static", action="store_true",
                       help="purely static: no execution; frequency "
                            "classes use the static estimator")
+    p_an.add_argument("--analytic", action="store_true",
+                      help="no execution either, but attach per-load "
+                           "miss counts predicted by the analytic "
+                           "reuse engine (enables rho trace-free)")
     p_an.add_argument("--json", nargs="?", const="-", default=None,
                       metavar="FILE",
                       help="emit the full analysis as JSON "
@@ -355,6 +465,33 @@ def build_parser() -> argparse.ArgumentParser:
                            "'repro serve' instance instead of "
                            "analyzing in-process")
     p_an.set_defaults(func=cmd_analyze)
+
+    p_pred = sub.add_parser(
+        "predict",
+        help="predict per-load misses for a cache-geometry grid "
+             "without executing (analytic reuse engine)")
+    add_source(p_pred)
+    p_pred.add_argument("--config", action="append", default=[],
+                        metavar="SIZE[,ASSOC[,BLOCK]]",
+                        help="cache geometry to evaluate (repeatable; "
+                             "default: the paper's baseline cache)")
+    p_pred.add_argument("--sweep", action="store_true",
+                        help="evaluate the paper's associativity + "
+                             "size sweep grid (tables 8/9)")
+    p_pred.add_argument("--no-fallback", action="store_true",
+                        help="answer analytically even when static "
+                             "coverage is below the confidence "
+                             "threshold (never run the workload)")
+    p_pred.add_argument("--top", type=int, default=5,
+                        help="per-config loads to print (default 5)")
+    p_pred.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="FILE",
+                        help="emit the prediction as JSON to stdout, "
+                             "or to FILE when given")
+    p_pred.add_argument("--remote", default=None, metavar="HOST:PORT",
+                        help="send the request to a running "
+                             "'repro serve' instance")
+    p_pred.set_defaults(func=cmd_predict)
 
     p_dis = sub.add_parser("disasm", help="show the disassembly")
     add_source(p_dis)

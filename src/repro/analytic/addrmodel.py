@@ -1,0 +1,215 @@
+"""Address models: lowering AP patterns to linear forms over loop IVs.
+
+The pattern layer (:mod:`repro.patterns.ap`) describes how an address is
+*computed*; this module decides what that computation means for reuse:
+
+``affine``
+    ``base + const + sum(coeff_s * slot_s)``, optionally with a modular
+    (power-of-two masked) inner part — the classic array walk.  Slots
+    whose per-iteration step the loop model knows become strides.
+``scalar``
+    No induction terms at all: a named stack/global slot, touched at a
+    fixed address every time.
+``pointer``
+    The address is a loaded value (``Deref`` feeding the base): linked
+    structures.  Statically unpredictable — flagged, never guessed.
+``indirect``
+    The address mixes in data loaded from memory (``a[b[i]]``).
+``opaque``
+    Pattern expansion gave up (``Rec``/``Opaque`` nodes, depth cutoffs).
+
+Bases resolve to absolute byte addresses when they are ``$gp``-relative
+(the data segment is at a fixed virtual address) or ``$sp``-relative in
+the entry function (the runtime stub enters with a known ``$sp``), which
+lets footprints use real block alignment instead of a ceiling estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.patterns.ap import APNode, Base, BinOp, Const, Deref, Opaque, Rec
+from repro.patterns.recurrence import Slot, slot_of_pattern
+
+AFFINE = "affine"
+SCALAR = "scalar"
+POINTER = "pointer"
+INDIRECT = "indirect"
+OPAQUE = "opaque"
+
+
+@dataclass
+class Linear:
+    """``const + sum(coeff * value_of(slot))`` in bytes."""
+
+    const: int = 0
+    terms: dict[Slot, int] = field(default_factory=dict)
+    bases: frozenset = frozenset()      # ("base", kind) symbols
+
+    def scaled(self, factor: int) -> "Linear":
+        return Linear(self.const * factor,
+                      {s: c * factor for s, c in self.terms.items()},
+                      self.bases)
+
+    def plus(self, other: "Linear") -> "Linear":
+        terms = dict(self.terms)
+        for slot, coeff in other.terms.items():
+            terms[slot] = terms.get(slot, 0) + coeff
+        return Linear(self.const + other.const, terms,
+                      self.bases | other.bases)
+
+
+@dataclass
+class AddrModel:
+    """One memory access's address in analyzable form."""
+
+    kind: str
+    linear: Linear = field(default_factory=Linear)
+    #: modular inner part: ``linear + (mod_linear mod mod_period)``
+    mod_linear: Optional[Linear] = None
+    mod_period: Optional[int] = None    # bytes
+    width: int = 4                      # access width in bytes
+
+    @property
+    def analyzable(self) -> bool:
+        return self.kind in (AFFINE, SCALAR)
+
+    def iv_slots(self) -> set[Slot]:
+        slots = set(self.linear.terms)
+        if self.mod_linear is not None:
+            slots |= set(self.mod_linear.terms)
+        return slots
+
+    def coeff(self, slot: Slot) -> int:
+        """Total byte motion of the address per unit change of ``slot``
+        (modular terms included — the mask bounds the footprint, not the
+        per-iteration motion)."""
+        c = self.linear.terms.get(slot, 0)
+        if self.mod_linear is not None:
+            c += self.mod_linear.terms.get(slot, 0)
+        return c
+
+    def region_key(self) -> tuple:
+        """Identity of the memory region this access walks."""
+        return (self.linear.bases, tuple(sorted(self.linear.terms.items())))
+
+
+class _Unanalyzable(Exception):
+    def __init__(self, kind: str):
+        self.kind = kind
+
+
+def _linearize(node: APNode) -> object:
+    """AP node -> Linear | (Linear outer, Linear inner, period)."""
+    if isinstance(node, Const):
+        return Linear(const=node.value)
+    if isinstance(node, Base):
+        return Linear(bases=frozenset({("base", node.kind)}))
+    if isinstance(node, Deref):
+        slot = slot_of_pattern(node.address)
+        if slot is not None:
+            return Linear(terms={slot: 1})
+        # Address computed from a loaded value: pointer chasing, unless
+        # the inner address itself mixes loads in (indirect indexing).
+        if _contains_deref(node.address):
+            raise _Unanalyzable(INDIRECT)
+        raise _Unanalyzable(POINTER)
+    if isinstance(node, (Rec, Opaque)):
+        raise _Unanalyzable(OPAQUE)
+    if isinstance(node, BinOp):
+        return _linearize_binop(node)
+    raise _Unanalyzable(OPAQUE)
+
+
+def _linearize_binop(node: BinOp):
+    op = node.op
+    if op in ("+", "-"):
+        left = _linearize(node.left)
+        right = _linearize(node.right)
+        if op == "-":
+            if not isinstance(right, Linear):
+                raise _Unanalyzable(OPAQUE)
+            right = right.scaled(-1)
+        if isinstance(left, Linear) and isinstance(right, Linear):
+            return left.plus(right)
+        # Fold the plain side into the modular triple's outer part.
+        if isinstance(left, tuple) and isinstance(right, Linear):
+            outer, inner, period = left
+            return (outer.plus(right), inner, period)
+        if isinstance(right, tuple) and isinstance(left, Linear):
+            outer, inner, period = right
+            return (outer.plus(left), inner, period)
+        raise _Unanalyzable(OPAQUE)
+    if op in ("*", "<<"):
+        left = _linearize(node.left)
+        factor = _const_value(node.right)
+        if factor is None and op == "*":
+            lval = _const_of(left)
+            if lval is not None:
+                left, factor = _linearize(node.right), lval
+        if factor is None:
+            raise _Unanalyzable(OPAQUE)
+        if op == "<<":
+            factor = 1 << factor
+        if isinstance(left, Linear):
+            return left.scaled(factor)
+        if factor > 0:
+            # k*(x mod M) == (k*x) mod (k*M) for k > 0.
+            outer, inner, period = left
+            return (outer.scaled(factor), inner.scaled(factor),
+                    period * factor)
+        raise _Unanalyzable(OPAQUE)
+    if op == "&":
+        mask = _const_value(node.right)
+        operand = node.left
+        if mask is None:
+            mask = _const_value(node.left)
+            operand = node.right
+        if mask is None or mask < 0 or (mask + 1) & mask != 0:
+            raise _Unanalyzable(OPAQUE)
+        inner = _linearize(operand)
+        if not isinstance(inner, Linear):
+            raise _Unanalyzable(OPAQUE)
+        if not inner.terms and not inner.bases:
+            return Linear(const=inner.const & mask)
+        return (Linear(), inner, mask + 1)
+    raise _Unanalyzable(OPAQUE)
+
+
+def _const_value(node: APNode) -> Optional[int]:
+    return node.value if isinstance(node, Const) else None
+
+
+def _const_of(lin) -> Optional[int]:
+    if isinstance(lin, Linear) and not lin.terms and not lin.bases:
+        return lin.const
+    return None
+
+
+def _contains_deref(node: APNode) -> bool:
+    if isinstance(node, Deref):
+        return True
+    if isinstance(node, BinOp):
+        return _contains_deref(node.left) or _contains_deref(node.right)
+    return False
+
+
+def build_addr_model(pattern: APNode, width: int = 4) -> AddrModel:
+    """Lower one address pattern; never raises."""
+    try:
+        result = _linearize(pattern)
+    except _Unanalyzable as exc:
+        return AddrModel(kind=exc.kind, width=width)
+    except RecursionError:
+        return AddrModel(kind=OPAQUE, width=width)
+    if isinstance(result, Linear):
+        kind = AFFINE if result.terms else SCALAR
+        return AddrModel(kind=kind, linear=result, width=width)
+    outer, inner, period = result
+    if inner.terms or outer.terms:
+        return AddrModel(kind=AFFINE, linear=outer, mod_linear=inner,
+                         mod_period=period, width=width)
+    return AddrModel(kind=SCALAR,
+                     linear=outer.plus(Linear(const=inner.const % period)),
+                     width=width)

@@ -1,0 +1,369 @@
+"""Static loop/execution model: trip counts, nesting, execution counts.
+
+This is the control-flow half of the analytic predictor.  For each
+function it merges the natural loops of the CFG into a loop forest
+(one node per header, nested by body containment), attaches the symbolic
+trip counts and slot steps from :class:`~repro.patterns.recurrence.
+SlotRecurrence`, and derives a static execution count for every basic
+block.  A one-pass call-graph walk then scales each function by how many
+times it is entered, so the model predicts *absolute* access counts for
+every memory instruction — the quantity the reuse model multiplies its
+per-iteration footprints by.
+
+Counts carry an ``exact`` bit.  It is cleared whenever something had to
+be estimated: an unresolvable trip count, a block that does not dominate
+its loop latch (conditionally executed), or a recursive call cycle.  The
+confidence reporting in :mod:`repro.analytic.engine` is built on these
+bits — the predictor never silently upgrades a guess to a fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.asm.program import STACK_TOP, Program
+from repro.cfg.blocks import BlockMap
+from repro.cfg.graph import FunctionCFG, Loop, build_function_cfgs
+from repro.isa.instructions import branch_target
+from repro.patterns.builder import PatternBuilder
+from repro.patterns.recurrence import Slot, SlotRecurrence, TripCount
+
+#: Iterations assumed for loops whose bound resolution fails.  Only used
+#: for low-confidence estimates; exact workloads never hit it.
+DEFAULT_TRIP = 8
+
+#: Execution probability assumed for conditionally executed blocks.
+COND_PROBABILITY = 0.5
+
+
+@dataclass
+class Count:
+    """An execution count plus whether it is statically exact."""
+
+    value: float
+    exact: bool
+
+    def times(self, other: "Count") -> "Count":
+        return Count(self.value * other.value, self.exact and other.exact)
+
+
+@dataclass
+class LoopNode:
+    """One merged natural loop inside the per-function forest."""
+
+    header: int
+    latch: int
+    body: frozenset[int]
+    trip: TripCount
+    steps: dict[Slot, Optional[int]]
+    parent: Optional["LoopNode"] = None
+    children: list["LoopNode"] = field(default_factory=list)
+    depth: int = 0
+
+    @property
+    def trips(self) -> Count:
+        if self.trip.count is not None:
+            return Count(float(self.trip.count), True)
+        return Count(float(DEFAULT_TRIP), False)
+
+    def step_of(self, slot: Slot) -> Optional[int]:
+        return self.steps.get(slot)
+
+
+class FunctionModel:
+    """Loop forest + per-block execution counts for one function."""
+
+    def __init__(self, cfg: FunctionCFG, builder: PatternBuilder):
+        self.cfg = cfg
+        self.name = cfg.name
+        self.builder = builder
+        self.slot_rec: SlotRecurrence = builder.slot_rec \
+            or SlotRecurrence(cfg, builder.rd)
+        self.loops: list[LoopNode] = self._build_forest()
+        self._by_block: dict[int, Optional[LoopNode]] = {}
+        self._dominators = cfg.dominators()
+        self.block_counts: dict[int, Count] = {}
+        self._compute_block_counts()
+
+    # -- forest --------------------------------------------------------
+    def _build_forest(self) -> list[LoopNode]:
+        merged: dict[int, tuple[int, set[int]]] = {}
+        for loop in self.cfg.natural_loops():
+            latch, body = merged.get(loop.header, (loop.latch, set()))
+            body.update(loop.body)
+            merged[loop.header] = (latch, body)
+        nodes = []
+        for header, (latch, body) in merged.items():
+            loop = Loop(header=header, latch=latch, body=frozenset(body))
+            nodes.append(LoopNode(
+                header=header, latch=latch, body=loop.body,
+                trip=self.slot_rec.trip_count(loop),
+                steps=self.slot_rec.slot_steps(loop)))
+        # Nest: parent = smallest strictly containing body.
+        nodes.sort(key=lambda n: len(n.body))
+        for i, node in enumerate(nodes):
+            for candidate in nodes[i + 1:]:
+                if (node.header in candidate.body
+                        and node.body < candidate.body):
+                    node.parent = candidate
+                    candidate.children.append(node)
+                    break
+        for node in nodes:
+            depth, cur = 0, node.parent
+            while cur is not None:
+                depth, cur = depth + 1, cur.parent
+            node.depth = depth
+        return nodes
+
+    def innermost_loop(self, leader: int) -> Optional[LoopNode]:
+        """The innermost merged loop whose body contains ``leader``."""
+        if leader not in self._by_block:
+            best: Optional[LoopNode] = None
+            for node in self.loops:
+                if leader in node.body:
+                    if best is None or len(node.body) < len(best.body):
+                        best = node
+            self._by_block[leader] = best
+        return self._by_block[leader]
+
+    def chain(self, leader: int) -> list[LoopNode]:
+        """Enclosing loops of a block, innermost first."""
+        out = []
+        node = self.innermost_loop(leader)
+        while node is not None:
+            out.append(node)
+            node = node.parent
+        return out
+
+    # -- block execution counts ---------------------------------------
+    def _level_count(self, leader: int, node: LoopNode) -> Count:
+        """Executions of ``leader`` per single entry of loop ``node``."""
+        trips = node.trips
+        if leader == node.header:
+            # The header runs once more than the body (the exit check).
+            return Count(trips.value + 1.0, trips.exact)
+        if not self._dominates(leader, node.latch):
+            return Count(max(trips.value * COND_PROBABILITY, 1.0), False)
+        return trips
+
+    def _dominates(self, leader: int, other: int) -> bool:
+        doms = self._dominators.get(other)
+        return doms is not None and leader in doms
+
+    def _compute_block_counts(self) -> None:
+        for leader in self.cfg.blocks:
+            chain = self.chain(leader)
+            count = Count(1.0, True)
+            if chain:
+                count = self._level_count(leader, chain[0])
+                for inner, outer in zip(chain, chain[1:]):
+                    # Entries of the inner loop per entry of the outer ==
+                    # executions of the inner header block inside `outer`.
+                    count = count.times(
+                        self._level_count(inner.header, outer))
+            if not self._reaches_entry(leader, chain):
+                count = Count(count.value, False)
+            self.block_counts[leader] = count
+
+    def _reaches_entry(self, leader: int, chain: list[LoopNode]) -> bool:
+        """Whether the outermost enclosing structure is unconditionally
+        reached from the function entry (straight-line dominance)."""
+        top = chain[-1].header if chain else leader
+        doms = self._dominators.get(top, frozenset())
+        # Conservative: the structure is unconditional if every dominator
+        # chain from entry reaches it; non-dominated blocks are branches.
+        exits = [b for b in self.cfg.blocks
+                 if not self.cfg.successors(b)]
+        for ex in exits:
+            ex_doms = self._dominators.get(ex)
+            if ex_doms is not None and top not in ex_doms:
+                return False
+        return True
+
+
+class ProgramModel:
+    """Whole-program static execution model."""
+
+    def __init__(self, program: Program,
+                 block_map: Optional[BlockMap] = None):
+        self.program = program
+        self.block_map = block_map or BlockMap(program)
+        self.cfgs = build_function_cfgs(program, self.block_map)
+        self.functions: dict[str, FunctionModel] = {}
+        self.builders: dict[str, PatternBuilder] = {}
+        for name, cfg in self.cfgs.items():
+            builder = PatternBuilder(cfg)
+            self.builders[name] = builder
+            self.functions[name] = FunctionModel(cfg, builder)
+        self.entry_counts: dict[str, Count] = {}
+        self._compute_entry_counts()
+
+    # -- static frame/base geometry ------------------------------------
+    def sp_value(self, fn_name: str) -> Optional[int]:
+        """Absolute $sp inside ``fn_name`` (post-prologue), when known.
+
+        Execution starts with ``$sp == STACK_TOP``; each frame subtracts
+        a statically recorded size, so $sp is exact for every function
+        whose call chains all bottom out at the same depth.  Functions
+        reachable at multiple stack depths (or through recursion) stay
+        symbolic.
+        """
+        if not hasattr(self, "_sp_values"):
+            self._sp_values = self._compute_sp_values()
+        return self._sp_values.get(fn_name)
+
+    def _compute_sp_values(self) -> dict[str, int]:
+        funcs = self.program.symtab.functions
+        entry_info = self.program.symtab.function_containing(
+            self.program.entry)
+        values: dict[str, Optional[int]] = {}
+        if entry_info is not None:
+            values[entry_info.name] = STACK_TOP - entry_info.frame_size
+        else:
+            target = self._entry_target()
+            info = funcs.get(target) if target else None
+            if info is not None:
+                values[target] = STACK_TOP - info.frame_size
+        sites = self._call_sites()
+        for _ in range(len(self.functions) + 1):
+            changed = False
+            for name, callers in sites.items():
+                info = funcs.get(name)
+                if info is None:
+                    continue
+                candidates = set()
+                resolved = True
+                for caller, _leader in callers:
+                    if caller not in values or values[caller] is None:
+                        resolved = False
+                        break
+                    candidates.add(values[caller] - info.frame_size)
+                if resolved and len(candidates) == 1:
+                    new = candidates.pop()
+                elif resolved:
+                    new = None
+                else:
+                    continue
+                if values.get(name, "unset") != new:
+                    values[name] = new
+                    changed = True
+            if not changed:
+                break
+        return {n: v for n, v in values.items() if v is not None}
+
+    def _entry_target(self) -> Optional[str]:
+        """Function the runtime stub transfers into (usually ``main``)."""
+        entry_fn = self.program.symtab.function_containing(
+            self.program.entry)
+        if entry_fn is not None:
+            return entry_fn.name
+        # Entry lies outside any declared function (a bare `__start`
+        # stub): its first call is the real program entry.
+        idx = self.program.index_of(self.program.entry)
+        for instr in self.program.instructions[idx:idx + 8]:
+            if instr.is_call:
+                target = branch_target(instr)
+                if target is None:
+                    return None
+                info = self.program.symtab.function_containing(target)
+                return info.name if info is not None else None
+        return None
+
+    # -- call graph ----------------------------------------------------
+    def _call_sites(self) -> dict[str, list[tuple[str, int]]]:
+        """callee -> [(caller, call-site block leader)]."""
+        sites: dict[str, list[tuple[str, int]]] = {}
+        for name, cfg in self.cfgs.items():
+            for block in cfg:
+                for offset, instr in enumerate(block.instructions):
+                    if not instr.is_call:
+                        continue
+                    target = branch_target(instr)
+                    if target is None:
+                        continue
+                    callee = self.program.symtab.function_containing(target)
+                    if callee is None or target != callee.start:
+                        continue
+                    sites.setdefault(callee.name, []).append(
+                        (name, block.start))
+        return sites
+
+    def _compute_entry_counts(self) -> None:
+        target = self._entry_target()
+        sites = self._call_sites()
+        counts: dict[str, Count] = {}
+        if target in self.functions:
+            counts[target] = Count(1.0, True)
+        # Propagate along the call graph; cycles (recursion) poison
+        # exactness and fall back to a single-entry estimate.
+        order = self._topo_order(sites)
+        recursive = self._cyclic_functions(sites)
+        for name in order:
+            if name == target:
+                continue
+            total, exact = 0.0, True
+            for caller, leader in sites.get(name, ()):
+                ccount = counts.get(caller)
+                if ccount is None:
+                    continue
+                bcount = self.functions[caller].block_counts.get(
+                    leader, Count(1.0, False))
+                total += ccount.value * bcount.value
+                exact = exact and ccount.exact and bcount.exact
+            if name in recursive:
+                counts[name] = Count(max(total, 1.0), False)
+            elif total > 0:
+                counts[name] = Count(total, exact)
+            else:
+                counts[name] = Count(0.0, True)   # never called
+        for name in self.functions:
+            counts.setdefault(name, Count(0.0, True))
+        self.entry_counts = counts
+
+    def _topo_order(self, sites: dict[str, list[tuple[str, int]]]):
+        # Kahn over caller -> callee edges; cycle members appended last.
+        callers: dict[str, set[str]] = {
+            name: {c for c, _ in sites.get(name, ())}
+            for name in self.functions}
+        order, placed = [], set()
+        changed = True
+        while changed:
+            changed = False
+            for name in self.functions:
+                if name in placed:
+                    continue
+                if callers[name] <= placed | {name}:
+                    order.append(name)
+                    placed.add(name)
+                    changed = True
+        for name in self.functions:
+            if name not in placed:
+                order.append(name)
+        return order
+
+    def _cyclic_functions(self, sites) -> set[str]:
+        edges: dict[str, set[str]] = {}
+        for callee, callers in sites.items():
+            for caller, _ in callers:
+                edges.setdefault(caller, set()).add(callee)
+        cyclic: set[str] = set()
+        for start in edges:
+            stack, seen = list(edges.get(start, ())), set()
+            while stack:
+                node = stack.pop()
+                if node == start:
+                    cyclic.add(start)
+                    break
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(edges.get(node, ()))
+        return cyclic
+
+    # -- absolute counts -----------------------------------------------
+    def access_count(self, fn_name: str, leader: int) -> Count:
+        entry = self.entry_counts.get(fn_name, Count(0.0, True))
+        block = self.functions[fn_name].block_counts.get(
+            leader, Count(1.0, False))
+        return entry.times(block)

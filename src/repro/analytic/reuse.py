@@ -1,0 +1,909 @@
+"""Static reuse-distance prediction from loop nests and strides.
+
+The composer at the heart of the analytic engine.  For every static
+memory access it derives a *predicted reuse-distance histogram* — the
+same ``{distance: count}`` shape the dynamic stack-distance pass
+measures, but computed from closed forms instead of a trace:
+
+1. the **walk** of each access is flattened level by level through its
+   loop chain (stride per level = address coefficient x slot step),
+   producing the distinct-block footprint ``D``, the covered byte span,
+   and the point pitch at every nesting depth;
+2. accesses split into **continuations** (the next access lands in the
+   same block: short distance bounded by the loop's per-iteration
+   working set), **fresh touches** (one per distinct block: compulsory,
+   or a long distance when an earlier phase already walked the region)
+   and **re-entries** (rewalks of an invariant region, overlapping
+   sliding windows, modular wrap-around laps: distance equal to the
+   intervening loop window footprint);
+3. loop **windows** are assembled from the per-level footprints of all
+   accesses (block-interval union, so two PCs walking one array do not
+   double-count), giving the short distances their actual values.
+
+Every derived quantity carries exactness; anything the model had to
+guess (unknown trip counts, pointer-fed addresses, conditional blocks)
+degrades the access's confidence, which the engine reports rather than
+hides.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analytic.addrmodel import (AFFINE, INDIRECT, OPAQUE, POINTER,
+                                      SCALAR, AddrModel, build_addr_model)
+from repro.analytic.loopmodel import (Count, FunctionModel, LoopNode,
+                                      ProgramModel)
+from repro.dataflow.addrflow import AddressFlow
+
+HIGH = "high"
+MEDIUM = "medium"
+LOW = "low"
+
+#: Distance bin used for accesses the model cannot place (estimates for
+#: indirect/opaque addressing).  Mid-range: misses in small caches, hits
+#: in large ones — the least-wrong uninformed guess, always LOW.
+_ESTIMATE_DISTANCE = 8
+
+#: Assumed window (blocks) between successive entries of a function when
+#: no call-site loop window is known.
+_CALL_WINDOW_ESTIMATE = 64
+
+
+@dataclass
+class Histogram:
+    """Sparse predicted reuse-distance histogram for one static access.
+
+    Two bin families with different set-mapping statistics:
+
+    ``bins``
+        The intervening blocks slide or vary between occurrences (an
+        array block moving past a scalar, a wrapping walk): their set
+        alignment is effectively random, so evaluation uses the
+        Binomial/Poisson conflict model.
+    ``dense``
+        The intervening footprint is the *same fixed, resolved* block
+        set every time — an outer loop rewalking inner arrays, a later
+        phase re-reading a region, a wrapping walk lapping its orbit.
+        A contiguous range spreads uniformly over sets, so an (S, A)
+        LRU cache behaves like a fully-associative cache of S*A blocks:
+        the reuse hits iff ``distance < S*A``, deterministically.  A
+        *sparse* footprint whose blocks sit ``pitch`` blocks apart
+        concentrates onto ``S / gcd(pitch, S)`` sets, shrinking the
+        effective capacity by ``gcd(pitch, S)`` — each dense bin
+        records its pitch so evaluation can apply that factor per
+        geometry.
+    """
+
+    bins: dict[int, float] = field(default_factory=dict)
+    dense: dict[int, float] = field(default_factory=dict)
+    pitch: dict[int, int] = field(default_factory=dict)  # dense d -> blocks
+    compulsory: float = 0.0          # infinite-distance (first-ever) touches
+
+    def add(self, distance: float, count: float,
+            dense: bool = False, pitch_blocks: int = 1) -> None:
+        if count <= 0:
+            return
+        if distance == math.inf:
+            self.compulsory += count
+        else:
+            d = max(int(round(distance)), 0)
+            family = self.dense if dense else self.bins
+            family[d] = family.get(d, 0.0) + count
+            if dense and pitch_blocks > 1:
+                self.pitch[d] = max(self.pitch.get(d, 1), pitch_blocks)
+
+    @property
+    def total(self) -> float:
+        return (self.compulsory + sum(self.bins.values())
+                + sum(self.dense.values()))
+
+
+@dataclass
+class OpPrediction:
+    """Predicted behaviour of one static memory instruction."""
+
+    pc: int
+    function: str
+    is_load: bool
+    accesses: float
+    hist: Histogram
+    confidence: str
+    reasons: tuple[str, ...]
+    exact: bool
+
+
+# ---------------------------------------------------------------------------
+# per-op walk state
+
+
+@dataclass
+class _Walk:
+    points: float = 1.0      # access events per unit execution
+    entries: float = 1.0     # block entries per unit execution
+    fresh: float = 1.0       # distinct blocks per unit execution
+    lo: int = 0              # byte extent relative to the region anchor
+    hi: int = 4
+    pitch: int = 4           # max gap between consecutive points
+    exact: bool = True
+    # (tag, payload, count-per-unit-execution); tag in
+    # {"near", "window", "orbit", "call"}
+    re_events: list = field(default_factory=list)
+    snapshots: list = field(default_factory=list)   # (lo, hi, fresh)/level
+    zero: bool = False       # an exactly-zero-trip level kills the walk
+
+    @property
+    def span(self) -> int:
+        return self.hi - self.lo
+
+
+def _gcd(a: int, b: int) -> int:
+    return math.gcd(abs(a), abs(b)) or 1
+
+
+class _OpSite:
+    """A memory instruction plus everything its walk needs."""
+
+    def __init__(self, pc: int, instr, fn: str, model: AddrModel,
+                 chain: list[LoopNode], levels: list[tuple[Count, int]],
+                 anchor: Optional[int], kind_conf: str,
+                 reasons: list[str], orbit_off: int = 0):
+        self.pc = pc
+        self.instr = instr
+        self.fn = fn
+        self.model = model
+        self.chain = chain
+        self.levels = levels         # innermost-first (trips, stride bytes)
+        self.anchor = anchor         # absolute start byte, when resolved
+        self.orbit_off = orbit_off   # anchor's offset within its orbit
+        self.kind_conf = kind_conf
+        self.reasons = reasons
+        self.walk: Optional[_Walk] = None
+
+    @property
+    def width(self) -> int:
+        return self.model.width
+
+    def region_key(self) -> tuple:
+        return (self.model.region_key(), self.model.linear.const // 4096
+                if self.anchor is None else None)
+
+    def bases_key(self) -> frozenset:
+        return self.model.linear.bases
+
+
+class RegionWalker:
+    """Runs the per-level walk for one op."""
+
+    def __init__(self, site: _OpSite, block_size: int):
+        self.site = site
+        self.B = block_size
+
+    def blocks(self, lo: int, hi: int) -> int:
+        """Distinct cache blocks in the byte range [lo, hi)."""
+        if hi <= lo:
+            return 0
+        if self.site.anchor is not None:
+            a = self.site.anchor
+            return (a + hi - 1) // self.B - (a + lo) // self.B + 1
+        return -((lo - hi) // self.B)        # ceil((hi-lo)/B)
+
+    def run(self) -> _Walk:
+        site = self.site
+        w = _Walk(hi=site.width, pitch=site.width)
+        period = site.model.mod_period
+        for k, (trips, stride) in enumerate(site.levels):
+            if trips.exact and trips.value == 0:
+                w.zero = True
+                w.points = w.entries = w.fresh = 0.0
+                w.snapshots.append((w.lo, w.hi, 0.0))
+                continue
+            n = max(trips.value, 1.0)
+            if not trips.exact:
+                w.exact = False
+            # Re-entry events from inner levels repeat every iteration.
+            w.re_events = [(t, p, c * n) for t, p, c in w.re_events]
+            if stride == 0:
+                if n > 1:
+                    w.re_events.append(("window", k, w.fresh * (n - 1.0)))
+                w.points *= n
+            else:
+                self._advance(w, k, n, stride, period)
+            w.entries = w.fresh + sum(c for _t, _p, c in w.re_events)
+            w.snapshots.append((w.lo, w.hi, w.fresh))
+        return w
+
+    def _advance(self, w: _Walk, k: int, n: float, stride: int,
+                 period: Optional[int]) -> None:
+        a = abs(stride)
+        span = w.span
+        new_span = int(a * (n - 1)) + span
+        if stride > 0:
+            lo, hi = w.lo, w.lo + new_span
+        else:
+            lo, hi = w.hi - new_span, w.hi
+        prev_fresh = w.fresh
+        if a >= span:
+            # Stepping beyond the current extent: disjoint copies, or a
+            # (near-)contiguous flattened walk.
+            edge_gap = a - span + self.site.width
+            pitch = max(w.pitch, edge_gap)
+            if pitch <= self.B:
+                fresh = float(self.blocks(lo, hi))
+                # Copies sharing a boundary block re-enter it cheaply.
+                boundary = max(n * prev_fresh - fresh, 0.0)
+                if boundary:
+                    w.re_events.append(("near", k, boundary))
+            else:
+                fresh = n * prev_fresh
+            w.pitch = pitch
+        else:
+            # Overlapping slide: each iteration revisits most of the
+            # previous iteration's blocks one loop-window later.
+            fresh = float(self.blocks(lo, hi))
+            revisits = max(n * prev_fresh - fresh, 0.0)
+            if revisits:
+                w.re_events.append(("window", k, revisits))
+            if w.pitch > self.site.width:
+                w.exact = False        # sparse overlap: approximation
+        w.lo, w.hi = lo, hi
+        w.points *= n
+        w.fresh = fresh
+        if period is not None and w.span > period:
+            self._wrap(w, k, a, period)
+
+    def _wrap(self, w: _Walk, k: int, a: int, period: int) -> None:
+        """Cap the walk at its modular period; excess first-touches
+        become wrap-around laps over the orbit."""
+        # The orbit is anchored at the modular region's base, not at
+        # the first access: shift so anchor + lo is the orbit start.
+        off = self.site.orbit_off
+        lo, hi = -off, period - off
+        g = _gcd(a, period) if a else period
+        if max(w.pitch, g) > self.B:
+            # Sparse progression: the orbit visits period/g distinct
+            # positions, each its own block.
+            cap = float(min(self.blocks(lo, hi), period // g))
+        else:
+            cap = float(self.blocks(lo, hi))
+        if w.fresh > cap:
+            w.re_events.append(("orbit", k, w.fresh - cap))
+            w.fresh = cap
+        w.lo, w.hi = lo, hi
+        if g < w.pitch:
+            w.pitch = max(g, self.site.width)
+
+
+# ---------------------------------------------------------------------------
+# function- and program-level composition
+
+
+class _Intervals:
+    """Block-interval union with a fallback for unresolved anchors."""
+
+    def __init__(self, block_size: int):
+        self.B = block_size
+        self.resolved: list[tuple[int, int]] = []
+        self.unresolved: dict[tuple, float] = {}
+        self.extra = 0.0
+        self.pure = True     # only resolved intervals contributed
+
+    def add_site(self, site: _OpSite, lo: int, hi: int,
+                 fresh: float) -> None:
+        if fresh <= 0:
+            return
+        if site.anchor is not None:
+            b0 = (site.anchor + lo) // self.B
+            b1 = (site.anchor + hi - 1) // self.B
+            self.resolved.append((b0, b1))
+        else:
+            key = (site.bases_key(), site.region_key(), lo // self.B)
+            self.unresolved[key] = max(self.unresolved.get(key, 0.0), fresh)
+            self.pure = False
+
+    def add_estimate(self, amount: float) -> None:
+        self.extra += amount
+        self.pure = False
+
+    def total(self) -> float:
+        blocks = 0
+        last_end = None
+        for b0, b1 in sorted(self.resolved):
+            if last_end is None or b0 > last_end:
+                blocks += b1 - b0 + 1
+                last_end = b1
+            elif b1 > last_end:
+                blocks += b1 - last_end
+                last_end = b1
+        return blocks + sum(self.unresolved.values()) + self.extra
+
+
+class FunctionComposer:
+    """Predict histograms for every memory op of one function."""
+
+    def __init__(self, pmodel: ProgramModel, fmodel: FunctionModel,
+                 block_size: int, datafed: set[int],
+                 call_window: Optional[float]):
+        self.pmodel = pmodel
+        self.fmodel = fmodel
+        self.B = block_size
+        self.datafed = datafed
+        self.call_window = call_window
+        self.entry = pmodel.entry_counts.get(fmodel.name, Count(0.0, True))
+        self.sites: list[_OpSite] = []
+        self.windows: dict[int, float] = {}       # loop header -> W(L)
+        self.iter_windows: dict[int, float] = {}  # loop header -> iw(L)
+        #: whether a window is made of fixed resolved block intervals
+        #: (-> dense set-mapping statistics apply to reuses across it)
+        self.window_resolved: dict[int, bool] = {}
+        self.iter_resolved: dict[int, bool] = {}
+
+    # -- site construction --------------------------------------------
+    def build_sites(self) -> None:
+        builder = self.pmodel.builders[self.fmodel.name]
+        for block in self.fmodel.cfg:
+            for offset, instr in enumerate(block.instructions):
+                if not (instr.is_load or instr.is_store):
+                    continue
+                pc = block.start + 4 * offset
+                self.sites.append(self._make_site(builder, block, pc, instr))
+
+    def _make_site(self, builder, block, pc: int, instr) -> _OpSite:
+        info = builder.access_info(pc)
+        reasons: list[str] = []
+        width = 1 if instr.mnemonic in ("lb", "lbu", "sb") else 4
+        models = [build_addr_model(p, width) for p in info.patterns] \
+            or [AddrModel(kind=OPAQUE, width=width)]
+        model = models[0]
+        kinds = {m.kind for m in models}
+        conf = HIGH
+        if len(kinds) > 1:
+            conf = MEDIUM
+            reasons.append("divergent-paths")
+        if model.kind in (POINTER, INDIRECT, OPAQUE):
+            conf = LOW
+            reasons.append(model.kind)
+        if pc in self.datafed and model.kind != SCALAR:
+            conf = LOW
+            if INDIRECT not in reasons:
+                reasons.append("data-fed-address")
+        chain = self.fmodel.chain(block.start)
+        levels: list[tuple[Count, int]] = []
+        leader = block.start
+        for index, node in enumerate(chain):
+            trips = self.fmodel._level_count(leader, node)
+            stride = 0
+            for slot in model.iv_slots():
+                if any(inner.trip is not None
+                       and inner.trip.iv_slot == slot
+                       for inner in chain[:index]):
+                    # An inner loop's counter: re-initialized every
+                    # entry, so its net motion per outer iteration is
+                    # zero — the outer level rewalks the inner extent.
+                    continue
+                step = node.step_of(slot)
+                if step is not None:
+                    stride += model.coeff(slot) * step
+                elif slot in node.steps:
+                    # Updated in the loop, but not as a counter.
+                    conf = LOW
+                    reasons.append("irregular-slot-update")
+            levels.append((trips, stride))
+            if not trips.exact and conf == HIGH:
+                conf = LOW
+                reasons.append("unknown-trip-count")
+            leader = node.header
+        anchor, orbit_off = self._resolve_anchor(model, chain, reasons)
+        if anchor is None and model.kind in (AFFINE, SCALAR) \
+                and conf == HIGH:
+            conf = MEDIUM
+            reasons.append("unresolved-base")
+        if not self.entry.exact and conf != LOW:
+            conf = MEDIUM
+            reasons.append("inexact-entry-count")
+        return _OpSite(pc, instr, self.fmodel.name, model, chain, levels,
+                       anchor, conf, reasons, orbit_off)
+
+    def _resolve_anchor(self, model: AddrModel, chain: list[LoopNode],
+                        reasons: list[str]
+                        ) -> tuple[Optional[int], int]:
+        """``(anchor, orbit_off)``: the absolute first-access byte and
+        its offset within the modular orbit (0 without one) — needed so
+        a wrapped walk can place its full orbit absolutely."""
+        if model.kind not in (AFFINE, SCALAR):
+            return None, 0
+        base = 0
+        for sym in model.linear.bases:
+            kind = sym[1]
+            if kind == "gp":
+                base += self.pmodel.program.gp_value
+            elif kind == "sp":
+                sp = self.pmodel.sp_value(self.fmodel.name)
+                if sp is None:
+                    return None, 0
+                base += sp
+            else:
+                return None, 0
+        offset = model.linear.const
+        mod_off = 0
+        if model.mod_linear is not None:
+            mod_off = model.mod_linear.const
+        # Induction slots start from their loop's init value; invariant
+        # slots are unresolved data.
+        for slot in model.iv_slots():
+            init = None
+            for node in chain:
+                if node.trip.iv_slot == slot and node.trip.init is not None:
+                    init = node.trip.init
+                    break
+            if init is None:
+                if model.coeff(slot):
+                    return None, 0
+                continue
+            offset += model.linear.terms.get(slot, 0) * init
+            if model.mod_linear is not None:
+                mod_off += model.mod_linear.terms.get(slot, 0) * init
+        orbit_off = 0
+        if model.mod_period:
+            orbit_off = mod_off % model.mod_period
+            offset += orbit_off
+        return base + offset, orbit_off
+
+    # -- walks and windows --------------------------------------------
+    def run_walks(self) -> None:
+        for site in self.sites:
+            if site.model.kind in (AFFINE, SCALAR):
+                site.walk = RegionWalker(site, self.B).run()
+            else:
+                site.walk = self._estimate_walk(site)
+        self._compute_windows()
+
+    def _estimate_walk(self, site: _OpSite) -> _Walk:
+        """Uninformed walk for pointer/indirect/opaque addressing: the
+        numbers are estimates and the site is already LOW confidence."""
+        w = _Walk(exact=False)
+        points = 1.0
+        for trips, _stride in site.levels:
+            if trips.exact and trips.value == 0:
+                w.zero = True
+                w.points = w.entries = w.fresh = 0.0
+                return w
+            points *= max(trips.value, 1.0)
+        w.points = points
+        if site.model.kind == POINTER:
+            # Linked structures from a bump allocator are roughly
+            # sequential: a fraction width/B of accesses start blocks.
+            w.fresh = max(points * site.width * 2 / self.B, 1.0)
+            w.entries = w.fresh
+        else:
+            w.fresh = max(points / 4.0, 1.0)
+            w.entries = w.fresh
+        return w
+
+    def _compute_windows(self) -> None:
+        # W(L): distinct blocks per full execution of loop L.
+        for node in self.fmodel.loops:
+            acc = _Intervals(self.B)
+            for site in self.sites:
+                if site.walk is None or site.walk.zero:
+                    continue
+                for k, ln in enumerate(site.chain):
+                    if ln.header != node.header:
+                        continue
+                    if site.walk.snapshots and k < len(site.walk.snapshots):
+                        lo, hi, fresh = site.walk.snapshots[k]
+                        if site.model.kind in (AFFINE, SCALAR):
+                            acc.add_site(site, lo, hi, fresh)
+                        else:
+                            acc.add_estimate(self._per_level_estimate(
+                                site, k))
+            self.windows[node.header] = max(acc.total(), 1.0)
+            self.window_resolved[node.header] = acc.pure
+        # iw(L): distinct blocks per single iteration of L.
+        for node in self.fmodel.loops:
+            active: set = set()
+            estimate = 0.0
+            resolved = True
+            for site in self.sites:
+                if site.walk is None or site.walk.zero:
+                    continue
+                if site.chain and site.chain[0].header == node.header:
+                    if site.model.kind in (AFFINE, SCALAR):
+                        active.add(self._active_key(site))
+                        if site.anchor is None:
+                            resolved = False
+                    else:
+                        estimate += 1.0
+                        resolved = False
+            total = len(active) + estimate
+            for child in node.children:
+                total += self.windows.get(child.header, 1.0)
+                resolved = resolved and self.window_resolved.get(
+                    child.header, False)
+            self.iter_windows[node.header] = max(total, 1.0)
+            self.iter_resolved[node.header] = resolved
+        self._compute_near_distances()
+
+    def _compute_near_distances(self) -> None:
+        """Per-site short-reuse distances from intra-iteration ordering.
+
+        Within one loop iteration the accesses interleave in (roughly)
+        program order; the distance of a same-block reuse is the number
+        of distinct *other* blocks touched since the previous access of
+        the same block group — usually 0 for back-to-back slot traffic,
+        and only the access right after an array reference pays the
+        intervening block.  Nested child loops contribute their whole
+        window where they sit in the body."""
+        self._near: dict[int, float] = {}
+        #: loop headers whose body carries unresolved (pointer/indirect/
+        #: opaque) accesses: the intra-iteration ordering there includes
+        #: estimated footprints, so near distances are guesses.
+        self._near_impure: set[int] = set()
+        #: whether this function's straight-line stretches contain a
+        #: call: the callee's footprint interleaves with them, so their
+        #: short distances are estimates (loop bodies are handled per
+        #: header below).
+        self._calls_inline = False
+        for callee, callers in self.pmodel._call_sites().items():
+            for caller, leader in callers:
+                if caller != self.fmodel.name:
+                    continue
+                # A callee's footprint intervenes on every iteration of
+                # every loop enclosing the call site; the short
+                # distances of sibling accesses are estimates at best.
+                chain = self.fmodel.chain(leader)
+                if chain:
+                    for node in chain:
+                        self._near_impure.add(node.header)
+                else:
+                    self._calls_inline = True
+        by_loop: dict[int, list[_OpSite]] = {}
+        loop_groups: dict[int, set] = {}
+        for site in self.sites:
+            if site.walk is None or site.walk.zero:
+                continue
+            if site.model.kind not in (AFFINE, SCALAR):
+                for node in site.chain:
+                    self._near_impure.add(node.header)
+                continue
+            if site.chain:
+                by_loop.setdefault(site.chain[0].header, []).append(site)
+                key = self._active_key(site)
+                for node in site.chain:
+                    loop_groups.setdefault(node.header, set()).add(key)
+        for node in self.fmodel.loops:
+            sites = by_loop.get(node.header, [])
+            if not sites:
+                continue
+            events: list[tuple[int, str, object, Optional[_OpSite]]] = []
+            for s in sites:
+                events.append((s.pc, "site", self._active_key(s), s))
+            for child in node.children:
+                events.append((child.header, "child", child.header, None))
+            events.sort(key=lambda e: e[0])
+            n = len(events)
+            for idx, ev in enumerate(events):
+                if ev[1] != "site":
+                    continue
+                group = ev[2]
+                dist = 0.0
+                seen: set = set()
+                j = (idx - 1) % n
+                while j != idx:
+                    _pc, kind, payload, _s = events[j]
+                    if kind == "site":
+                        if payload == group:
+                            break
+                        if payload not in seen:
+                            seen.add(payload)
+                            dist += 1.0
+                    elif group in loop_groups.get(payload, ()):
+                        # The child loop touches this very group; the
+                        # previous same-group access is its final one,
+                        # essentially adjacent.
+                        break
+                    else:
+                        dist += self.windows.get(payload, 1.0)
+                    j = (j - 1) % n
+                self._near[ev[3].pc] = dist
+
+    def _per_level_estimate(self, site: _OpSite, level: int) -> float:
+        points = 1.0
+        for trips, _ in site.levels[:level + 1]:
+            points *= max(trips.value, 1.0)
+        return max(points * site.width * 2 / self.B, 1.0)
+
+    def _active_key(self, site: _OpSite):
+        if site.anchor is not None:
+            return (site.bases_key(), site.anchor // self.B,
+                    tuple(sorted(site.model.linear.terms.items())))
+        return (site.bases_key(), site.region_key())
+
+    # -- emission ------------------------------------------------------
+    def emit(self, clock: "_PhaseClock") -> list[OpPrediction]:
+        out: list[OpPrediction] = []
+        for unit_sites in self._units():
+            footprint = _Intervals(self.B)
+            seen_regions: set = set()
+            unit_impure = any(
+                s.model.kind not in (AFFINE, SCALAR)
+                for s in unit_sites
+                if s.walk is not None and not s.walk.zero)
+            for site in unit_sites:
+                out.append(self._emit_site(site, clock, seen_regions,
+                                           unit_impure))
+                w = site.walk
+                if w is not None and not w.zero:
+                    if site.model.kind in (AFFINE, SCALAR):
+                        footprint.add_site(site, w.lo, w.hi, w.fresh)
+                    else:
+                        footprint.add_estimate(w.fresh)
+            clock.advance(footprint.total(), pure=footprint.pure)
+            for site in unit_sites:
+                if site.walk is not None and not site.walk.zero:
+                    clock.touch(self._region_id(site),
+                                exact=(site.walk.exact
+                                       and site.kind_conf == HIGH))
+        return out
+
+    def _units(self) -> list[list[_OpSite]]:
+        """Top-level program phases: outermost loops and straight-line
+        stretches, in address order."""
+        groups: dict = {}
+        order: list = []
+        for site in sorted(self.sites, key=lambda s: s.pc):
+            key = ("loop", site.chain[-1].header) if site.chain \
+                else ("line", site.pc // 64)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(site)
+        return [groups[k] for k in order]
+
+    def _region_id(self, site: _OpSite) -> tuple:
+        if site.anchor is not None:
+            w = site.walk
+            return ("abs", (site.anchor + w.lo) // self.B,
+                    (site.anchor + w.hi - 1) // self.B)
+        return ("sym", site.bases_key(), site.region_key())
+
+    def _emit_site(self, site: _OpSite, clock: "_PhaseClock",
+                   seen_regions: set,
+                   unit_impure: bool = False) -> OpPrediction:
+        w = site.walk
+        hist = Histogram()
+        entry_n = max(self.entry.value, 0.0)
+        exact = (w is not None and w.exact and self.entry.exact
+                 and site.kind_conf != LOW)
+        if site.chain:
+            if site.chain[0].header in self._near_impure:
+                # Unresolved siblings share this loop body: the short
+                # distances woven through them are estimates.
+                exact = False
+        elif unit_impure or self._calls_inline:
+            exact = False
+        if w is None or w.zero or entry_n == 0.0:
+            return OpPrediction(
+                pc=site.pc, function=site.fn, is_load=site.instr.is_load,
+                accesses=0.0, hist=hist, confidence=site.kind_conf,
+                reasons=tuple(site.reasons), exact=exact)
+
+        d_near = self._near_distance(site)
+        points, entries, fresh = w.points, w.entries, w.fresh
+        # Continuations: consecutive accesses staying in the block.
+        hist.add(d_near, max(points - entries, 0.0) * entry_n)
+        # Re-entries from rewalks / overlaps / wraps.  An orbit's
+        # intervening footprint is the site's own (possibly sparse)
+        # lattice, so it carries the walk pitch for set concentration.
+        for tag, payload, count in w.re_events:
+            hist.add(self._re_distance(site, tag, payload, fresh, d_near),
+                     count * entry_n,
+                     dense=self._re_dense(site, tag, payload),
+                     pitch_blocks=(max(w.pitch // self.B, 1)
+                                   if tag == "orbit" else 1))
+        # Fresh touches: one per distinct region block per entry.
+        region = self._region_id(site)
+        cov_exact = True
+        if region[0] == "abs":
+            covered, prior, cov_exact = clock.abs_coverage(region)
+            range_blocks = region[2] - region[1] + 1
+            frac = min(covered / range_blocks, 1.0) if range_blocks \
+                else 0.0
+            reused = fresh * frac
+        else:
+            prior = clock.last_touch(region)
+            reused = fresh if prior is not None else 0.0
+        if region in seen_regions:
+            # A sibling op in this same unit already walks these blocks.
+            hist.add(d_near, fresh * entry_n)
+        elif prior is not None and reused > 0:
+            # Overlap with earlier phases reuses at the phase distance;
+            # the uncovered remainder is a genuine first touch.
+            hist.add(max(clock.now - prior, 1.0), reused * entry_n,
+                     dense=region[0] == "abs" and clock.pure)
+            leftover = max(fresh - reused, 0.0)
+            if leftover > 0:
+                hist.add(math.inf, leftover)
+                if entry_n > 1:
+                    dist = self.call_window or _CALL_WINDOW_ESTIMATE
+                    hist.add(dist, leftover * (entry_n - 1.0))
+                    exact = False
+            if not clock.pure or not cov_exact:
+                # The phase distance includes estimated footprints, or
+                # the covered fraction came from an inexact extent.
+                exact = False
+        else:
+            hist.add(math.inf, fresh)
+            if entry_n > 1:
+                # Later function entries re-touch the same region.
+                dist = self.call_window or _CALL_WINDOW_ESTIMATE
+                hist.add(dist, fresh * (entry_n - 1.0))
+                exact = False
+            if clock.now > 0 and not clock.pure:
+                # An earlier phase with an unresolved footprint may have
+                # warmed (or conflicted with) this region; the first
+                # touches are a guess, not a closed form.
+                exact = False
+        seen_regions.add(region)
+        confidence = site.kind_conf
+        if confidence == HIGH and not exact:
+            confidence = MEDIUM
+        return OpPrediction(
+            pc=site.pc, function=site.fn, is_load=site.instr.is_load,
+            accesses=points * entry_n, hist=hist, confidence=confidence,
+            reasons=tuple(site.reasons), exact=exact)
+
+    def _near_distance(self, site: _OpSite) -> float:
+        if site.pc in self._near:
+            return self._near[site.pc]
+        if site.chain:
+            iw = self.iter_windows.get(site.chain[0].header, 2.0)
+            return max(iw - 1.0, 0.0)
+        return 0.0
+
+    def _re_distance(self, site: _OpSite, tag: str, payload,
+                     fresh: float, d_near: float) -> float:
+        if tag == "near":
+            return d_near
+        if tag == "call":
+            return float(payload)
+        level = payload
+        if 0 <= level < len(site.chain):
+            iw = self.iter_windows.get(site.chain[level].header, 2.0)
+        else:
+            iw = 2.0
+        if tag == "orbit":
+            return fresh + max(iw - 2.0, 0.0)
+        if level == 0 and site.pc in self._near:
+            # Innermost re-entries (invariant rewalks, unit slides) reuse
+            # across exactly one iteration: the intra-iteration ordering
+            # gives the distance precisely.
+            return self._near[site.pc]
+        return max(iw - 1.0, 1.0)
+
+    def _re_dense(self, site: _OpSite, tag: str, payload) -> bool:
+        """Whether a re-entry reuses across a *fixed resolved* footprint
+        (dense set-mapping statistics) rather than a sliding one."""
+        if site.anchor is None or tag == "call":
+            return False
+        level = payload
+        if not (0 <= level < len(site.chain)):
+            return False
+        header = site.chain[level].header
+        if tag == "orbit":
+            # The intervening footprint is the region's own orbit — a
+            # fixed contiguous range once the anchor is resolved.
+            return self.iter_resolved.get(header, True)
+        # Outer-level rewalks / slides: one full iteration of the loop
+        # at `level` intervenes, the same blocks every time.
+        return tag == "window" and level >= 1 \
+            and self.iter_resolved.get(header, False)
+
+
+class _PhaseClock:
+    """Global progress counter in touched blocks, for cross-phase reuse."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self.pure = True       # no unresolved footprint advanced it yet
+        self._regions: dict = {}    # region -> (when, toucher exact?)
+
+    def advance(self, blocks: float, pure: bool = True) -> None:
+        self.now += blocks
+        if not pure:
+            self.pure = False
+
+    def touch(self, region, exact: bool = True) -> None:
+        when, was_exact = self._regions.get(region, (None, True))
+        self._regions[region] = (self.now, exact and was_exact)
+
+    def last_touch(self, region) -> Optional[float]:
+        if region in self._regions:
+            return self._regions[region][0]
+        if isinstance(region, tuple) and region[0] == "abs":
+            return self.abs_coverage(region)[1]
+        return None
+
+    def abs_coverage(self, region
+                     ) -> tuple[int, Optional[float], bool]:
+        """``(covered_blocks, latest_touch, exact)`` of an ``abs``
+        block range against every previously touched ``abs`` range.
+
+        A later phase re-reading a region an earlier phase walked only
+        *partially* reuses just the overlap; the remainder is a genuine
+        first touch.  The union of intersections gives the covered
+        block count — exactly when every contributing toucher's extent
+        was itself exact, as a flagged estimate otherwise (conditional
+        walks cover an iteration-dependent prefix)."""
+        _tag, lo, hi = region
+        intervals: list[tuple[int, int]] = []
+        best: Optional[float] = None
+        exact = True
+        for other, (when, was_exact) in self._regions.items():
+            if other[0] != "abs":
+                continue
+            if other[1] <= hi and lo <= other[2]:
+                intervals.append((max(lo, other[1]), min(hi, other[2])))
+                best = when if best is None else max(best, when)
+                exact = exact and was_exact
+        covered = 0
+        last_end = None
+        for b0, b1 in sorted(intervals):
+            if last_end is None or b0 > last_end:
+                covered += b1 - b0 + 1
+                last_end = b1
+            elif b1 > last_end:
+                covered += b1 - last_end
+                last_end = b1
+        return covered, best, exact
+
+
+def predict_ops(program, block_size: int,
+                pmodel: Optional[ProgramModel] = None
+                ) -> tuple[list[OpPrediction], ProgramModel]:
+    """Predict reuse histograms for every memory op in ``program``."""
+    pmodel = pmodel or ProgramModel(program)
+    flow = AddressFlow(program, pmodel.block_map)
+    datafed = flow.data_address_consumers
+    clock = _PhaseClock()
+    out: list[OpPrediction] = []
+    call_windows = _caller_windows(pmodel, block_size, datafed)
+    for name in _function_order(pmodel):
+        entry = pmodel.entry_counts.get(name, Count(0.0, True))
+        if entry.value <= 0:
+            continue
+        composer = FunctionComposer(pmodel, pmodel.functions[name],
+                                    block_size, datafed,
+                                    call_windows.get(name))
+        composer.build_sites()
+        composer.run_walks()
+        out.extend(composer.emit(clock))
+    return out, pmodel
+
+
+def _function_order(pmodel: ProgramModel) -> list[str]:
+    target = pmodel._entry_target()
+    names = list(pmodel.functions)
+    names.sort(key=lambda n: (n != target,
+                              pmodel.functions[n].cfg.entry))
+    return names
+
+
+def _caller_windows(pmodel: ProgramModel, block_size: int,
+                    datafed: set[int]) -> dict[str, float]:
+    """Rough per-callee window: blocks touched by the caller between
+    consecutive entries (the innermost caller loop's iteration window is
+    approximated by a flat constant; refined values would need the
+    caller's own composed windows, a cycle this estimate breaks)."""
+    sites = pmodel._call_sites()
+    windows: dict[str, float] = {}
+    for callee, callers in sites.items():
+        in_loop = False
+        for caller, leader in callers:
+            fm = pmodel.functions.get(caller)
+            if fm is not None and fm.innermost_loop(leader) is not None:
+                in_loop = True
+        windows[callee] = 8.0 if in_loop else float(_CALL_WINDOW_ESTIMATE)
+    return windows

@@ -266,6 +266,9 @@ class ProfileStore:
     def _path(self, digest: str, block_size: int) -> Path:
         return self.disk_dir / f"sd-{digest}-bs{block_size}.json"
 
+    def _analytic_path(self, digest: str, block_size: int) -> Path:
+        return self.disk_dir / f"an-{digest}-bs{block_size}.json"
+
     def get(self, digest: str, block_size: int
             ) -> Optional[SweepProfile]:
         profile = self._memory.get((digest, block_size))
@@ -295,6 +298,37 @@ class ProfileStore:
                     for g in profile.groups.values()
                 },
             })
+
+    # -- the analytic keyspace -----------------------------------------
+    #
+    # Predicted (trace-free) profiles share the store's memory tier and
+    # disk directory but live under their own ``an-`` prefix and their
+    # own payload schema: entries are keyed by *program* digest, carry
+    # real-valued predicted histograms, and must never shadow or be
+    # mistaken for measured ``sd-`` sweep profiles.
+
+    def get_analytic(self, digest: str, block_size: int):
+        """A cached :class:`~repro.analytic.engine.AnalyticProfile`."""
+        profile = self._memory.get(("analytic", digest, block_size))
+        if profile is None and self.disk_dir is not None:
+            from repro.analytic.engine import AnalyticProfile
+            try:
+                payload = json.loads(self._analytic_path(
+                    digest, block_size).read_text())
+                profile = AnalyticProfile.from_payload(payload)
+            except (AttributeError, KeyError, OSError, TypeError,
+                    ValueError):
+                return None
+            self._memory.put(("analytic", digest, block_size), profile)
+        return profile
+
+    def put_analytic(self, digest: str, block_size: int,
+                     profile) -> None:
+        self._memory.put(("analytic", digest, block_size), profile)
+        if self.disk_dir is not None:
+            from repro.pipeline.session import atomic_write_json
+            atomic_write_json(self._analytic_path(digest, block_size),
+                              profile.to_payload())
 
     def _load_disk(self, digest: str,
                    block_size: int) -> Optional[SweepProfile]:

@@ -31,6 +31,12 @@ from repro.isa.registers import GP, SP, ZERO
 _MAX_DEPTH = 8
 
 
+def _is_slot_load(instr) -> bool:
+    """A reload of a named sp/gp stack slot (spilled scalar), as opposed
+    to a load of actual program data."""
+    return instr.rs in (SP, GP)
+
+
 class AddressFlow:
     """Load-to-address def-use edges over a whole program."""
 
@@ -38,6 +44,10 @@ class AddressFlow:
                  block_map: Optional[BlockMap] = None):
         #: load address -> memory-access addresses it feeds
         self.feeds: dict[int, set[int]] = {}
+        #: same edges, restricted to *data* loads (non-slot addresses):
+        #: the consumers here compute an address from loaded program data,
+        #: which is exactly where static address prediction breaks down.
+        self.data_feeds: dict[int, set[int]] = {}
         block_map = block_map or BlockMap(program)
         for cfg in build_function_cfgs(program, block_map).values():
             rd = ReachingDefinitions(cfg)
@@ -48,6 +58,14 @@ class AddressFlow:
                     site = block.start + 4 * offset
                     self._trace(rd, instr.rs, site, site, 0, ())
         self.address_source_loads: set[int] = set(self.feeds)
+
+    @property
+    def data_address_consumers(self) -> set[int]:
+        """Memory accesses whose address depends on loaded data."""
+        out: set[int] = set()
+        for consumers in self.data_feeds.values():
+            out.update(consumers)
+        return out
 
     def _trace(self, rd: ReachingDefinitions, reg: int, use_site: int,
                consumer: int, depth: int, stack: tuple) -> None:
@@ -62,6 +80,8 @@ class AddressFlow:
             frame = stack + ((def_site, reg),)
             if instr.is_load:
                 self.feeds.setdefault(def_site, set()).add(consumer)
+                if not _is_slot_load(instr):
+                    self.data_feeds.setdefault(def_site, set()).add(consumer)
                 self._trace(rd, instr.rs, def_site, consumer, depth + 1,
                             frame)
                 continue

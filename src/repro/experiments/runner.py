@@ -15,6 +15,7 @@ from typing import Callable, Optional
 from repro.experiments import (
     table01, table02, table03, table04, table05, table06, table07,
     table08, table09, table10, table11, table12, table13, table14,
+    table15,
 )
 from repro.experiments.common import Table
 from repro.pipeline.session import Session
@@ -34,6 +35,7 @@ EXPERIMENTS: dict[int, Callable[[Session], Table]] = {
     12: table12.run,
     13: table13.run,
     14: table14.run,
+    15: table15.run,
 }
 
 

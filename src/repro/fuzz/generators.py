@@ -103,9 +103,14 @@ def gen_configs(rng: random.Random, max_configs: int = 4) -> list[dict]:
 
 def _gen_stride(rng: random.Random, arrays: list[dict]) -> dict:
     array = rng.randrange(len(arrays))
+    # Occasional zero-trip loops pin the trip-count edge the analytic
+    # engine must get right; "down" walks the array with a negative
+    # (possibly non-unit) induction stride through a `!= 0` bound.
+    count = 0 if rng.random() < 0.08 else rng.randint(8, 200)
     return {"op": "stride", "array": array,
-            "count": rng.randint(8, 200),
+            "count": count,
             "step": rng.choice((1, 1, 2, 3, 4, 7, 16)),
+            "dir": rng.choice(("up", "up", "up", "down")),
             "store": rng.random() < 0.4}
 
 
@@ -158,6 +163,16 @@ def _render_segment(index: int, seg: dict, arrays: list[dict]) -> str:
     op = seg["op"]
     if op == "stride":
         a, mask = name_of(seg["array"]), size_of(seg["array"]) - 1
+        if seg.get("dir", "up") == "down":
+            # descending non-unit induction: i = count*step .. step,
+            # decrement by step, indexing a[(i - step) & mask]
+            step = seg["step"]
+            body = (f"{a}[(i - {step}) & {mask}] = acc + i;"
+                    if seg["store"] else
+                    f"acc = acc + {a}[(i - {step}) & {mask}];")
+            return (f"    for (i = {seg['count'] * step}; i != 0; "
+                    f"i = i - {step})\n"
+                    f"        {body}\n")
         body = (f"{a}[(i * {seg['step']}) & {mask}] = acc + i;"
                 if seg["store"] else
                 f"acc = acc + {a}[(i * {seg['step']}) & {mask}];")

@@ -27,6 +27,12 @@ contract, raising :class:`DivergenceError` on any mismatch:
     a cold :class:`~repro.pipeline.session.Session` vs. a fresh session
     warmed from the first one's disk cache — stats, block profile and
     step counts must match exactly;
+``analytic``
+    the static analytic reuse-profile engine
+    (:func:`repro.analytic.predict_profile`) vs. the measured sweep —
+    exact access counts and tolerance-gated per-PC misses on sites the
+    engine marks HIGH confidence, plus an honesty check that pointer
+    chases surface LOW confidence instead of confident wrong numbers;
 ``invariants``
     the single-implementation checkers from
     :mod:`repro.fuzz.invariants`.
@@ -376,6 +382,98 @@ def check_pipeline(case, ctx: OracleContext) -> None:
     _require_equal(name, "steps", cold._steps[key], warm._steps[key])
 
 
+# -- analytic-prediction oracle ----------------------------------------
+
+#: Per-PC miss-count tolerance for the analytic oracle: the engine's
+#: documented error envelope on HIGH-confidence sites is ``max(10, 5%)``
+#: of that site's accesses (continuation smear across loop boundaries
+#: and the capacity step rule at its exact boundary; see
+#: docs/architecture.md).  Access counts have no envelope — a
+#: HIGH-confidence access count is a closed-form trip-count product and
+#: must match the measured sweep exactly.
+ANALYTIC_MISS_SLACK = 10.0
+ANALYTIC_MISS_RELATIVE = 0.05
+
+#: The envelope is stated for paper-scale geometries.  Below ~1 KB the
+#: capacity step rule and the Poisson conflict model both break down
+#: (a handful of blocks per cache), so sub-1KB configs are checked for
+#: access counts and honesty only, not miss counts.
+ANALYTIC_MIN_CACHE_BYTES = 1024
+
+
+def check_analytic(case, ctx: OracleContext) -> None:
+    """Analytic per-PC prediction vs. the measured sweep.
+
+    The analytic engine is an approximation, so this oracle gates a
+    documented error envelope rather than bit equality — but only where
+    the engine *claims* accuracy.  On PCs it marks HIGH confidence,
+    access counts must equal the measured sweep exactly and per-PC miss
+    counts must fall within ``max(8, 5% of accesses)`` on every LRU
+    geometry.  The honesty contract is absolute: every executed memory
+    op must appear in the profile, and pointer-chase cases must surface
+    at least one LOW-confidence load — a confidently wrong number is
+    precisely the bug this oracle exists to catch.
+    """
+    from repro.analytic import HIGH, LOW, predict_profile
+    name = "analytic"
+    program = compile_case(case)
+    trace = case_trace(case)
+    configs = [config for config in case.cache_configs()
+               if config.replacement == "lru"] or [CacheConfig()]
+    measured = simulate_sweep(trace, configs)
+    profiles: dict[int, object] = {}
+    for config in configs:
+        if config.block_size not in profiles:
+            profiles[config.block_size] = predict_profile(
+                program, block_size=config.block_size)
+
+    for config, stats in zip(configs, measured):
+        profile = profiles[config.block_size]
+        predicted = profile.evaluate(config)
+        sides = (("load", stats.load_accesses, stats.load_misses,
+                  profile.loads, predicted.load_accesses,
+                  predicted.load_misses),
+                 ("store", stats.store_accesses, stats.store_misses,
+                  profile.stores, predicted.store_accesses,
+                  predicted.store_misses))
+        for kind, meas_acc, meas_miss, preds, pred_acc, pred_miss \
+                in sides:
+            for pc, accesses in sorted(meas_acc.items()):
+                pred = preds.get(pc)
+                if pred is None:
+                    _diverge(name,
+                             f"{config.describe()} executed {kind} "
+                             f"{pc:#x} absent from analytic profile",
+                             accesses, None)
+                if pred.confidence != HIGH:
+                    continue        # envelope covers HIGH sites only
+                _require_equal(
+                    name,
+                    f"{config.describe()} {kind} {pc:#x} accesses",
+                    pred_acc.get(pc, 0), accesses)
+                if config.size < ANALYTIC_MIN_CACHE_BYTES:
+                    continue
+                tolerance = max(ANALYTIC_MISS_SLACK,
+                                ANALYTIC_MISS_RELATIVE * accesses)
+                want = meas_miss.get(pc, 0)
+                got = pred_miss.get(pc, 0)
+                if abs(got - want) > tolerance:
+                    _diverge(name,
+                             f"{config.describe()} {kind} {pc:#x} "
+                             f"misses (|err| > {tolerance:.0f} on "
+                             f"{accesses} accesses)", got, want)
+
+    if case.kind == "minic" and any(
+            seg.get("op") == "chain"
+            for seg in case.spec.get("segments", ())):
+        profile = next(iter(profiles.values()))
+        if not any(pred.confidence == LOW
+                   for pred in profile.loads.values()):
+            _diverge(name,
+                     "pointer-chase case reported no LOW-confidence "
+                     "load", "all loads confident", "expected LOW")
+
+
 # -- invariants oracle -------------------------------------------------
 
 def check_invariants(case, ctx: OracleContext) -> None:
@@ -409,6 +507,9 @@ ORACLES: dict[str, Oracle] = {
                "(single server and 2-worker cluster)"),
         Oracle("pipeline", ("minic",), check_pipeline,
                "cold Session vs. disk-cache-warmed Session"),
+        Oracle("analytic", ("minic",), check_analytic,
+               "analytic per-PC prediction vs. the measured sweep "
+               "(tolerance-gated on HIGH sites, honesty on the rest)"),
         Oracle("invariants", ("minic", "asm", "trace"), check_invariants,
                "conservation/stability/monotonicity invariants"),
     )

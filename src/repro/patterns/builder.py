@@ -104,6 +104,16 @@ class PatternBuilder:
     def load_info(self, address: int) -> LoadInfo:
         instr = self.rd.instruction_at(address)
         assert instr.is_load
+        return self.access_info(address)
+
+    def access_info(self, address: int) -> LoadInfo:
+        """Address patterns for any memory access (load *or* store).
+
+        Pattern expansion only consumes the base-address register, which
+        loads and stores share, so the machinery is identical; the
+        analytic predictor uses this to model store footprints too.
+        """
+        instr = self.rd.instruction_at(address)
         base_patterns = self._expand_reg(instr.rs, address, ())
         patterns: list[APNode] = []
         seen: set[APNode] = set()

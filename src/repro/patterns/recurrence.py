@@ -11,13 +11,14 @@ pattern that dereferences such a slot from inside that loop is recurrent.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Union
 
 from repro.cfg.graph import FunctionCFG, Loop
 from repro.dataflow.reachdefs import ENTRY
-from repro.isa.instructions import Instruction
+from repro.isa.instructions import Instruction, branch_target
 from repro.isa.registers import GP, SP, ZERO
-from repro.patterns.ap import APNode, Base, BinOp, Const, Deref
+from repro.patterns.ap import APFeatures, APNode, Base, BinOp, Const, Deref
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dataflow.reachdefs import ReachingDefinitions
@@ -70,6 +71,114 @@ def slots_dereferenced(pattern: APNode) -> set[Slot]:
     return found
 
 
+#: Block-local symbolic value: a compile-time constant, or the value a
+#: slot held at block entry plus a constant addend.
+SymVal = Union[tuple[str, Slot, int], tuple[str, int]]  # ("slot",s,k)|("const",v)
+
+
+@dataclass(frozen=True)
+class TripCount:
+    """Symbolic trip count of one natural loop.
+
+    ``count`` is the exact number of body executions when the loop is a
+    counted slot-IV loop with constant init/bound/step, ``None`` when the
+    bound could not be resolved statically.  ``step`` is the signed
+    per-iteration increment of the controlling slot (negative for
+    down-counting loops, possibly non-unit); it may be known even when
+    ``count`` is not.
+    """
+
+    count: Optional[int]
+    iv_slot: Optional[Slot] = None
+    step: Optional[int] = None
+    init: Optional[int] = None
+    bound: Optional[int] = None
+
+    @property
+    def exact(self) -> bool:
+        return self.count is not None
+
+    @property
+    def zero_trip(self) -> bool:
+        return self.count == 0
+
+
+def motion_kind(features: Iterable[APFeatures]) -> str:
+    """Uniform address-motion classification shared by the prefetch
+    heuristics and the analytic predictor.
+
+    * ``"strided"`` — scaled (mul/shift) recurrent address: a classic
+      induction-variable array walk.
+    * ``"indexed"`` — scaled but not provably recurrent (e.g. gather via
+      a computed index).
+    * ``"direct"`` — unscaled: scalar slots, pointer fields, constants.
+    """
+    feats = list(features)
+    if any((f.has_mul or f.has_shift) and f.has_recurrence for f in feats):
+        return "strided"
+    if any(f.has_mul or f.has_shift for f in feats):
+        return "indexed"
+    return "direct"
+
+
+def _negate(op: str) -> str:
+    return {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=",
+            "!=": "=="}[op]
+
+
+def _flip(op: str) -> str:
+    """Mirror a comparison so the IV ends up on the left."""
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==",
+            "!=": "!="}[op]
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _solve_trips(init: int, step: int, op: str, bound: int) -> Optional[int]:
+    """Number of iterations n >= 0 for which ``init + n*step  <op>  bound``
+    holds at the loop header, i.e. the number of body executions of a loop
+    that continues while the condition is true."""
+    if op == "<":
+        if init >= bound:
+            return 0
+        if step > 0:
+            return _ceil_div(bound - init, step)
+        return None                     # non-terminating or unknown
+    if op == "<=":
+        if init > bound:
+            return 0
+        if step > 0:
+            return (bound - init) // step + 1
+        return None
+    if op == ">":
+        if init <= bound:
+            return 0
+        if step < 0:
+            return _ceil_div(init - bound, -step)
+        return None
+    if op == ">=":
+        if init < bound:
+            return 0
+        if step < 0:
+            return (init - bound) // (-step) + 1
+        return None
+    if op == "!=":
+        if init == bound:
+            return 0
+        if step != 0 and (bound - init) % step == 0:
+            n = (bound - init) // step
+            if n > 0:
+                return n
+        return None
+    if op == "==":
+        if init != bound:
+            return 0
+        return None if step == 0 else 1
+    return None
+
+
 class SlotRecurrence:
     """Per-loop recurrent-slot sets for one function."""
 
@@ -77,6 +186,9 @@ class SlotRecurrence:
         self.cfg = cfg
         self.rd = rd
         self._cache: dict[tuple[int, int], frozenset[Slot]] = {}
+        self._steps_cache: dict[tuple[int, int],
+                                dict[Slot, Optional[int]]] = {}
+        self._trip_cache: dict[tuple[int, int], TripCount] = {}
 
     # ------------------------------------------------------------------
     def pattern_recurs(self, pattern: APNode, load_address: int) -> bool:
@@ -163,3 +275,252 @@ class SlotRecurrence:
         for reg in instr.uses():
             deps.update(self._slot_deps(reg, site, stack))
         return deps
+
+    # -- symbolic trip counts and strides ------------------------------
+
+    def slot_steps(self, loop: Loop) -> dict[Slot, Optional[int]]:
+        """Signed constant per-iteration increments of slots updated in
+        ``loop``: slot -> step for ``slot = slot + c`` updates, ``None``
+        for any other kind of update."""
+        key = (loop.header, loop.latch)
+        if key not in self._steps_cache:
+            self._steps_cache[key] = self._compute_steps(loop)
+        return self._steps_cache[key]
+
+    def trip_count(self, loop: Loop) -> TripCount:
+        key = (loop.header, loop.latch)
+        if key not in self._trip_cache:
+            self._trip_cache[key] = self._compute_trip(loop)
+        return self._trip_cache[key]
+
+    def _compute_steps(self, loop: Loop) -> dict[Slot, Optional[int]]:
+        steps: dict[Slot, Optional[int]] = {}
+        for leader in sorted(loop.body):
+            block = self.cfg.block(leader)
+            values = _BlockValues()
+            for instr in block.instructions:
+                if instr.is_store:
+                    slot = slot_of_address(instr.rs, instr.imm)
+                    if slot is not None:
+                        val = values.get(instr.rt)
+                        step: Optional[int] = None
+                        if (val is not None and val[0] == "slot"
+                                and val[1] == slot):
+                            step = val[2]
+                        if slot in steps and steps[slot] != step:
+                            steps[slot] = None
+                        else:
+                            steps[slot] = step
+                values.update(instr)
+        return steps
+
+    def _compute_trip(self, loop: Loop) -> TripCount:
+        header = self.cfg.block(loop.header)
+        term = header.terminator
+        if term is None or not term.is_branch:
+            return TripCount(None)
+        cond = self._header_condition(header, term, loop)
+        if cond is None:
+            return TripCount(None)
+        left, op, right = cond
+        steps = self.slot_steps(loop)
+
+        def resolve(val) -> tuple[Optional[Slot], Optional[int]]:
+            # -> (iv_slot, numeric value); exactly one side is the IV.
+            if val[0] == "const":
+                return None, val[1]
+            slot = val[1]
+            if steps.get(slot) is not None:
+                init = self._initial_slot_value(loop, slot)
+                if init is None:
+                    return slot, None
+                return slot, init + val[2]
+            if slot in steps:               # updated, but not a counter
+                return slot, None
+            init = self._initial_slot_value(loop, slot)
+            if init is None:
+                return None, None
+            return None, init + val[2]
+
+        lslot, lval = resolve(left)
+        rslot, rval = resolve(right)
+        if lslot is not None and rslot is None:
+            iv, init, bound = lslot, lval, rval
+        elif rslot is not None and lslot is None:
+            iv, init, bound = rslot, rval, lval
+            op = _flip(op)
+        else:
+            return TripCount(None)
+        step = steps.get(iv)
+        if init is None or bound is None or step is None:
+            return TripCount(None, iv_slot=iv, step=step)
+        count = _solve_trips(init, step, op, bound)
+        return TripCount(count, iv_slot=iv, step=step, init=init,
+                         bound=bound)
+
+    def _header_condition(self, header, term: Instruction, loop: Loop):
+        """The condition under which the loop CONTINUES, as
+        ``(left, op, right)`` with SymVal operands, or None."""
+        values = _BlockValues()
+        for instr in header.instructions:
+            if instr is term:
+                break
+            values.update(instr)
+        taken = branch_target(term)
+        taken_block = self.cfg.block_of(taken) if taken is not None else None
+        if taken_block is None:
+            return None
+        taken_continues = taken_block.start in loop.body
+
+        mn = term.mnemonic
+        if mn in ("beq", "bne"):
+            a, b = values.get(term.rs), values.get(term.rt)
+            # Common shape: branch on the boolean result of a `slt`.
+            for creg, other in ((term.rs, term.rt), (term.rt, term.rs)):
+                cond = values.get_cmp(creg)
+                if cond is not None and other == ZERO:
+                    left, op, right = cond
+                    # beq c,$zero: taken when the slt was FALSE.
+                    taken_when_true = (mn == "bne")
+                    if taken_continues != taken_when_true:
+                        op = _negate(op)
+                    return left, op, right
+            if a is None or b is None:
+                return None
+            op = "==" if mn == "beq" else "!="
+            if not taken_continues:
+                op = _negate(op)
+            return a, op, b
+        if mn in ("blez", "bgtz", "bltz", "bgez"):
+            a = values.get(term.rs)
+            if a is None:
+                return None
+            op = {"blez": "<=", "bgtz": ">", "bltz": "<", "bgez": ">="}[mn]
+            if not taken_continues:
+                op = _negate(op)
+            return a, op, ("const", 0)
+        return None
+
+    def _initial_slot_value(self, loop: Loop, slot: Slot) -> Optional[int]:
+        """Constant stored to ``slot`` on every path into the loop header
+        from outside the loop, or None."""
+        result: Optional[int] = None
+        for pred in self.cfg.predecessors(loop.header):
+            if pred in loop.body:
+                continue
+            value = self._last_store_value(pred, slot, hops=6)
+            if value is None or (result is not None and value != result):
+                return None
+            result = value
+        return result
+
+    def _last_store_value(self, leader: int, slot: Slot,
+                          hops: int) -> Optional[int]:
+        block = self.cfg.block(leader)
+        values = _BlockValues()
+        stored: Optional[SymVal] = None
+        for instr in block.instructions:
+            if instr.is_store and slot_of_address(instr.rs, instr.imm) == slot:
+                stored = values.get(instr.rt)
+            values.update(instr)
+        if stored is not None:
+            return stored[1] if stored[0] == "const" else None
+        if hops <= 0:
+            return None
+        preds = self.cfg.predecessors(leader)
+        if len(preds) != 1:
+            return None
+        return self._last_store_value(preds[0], slot, hops - 1)
+
+
+def _sym_add(value: Optional[SymVal], delta: int) -> Optional[SymVal]:
+    if value is None:
+        return None
+    if value[0] == "const":
+        return ("const", value[1] + delta)
+    return ("slot", value[1], value[2] + delta)
+
+
+class _BlockValues:
+    """Forward block-local symbolic evaluation of register values.
+
+    Tracks registers holding either compile-time constants or
+    *slot-at-block-entry + constant* values, plus the results of ``slt``
+    comparisons between such values.  Anything else becomes unknown.
+    """
+
+    def __init__(self) -> None:
+        self.regs: dict[int, SymVal] = {}
+        self.cmps: dict[int, tuple[SymVal, str, SymVal]] = {}
+
+    def get(self, reg: Optional[int]) -> Optional[SymVal]:
+        if reg == ZERO:
+            return ("const", 0)
+        return self.regs.get(reg) if reg is not None else None
+
+    def get_cmp(self, reg: Optional[int]):
+        return self.cmps.get(reg) if reg is not None else None
+
+    def update(self, instr: Instruction) -> None:
+        mn = instr.mnemonic
+        if instr.is_load:
+            self._set(instr.rt, None)
+            slot = slot_of_address(instr.rs, instr.imm)
+            if slot is not None:
+                self._set(instr.rt, ("slot", slot, 0))
+            return
+        if mn == "addiu" or mn == "addi":
+            base = self.get(instr.rs)
+            self._set(instr.rt, _sym_add(base, instr.imm))
+            return
+        if mn in ("addu", "add", "subu", "sub"):
+            a, b = self.get(instr.rs), self.get(instr.rt)
+            neg = mn in ("subu", "sub")
+            if b is not None and b[0] == "const":
+                delta = -b[1] if neg else b[1]
+                self._set(instr.rd, _sym_add(a, delta))
+            elif (not neg and a is not None and a[0] == "const"
+                  and b is not None):
+                self._set(instr.rd, _sym_add(b, a[1]))
+            else:
+                self._set(instr.rd, None)
+            return
+        if mn in ("xor", "or"):
+            a, b = self.get(instr.rs), self.get(instr.rt)
+            if a == ("const", 0):
+                self._set(instr.rd, b)
+            elif b == ("const", 0):
+                self._set(instr.rd, a)
+            elif (a is not None and b is not None
+                  and a[0] == b[0] == "const"):
+                val = a[1] ^ b[1] if mn == "xor" else a[1] | b[1]
+                self._set(instr.rd, ("const", val))
+            else:
+                self._set(instr.rd, None)
+            return
+        if mn in ("xori", "ori") and instr.imm == 0:
+            self._set(instr.rt, self.get(instr.rs))
+            return
+        if mn in ("slt", "sltu"):
+            a, b = self.get(instr.rs), self.get(instr.rt)
+            self._set(instr.rd, None)
+            if a is not None and b is not None and instr.rd is not None:
+                self.cmps[instr.rd] = (a, "<", b)
+            return
+        if mn in ("slti", "sltiu"):
+            a = self.get(instr.rs)
+            self._set(instr.rt, None)
+            if a is not None and instr.rt is not None:
+                self.cmps[instr.rt] = (a, "<", ("const", instr.imm))
+            return
+        for reg in instr.defs():
+            self._set(reg, None)
+
+    def _set(self, reg: Optional[int], value: Optional[SymVal]) -> None:
+        if reg is None or reg == ZERO:
+            return
+        self.cmps.pop(reg, None)
+        if value is None:
+            self.regs.pop(reg, None)
+        else:
+            self.regs[reg] = value

@@ -332,6 +332,67 @@ class Session:
         return self.stats_multi(workload, input_name, optimize,
                                 (cache_config,))[0]
 
+    # -- analytic (trace-free) prediction -----------------------------
+    def _program_digest(self, key: RunKey) -> str:
+        """Content key for analytic profiles: the *program*, not the
+        trace — predictions never see an execution."""
+        text = "|".join(("analytic-1",
+                         self.source(key.workload, key.input_name),
+                         str(key.optimize)))
+        return hashlib.sha1(text.encode()).hexdigest()
+
+    def analytic_profile(self, workload: str, input_name: str = "input1",
+                         optimize: bool = False, block_size: int = 32):
+        """Predicted reuse profile, cached in the profile store's
+        analytic keyspace (memory tier + ``an-`` disk entries)."""
+        from repro.analytic import predict_profile
+        key = RunKey(workload, input_name, optimize)
+        digest = self._program_digest(key)
+        profile = self._profile_store.get_analytic(digest, block_size)
+        if profile is None:
+            profile = predict_profile(
+                self.program(workload, input_name, optimize),
+                block_size=block_size)
+            self._profile_store.put_analytic(digest, block_size, profile)
+        return profile
+
+    def predict_stats(self, workload: str, input_name: str = "input1",
+                      optimize: bool = False,
+                      configs: Sequence[CacheConfig] = (BASELINE_CONFIG,),
+                      fallback: bool = True) -> "Prediction":
+        """Per-config stats predicted without executing the workload.
+
+        Every LRU geometry is answered from one analytic profile per
+        block size.  When the program's static coverage is below the
+        confidence threshold (pointer chasing, unresolved trip counts)
+        — or a config's policy is not LRU — the whole request degrades
+        to the measured :meth:`stats_multi` path (``fallback=True``,
+        the default) or is answered anyway with ``analytic=True`` and
+        the low coverage reported (``fallback=False``).
+        """
+        configs = list(configs)
+        profiles: dict[int, object] = {}
+        for config in configs:
+            if config.block_size not in profiles:
+                profiles[config.block_size] = self.analytic_profile(
+                    workload, input_name, optimize, config.block_size)
+        coverage = min((p.coverage for p in profiles.values()),
+                       default=0.0)
+        low: dict[int, tuple] = {}
+        for p in profiles.values():
+            low.update(p.low_confidence_pcs())
+        supported = all(c.replacement == "lru" for c in configs)
+        confident = supported and all(p.confident
+                                      for p in profiles.values())
+        if not confident and fallback:
+            stats = self.stats_multi(workload, input_name, optimize,
+                                     configs)
+            return Prediction(stats=list(stats), analytic=False,
+                              coverage=coverage, low_confidence_pcs=low)
+        stats = [profiles[c.block_size].evaluate(c) for c in configs]
+        return Prediction(stats=stats, analytic=True, coverage=coverage,
+                          low_confidence_pcs=low)
+
     def measurement(self, workload: str, input_name: str = "input1",
                     optimize: bool = False,
                     cache_config: CacheConfig = BASELINE_CONFIG
@@ -511,6 +572,16 @@ class Session:
             jobs=jobs,
             elapsed=time.perf_counter() - start,
         )
+
+
+@dataclass
+class Prediction:
+    """Result of :meth:`Session.predict_stats`."""
+
+    stats: list[CacheStats]
+    analytic: bool                 # False: served by the measured sweep
+    coverage: float                # access-weighted HIGH-confidence share
+    low_confidence_pcs: dict[int, tuple]
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,7 @@ from typing import Mapping, Optional
 from repro.asm.program import Program
 from repro.isa.instructions import Instruction
 from repro.patterns.builder import LoadInfo, build_load_infos
+from repro.patterns.recurrence import motion_kind
 from repro.rewrite.inserter import RewriteResult, insert_instructions
 
 _IMM_MAX = 0x7FFF
@@ -54,10 +55,7 @@ def plan_prefetches(program: Program,
         info = load_infos.get(address)
         if info is None or not info.instruction.is_load:
             continue
-        strided = any((f.has_mul or f.has_shift) and f.has_recurrence
-                      for f in info.features)
-        indexed = any(f.has_mul or f.has_shift for f in info.features)
-        if strided or indexed:
+        if motion_kind(info.features) in ("strided", "indexed"):
             lookahead = stride_blocks * block_size
         else:
             lookahead = block_size          # next-line for pointer chains

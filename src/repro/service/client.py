@@ -200,6 +200,9 @@ class ServiceClient:
     def simulate(self, source: str, **options: Any) -> dict[str, Any]:
         return self.call("simulate", {"source": source, **options})
 
+    def predict(self, source: str, **options: Any) -> dict[str, Any]:
+        return self.call("predict", {"source": source, **options})
+
     def health(self) -> dict[str, Any]:
         return self.call("health")
 

@@ -140,6 +140,75 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def run_predict(params: dict[str, Any]) -> dict[str, Any]:
+    """``predict``: per-PC misses for every config, zero executions.
+
+    Serves LRU geometries from the analytic reuse profile (cached in
+    the profile store's ``an-`` keyspace, keyed by program content).
+    When static coverage is below the confidence threshold — pointer
+    chasing, unresolved trip counts — the request degrades to the
+    measured ``simulate`` path unless ``fallback`` is off, in which
+    case the low-coverage prediction is returned as-is with its
+    confidence reported.  Either way the per-config result rows mirror
+    ``simulate``'s schema, plus the analytic provenance fields.
+    """
+    import hashlib
+
+    from repro.analytic import predict_profile
+
+    program = compile_source(params["source"],
+                             optimize=params["optimize"])
+    configs = [CacheConfig(**entry) for entry in params["configs"]]
+    digest = hashlib.sha1("|".join(
+        ("analytic-1", params["source"],
+         str(params["optimize"]))).encode()).hexdigest()
+    profiles: dict[int, Any] = {}
+    for config in configs:
+        if config.block_size in profiles:
+            continue
+        profile = _PROFILE_STORE.get_analytic(digest, config.block_size)
+        if profile is None:
+            profile = predict_profile(program,
+                                      block_size=config.block_size)
+            _PROFILE_STORE.put_analytic(digest, config.block_size,
+                                        profile)
+        profiles[config.block_size] = profile
+    coverage = min((p.coverage for p in profiles.values()), default=0.0)
+    supported = all(c.replacement == "lru" for c in configs)
+    confident = supported and all(p.confident
+                                  for p in profiles.values())
+    if not confident and params["fallback"]:
+        response = run_simulate(params)
+        response["analytic"] = False
+        response["coverage"] = coverage
+        return response
+    low: dict[int, tuple] = {}
+    for profile in profiles.values():
+        low.update(profile.low_confidence_pcs())
+    results = []
+    for config in configs:
+        stats = profiles[config.block_size].evaluate(config)
+        results.append({
+            "config": protocol.cache_config_to_dict(config),
+            "description": config.describe(),
+            "total_load_misses": stats.total_load_misses,
+            "total_load_accesses": sum(stats.load_accesses.values()),
+            "load_misses": {f"{a:#x}": m for a, m in
+                            sorted(stats.load_misses.items())},
+            "load_accesses": {f"{a:#x}": m for a, m in
+                              sorted(stats.load_accesses.items())},
+        })
+    return {
+        "steps": 0,                       # no machine execution
+        "num_loads": program.num_loads(),
+        "results": results,
+        "analytic": True,
+        "coverage": coverage,
+        "low_confidence_pcs": {f"{pc:#x}": list(reasons)
+                               for pc, reasons in sorted(low.items())},
+    }
+
+
 def run_sleep(params: dict[str, Any]) -> dict[str, Any]:
     """Diagnostic op: hold a worker slot for ``seconds``."""
     time.sleep(params["seconds"])
@@ -151,6 +220,7 @@ COMPUTE = {
     "analyze": run_analysis,
     "classify": run_analysis,
     "simulate": run_simulate,
+    "predict": run_predict,
     "sleep": run_sleep,
 }
 

@@ -35,14 +35,14 @@ MAX_REQUEST_BYTES = 32 * 1024 * 1024
 
 #: Operations the server accepts.  ``sleep`` is a diagnostic op used by
 #: the tests and benchmarks to exercise backpressure and timeouts.
-OPS = ("analyze", "classify", "simulate", "health", "metrics",
+OPS = ("analyze", "classify", "simulate", "predict", "health", "metrics",
        "shutdown", "sleep")
 
 #: Ops that run through the scheduler (queue, batching, worker pool).
-SCHEDULED_OPS = ("analyze", "classify", "simulate", "sleep")
+SCHEDULED_OPS = ("analyze", "classify", "simulate", "predict", "sleep")
 
 #: Scheduled ops whose results are cacheable.
-CACHEABLE_OPS = ("analyze", "classify", "simulate")
+CACHEABLE_OPS = ("analyze", "classify", "simulate", "predict")
 
 # error codes
 BAD_REQUEST = "bad_request"
@@ -206,6 +206,16 @@ def _normalize_simulate(params: dict) -> dict[str, Any]:
     }
 
 
+def _normalize_predict(params: dict) -> dict[str, Any]:
+    """``predict`` shares ``simulate``'s shape plus a fallback knob
+    (``max_steps`` only matters when the fallback sweep actually runs,
+    but stays in the key so a fallback-served entry is never replayed
+    under a different execution budget)."""
+    normalized = _normalize_simulate(params)
+    normalized["fallback"] = _field(params, "fallback", bool, True)
+    return normalized
+
+
 def _normalize_sleep(params: dict) -> dict[str, Any]:
     seconds = _field(params, "seconds", float, 0.05)
     _require(0.0 <= seconds <= 60.0,
@@ -249,6 +259,8 @@ def parse_request(line: bytes) -> Request:
         params = _normalize_analysis(params, execute=False)
     elif op == "simulate":
         params = _normalize_simulate(params)
+    elif op == "predict":
+        params = _normalize_predict(params)
     elif op == "sleep":
         params = _normalize_sleep(params)
     return Request(id=obj.get("id"), op=op, params=params,
