@@ -28,7 +28,9 @@ After the run, every produced table is written to
 
 from __future__ import annotations
 
+import json
 import os
+import time
 from pathlib import Path
 
 import pytest
@@ -41,6 +43,40 @@ RESULTS_DIR = Path(__file__).parent / "results"
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 _collected: dict[int, Table] = {}
+_session_started = time.time()
+
+
+def host_info() -> dict:
+    """CPU count and load averages, stamped into every BENCH record.
+
+    Speedup trajectories are only comparable when the host is known:
+    a 1.1x parallel "win" on a loaded single-core box and a 5x win on
+    an idle 16-core box would otherwise be indistinguishable in the
+    committed JSON.
+    """
+    try:
+        load_1, load_5, load_15 = os.getloadavg()
+        loadavg = [round(load_1, 2), round(load_5, 2),
+                   round(load_15, 2)]
+    except OSError:           # platform without getloadavg
+        loadavg = None
+    return {"cpu_count": os.cpu_count() or 1, "loadavg": loadavg}
+
+
+def _stamp_bench_hosts() -> None:
+    """Add the host block to every BENCH_*.json written by this run."""
+    info = host_info()
+    for path in REPO_ROOT.glob("BENCH_*.json"):
+        try:
+            if path.stat().st_mtime < _session_started:
+                continue  # stale record from an earlier run
+            payload = json.loads(path.read_text())
+            if not isinstance(payload, dict):
+                continue
+            payload["host"] = info
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+        except (OSError, ValueError):
+            continue
 
 
 @pytest.fixture(scope="session")
@@ -78,6 +114,7 @@ def pytest_sessionfinish(session, exitstatus):
     ablations alone) go to benchmarks/results/REPORT.md instead so they
     never clobber the canonical full report.
     """
+    _stamp_bench_hosts()
     if not _collected:
         return
     from repro.experiments.report import write_report

@@ -8,6 +8,8 @@
     python -m repro verify PROG.c [--optimize]
     python -m repro warm [--jobs N] [--scale S] [--workloads W,...]
     python -m repro tables [--tables 1,7,11] [--scale S] [--report F]
+    python -m repro campaign [--tables 1,7] [--jobs N | --remote H:P]
+                             [--resume] [--status]
     python -m repro cache gc [--limit SIZE] [--dry-run]
     python -m repro serve [--port P] [--workers N] [--stats]
     python -m repro cluster --workers N [--spawn] [--port P]
@@ -415,6 +417,50 @@ def cmd_cache_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.campaign import Campaign, campaign_dir, code_digest
+    from repro.campaign.manifest import Manifest
+    from repro.pipeline.session import Session
+
+    cache_dir = Path(args.cache_dir) if args.cache_dir else None
+    if args.status:
+        base = campaign_dir(cache_dir)
+        manifest = Manifest(base)
+        print(json.dumps(manifest.status(
+            current_code=code_digest()), indent=2))
+        return 0
+    numbers = None
+    if args.tables != "all":
+        try:
+            numbers = [int(x) for x in args.tables.split(",")]
+        except ValueError:
+            print(f"repro: error: bad --tables {args.tables!r}",
+                  file=sys.stderr)
+            return 2
+    session = Session(scale=args.scale, cache_dir=cache_dir,
+                      use_disk_cache=not args.no_disk_cache)
+    try:
+        campaign = Campaign(session, numbers=numbers)
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    result = campaign.run(jobs=args.jobs, remote=args.remote,
+                          resume=args.resume, echo=print)
+    if args.echo_tables:
+        for number in sorted(result.tables):
+            print(result.tables[number])
+            print()
+    print(f"campaign: {result.describe()}")
+    store = result.profile_store
+    if store:
+        print(f"profile store: {json.dumps(store, sort_keys=True)}")
+    print(f"tables + manifest under {campaign.directory}")
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.experiments.runner import main as tables_main
     forwarded = ["--tables", args.tables, "--scale", str(args.scale)]
@@ -547,6 +593,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_tab.add_argument("--report", default=None)
     p_tab.add_argument("--no-disk-cache", action="store_true")
     p_tab.set_defaults(func=cmd_tables)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="regenerate the experiment grid through the DAG-aware "
+             "campaign engine (parallel, resumable, provenance-"
+             "recorded; see repro.campaign)")
+    p_camp.add_argument("--tables", default="all",
+                        help="comma-separated table numbers "
+                             "(default: all)")
+    p_camp.add_argument("--scale", type=float, default=1.0,
+                        help="workload size multiplier (default 1.0)")
+    p_camp.add_argument("--jobs", "-j", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS, "
+                             "then the CPU count)")
+    p_camp.add_argument("--remote", default=None, metavar="HOST:PORT",
+                        help="dispatch run cells to a running "
+                             "'repro serve'/'repro cluster' endpoint "
+                             "instead of a local process pool")
+    p_camp.add_argument("--resume", action="store_true",
+                        help="skip cells whose manifest entry matches "
+                             "the current code digest and whose "
+                             "artifacts are still warm")
+    p_camp.add_argument("--status", action="store_true",
+                        help="print a summary of the campaign "
+                             "manifest and exit")
+    p_camp.add_argument("--echo-tables", action="store_true",
+                        help="print every rendered table to stdout")
+    p_camp.add_argument("--cache-dir", default=None,
+                        help="result-cache directory "
+                             "(default: .repro_cache)")
+    p_camp.add_argument("--no-disk-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_srv = sub.add_parser(
         "serve",

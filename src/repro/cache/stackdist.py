@@ -262,6 +262,28 @@ class ProfileStore:
                  disk_dir: Optional[Path] = None):
         self._memory = BoundedCache(capacity)
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        # Tier-attributed lookup counters, split between the measured
+        # sweep (``sd-``) and analytic (``an-``) keyspaces.  Surfaced
+        # through the service ``metrics`` op and the campaign engine so
+        # cache effectiveness is observable without instrumenting
+        # callers.
+        self.counters: dict[str, int] = {
+            "sweep_memory_hits": 0, "sweep_disk_hits": 0,
+            "sweep_misses": 0, "sweep_puts": 0,
+            "analytic_memory_hits": 0, "analytic_disk_hits": 0,
+            "analytic_misses": 0, "analytic_puts": 0,
+        }
+
+    def stats(self) -> dict[str, object]:
+        """Counter snapshot plus overall hit rate (JSON-able)."""
+        c = self.counters
+        hits = (c["sweep_memory_hits"] + c["sweep_disk_hits"]
+                + c["analytic_memory_hits"] + c["analytic_disk_hits"])
+        lookups = hits + c["sweep_misses"] + c["analytic_misses"]
+        snapshot: dict[str, object] = dict(c)
+        snapshot["hit_rate"] = round(hits / lookups, 4) if lookups \
+            else 0.0
+        return snapshot
 
     def _path(self, digest: str, block_size: int) -> Path:
         return self.disk_dir / f"sd-{digest}-bs{block_size}.json"
@@ -272,14 +294,21 @@ class ProfileStore:
     def get(self, digest: str, block_size: int
             ) -> Optional[SweepProfile]:
         profile = self._memory.get((digest, block_size))
-        if profile is None and self.disk_dir is not None:
+        if profile is not None:
+            self.counters["sweep_memory_hits"] += 1
+            return profile
+        if self.disk_dir is not None:
             profile = self._load_disk(digest, block_size)
             if profile is not None:
+                self.counters["sweep_disk_hits"] += 1
                 self._memory.put((digest, block_size), profile)
-        return profile
+                return profile
+        self.counters["sweep_misses"] += 1
+        return None
 
     def put(self, digest: str, block_size: int,
             profile: SweepProfile) -> None:
+        self.counters["sweep_puts"] += 1
         self._memory.put((digest, block_size), profile)
         if self.disk_dir is not None:
             from repro.pipeline.session import atomic_write_json
@@ -310,7 +339,10 @@ class ProfileStore:
     def get_analytic(self, digest: str, block_size: int):
         """A cached :class:`~repro.analytic.engine.AnalyticProfile`."""
         profile = self._memory.get(("analytic", digest, block_size))
-        if profile is None and self.disk_dir is not None:
+        if profile is not None:
+            self.counters["analytic_memory_hits"] += 1
+            return profile
+        if self.disk_dir is not None:
             from repro.analytic.engine import AnalyticProfile
             try:
                 payload = json.loads(self._analytic_path(
@@ -318,12 +350,17 @@ class ProfileStore:
                 profile = AnalyticProfile.from_payload(payload)
             except (AttributeError, KeyError, OSError, TypeError,
                     ValueError):
+                self.counters["analytic_misses"] += 1
                 return None
+            self.counters["analytic_disk_hits"] += 1
             self._memory.put(("analytic", digest, block_size), profile)
-        return profile
+            return profile
+        self.counters["analytic_misses"] += 1
+        return None
 
     def put_analytic(self, digest: str, block_size: int,
                      profile) -> None:
+        self.counters["analytic_puts"] += 1
         self._memory.put(("analytic", digest, block_size), profile)
         if self.disk_dir is not None:
             from repro.pipeline.session import atomic_write_json

@@ -1,0 +1,22 @@
+"""DAG-aware experiment-campaign engine.
+
+One executor regenerates any subset of the EXPERIMENTS tables from the
+canonical grid (:mod:`repro.experiments.grid`): the full workload ×
+input × optimize × geometry grid expands into content-hashed cells,
+cells are scheduled with dependency awareness (trace/sweep runs and
+analytic profiles fan out across a process pool or a running service
+endpoint; each table formats as soon as its dependencies land), and
+every cell's provenance is appended to a queryable JSON-lines manifest
+under ``.repro_cache/campaign/``.  Interrupted campaigns resume by
+skipping any cell whose manifest entry matches the current code digest
+and whose artifacts are still warm — zero recomputation after a kill.
+"""
+
+from repro.campaign.engine import (Campaign, CampaignResult, CellPlan,
+                                   code_digest)
+from repro.campaign.manifest import Manifest, campaign_dir
+
+__all__ = [
+    "Campaign", "CampaignResult", "CellPlan", "Manifest",
+    "campaign_dir", "code_digest",
+]

@@ -106,6 +106,13 @@ def aggregate_worker_metrics(rows: list[dict[str, Any]]
         "queue": {"depth": 0, "peak": 0},
         "batching": {"computations": 0, "coalesced_requests": 0,
                      "merged_simulate_requests": 0},
+        "profile_store": {
+            "sweep_memory_hits": 0, "sweep_disk_hits": 0,
+            "sweep_misses": 0, "sweep_puts": 0,
+            "analytic_memory_hits": 0, "analytic_disk_hits": 0,
+            "analytic_misses": 0, "analytic_puts": 0,
+            "hit_rate": 0.0,
+        },
         "latency": {},
     }
     acc: dict[str, list[dict[str, float]]] = {}
@@ -128,6 +135,11 @@ def aggregate_worker_metrics(rows: list[dict[str, Any]]
         for field in ("computations", "coalesced_requests",
                       "merged_simulate_requests"):
             totals["batching"][field] += batching.get(field, 0)
+        profile_store = snapshot.get("profile_store", {})
+        for field in totals["profile_store"]:
+            if field != "hit_rate":
+                totals["profile_store"][field] += \
+                    profile_store.get(field, 0)
         for op, entry in snapshot.get("latency", {}).items():
             acc.setdefault(op, []).append(entry)
     cache = totals["cache"]
@@ -135,6 +147,14 @@ def aggregate_worker_metrics(rows: list[dict[str, Any]]
     if lookups:
         cache["hit_rate"] = round(
             (cache["memory_hits"] + cache["disk_hits"]) / lookups, 4)
+    store = totals["profile_store"]
+    store_hits = (store["sweep_memory_hits"] + store["sweep_disk_hits"]
+                  + store["analytic_memory_hits"]
+                  + store["analytic_disk_hits"])
+    store_lookups = store_hits + store["sweep_misses"] \
+        + store["analytic_misses"]
+    if store_lookups:
+        store["hit_rate"] = round(store_hits / store_lookups, 4)
     for op, entries in sorted(acc.items()):
         count = sum(entry.get("count", 0) for entry in entries)
         merged: dict[str, float] = {"count": count}

@@ -20,22 +20,16 @@ from repro.experiments import (
 from repro.experiments.common import Table
 from repro.pipeline.session import Session
 
+#: Table number -> module.  Every module exposes ``run`` (the
+#: formatter) and ``SPEC`` (its declarative grid cells).
+TABLE_MODULES = {
+    1: table01, 2: table02, 3: table03, 4: table04, 5: table05,
+    6: table06, 7: table07, 8: table08, 9: table09, 10: table10,
+    11: table11, 12: table12, 13: table13, 14: table14, 15: table15,
+}
+
 EXPERIMENTS: dict[int, Callable[[Session], Table]] = {
-    1: table01.run,
-    2: table02.run,
-    3: table03.run,
-    4: table04.run,
-    5: table05.run,
-    6: table06.run,
-    7: table07.run,
-    8: table08.run,
-    9: table09.run,
-    10: table10.run,
-    11: table11.run,
-    12: table12.run,
-    13: table13.run,
-    14: table14.run,
-    15: table15.run,
+    number: module.run for number, module in TABLE_MODULES.items()
 }
 
 

@@ -8,8 +8,11 @@ loads in the 90%-of-cycles blocks) and its coverage rho.
 from __future__ import annotations
 
 from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.experiments.grid import TableSpec
 from repro.metrics.measures import coverage, ideal_delta
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=1, names=ALL_NAMES)
 
 
 def run(session: Session, names: tuple[str, ...] = ALL_NAMES) -> Table:

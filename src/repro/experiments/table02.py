@@ -8,7 +8,10 @@ from __future__ import annotations
 
 from repro.cache.config import TRAINING_CONFIG
 from repro.experiments.common import ALL_NAMES, Table
+from repro.experiments.grid import TableSpec
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=2, names=ALL_NAMES, configs=(TRAINING_CONFIG,))
 
 
 def _sci(value: int) -> str:

@@ -8,9 +8,13 @@ from __future__ import annotations
 
 from repro.cache.config import TRAINING_CONFIG
 from repro.experiments.common import TRAINING_NAMES, Table
+from repro.experiments.grid import TableSpec
 from repro.heuristic.training import BenchmarkTrainingData, \
     evaluate_h1_classes
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=3, names=TRAINING_NAMES,
+                 configs=(TRAINING_CONFIG,))
 
 
 def collect_training_set(session: Session,

@@ -7,12 +7,17 @@ the W(F) formula would assign.
 
 from __future__ import annotations
 
+from repro.cache.config import TRAINING_CONFIG
 from repro.experiments.common import TRAINING_NAMES, Table
+from repro.experiments.grid import TableSpec
 from repro.experiments.table03 import collect_training_set
 from repro.heuristic.training import evaluate_class
 from repro.pipeline.session import Session
 
 CLASS_NAME = "H1:sp=1,gp=1"
+
+SPEC = TableSpec(number=4, names=TRAINING_NAMES,
+                 configs=(TRAINING_CONFIG,))
 
 
 def run(session: Session,

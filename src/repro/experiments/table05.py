@@ -8,11 +8,16 @@ pipeline is operational.
 
 from __future__ import annotations
 
+from repro.cache.config import TRAINING_CONFIG
 from repro.experiments.common import TRAINING_NAMES, Table
+from repro.experiments.grid import TableSpec
 from repro.experiments.table03 import collect_training_set
 from repro.heuristic.classes import AGGREGATE_CLASSES, PAPER_WEIGHTS
 from repro.heuristic.training import TrainingReport, train_weights
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=5, names=TRAINING_NAMES,
+                 configs=(TRAINING_CONFIG,))
 
 
 def retrain(session: Session,

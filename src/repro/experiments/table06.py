@@ -7,8 +7,11 @@ the paper's input files).
 from __future__ import annotations
 
 from repro.experiments.common import Table
+from repro.experiments.grid import TableSpec
 from repro.pipeline.session import Session
 from repro.workloads.registry import ALL_WORKLOADS
+
+SPEC = TableSpec(number=6)       # static metadata only, no runs
 
 
 def run(session: Session) -> Table:

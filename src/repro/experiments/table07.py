@@ -10,7 +10,12 @@ from __future__ import annotations
 from repro.cache.config import TRAINING_CONFIG
 from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
 from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.experiments.grid import TableSpec
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=7, names=TRAINING_NAMES,
+                 input_names=("input1", "input2"),
+                 configs=(TRAINING_CONFIG,))
 
 
 def run(session: Session,

@@ -10,8 +10,12 @@ from __future__ import annotations
 from repro.cache.config import associativity_sweep
 from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
 from repro.experiments.evalutil import run_heuristic
+from repro.experiments.grid import TableSpec
 from repro.metrics.measures import coverage, precision
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=8, names=TRAINING_NAMES, optimize=True,
+                 configs=tuple(associativity_sweep()))
 
 
 def run(session: Session,

@@ -8,8 +8,12 @@ from __future__ import annotations
 from repro.cache.config import size_sweep
 from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
 from repro.experiments.evalutil import run_heuristic
+from repro.experiments.grid import TableSpec
 from repro.metrics.measures import coverage, precision
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=9, names=TRAINING_NAMES, optimize=True,
+                 configs=tuple(size_sweep()))
 
 
 def run(session: Session,

@@ -9,7 +9,11 @@ from __future__ import annotations
 from repro.cache.config import TRAINING_CONFIG
 from repro.experiments.common import TEST_NAMES, Table, mean, pct
 from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.experiments.grid import TableSpec
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=10, names=TEST_NAMES,
+                 configs=(TRAINING_CONFIG,))
 
 
 def run(session: Session,

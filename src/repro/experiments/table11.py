@@ -10,8 +10,11 @@ from __future__ import annotations
 from repro.cache.config import BASELINE_CONFIG
 from repro.experiments.common import ALL_NAMES, Table, mean, pct
 from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.experiments.grid import TableSpec
 from repro.metrics.measures import coverage, ideal_delta, xi
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=11, names=ALL_NAMES)
 
 
 def run(session: Session,

@@ -9,8 +9,11 @@ from __future__ import annotations
 from repro.baselines import bdh, okn
 from repro.cache.config import BASELINE_CONFIG
 from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.experiments.grid import TableSpec
 from repro.metrics.measures import coverage, precision
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=12, names=ALL_NAMES)
 
 
 def run(session: Session,

@@ -6,13 +6,15 @@ with benchmark-dependent cliffs.
 
 from __future__ import annotations
 
-from repro.cache.config import CacheConfig
 from repro.experiments.common import TRAINING_NAMES, Table, mean, pct
 from repro.experiments.evalutil import pi_rho, run_heuristic
+from repro.experiments.grid import CACHE_16K, TableSpec
 from repro.pipeline.session import Session
 
 DELTAS = (0.10, 0.20, 0.30, 0.40)
-CACHE_16K = CacheConfig(size=16 * 1024, assoc=4, block_size=32)
+
+SPEC = TableSpec(number=13, names=TRAINING_NAMES, optimize=True,
+                 configs=(CACHE_16K,))
 
 
 def run(session: Session,

@@ -11,10 +11,13 @@ from repro.experiments.common import ALL_NAMES, Table, mean, pct
 from repro.experiments.evalutil import run_heuristic
 from repro.metrics.measures import coverage, precision
 from repro.pipeline.session import Session
+from repro.experiments.grid import TableSpec
 from repro.profiling.combined import combined_delta, \
     random_hotspot_coverage
 
 EPSILONS = (0.0, 0.10, 0.20, 0.30)
+
+SPEC = TableSpec(number=14, names=ALL_NAMES)
 
 
 def run(session: Session,

@@ -23,9 +23,12 @@ from __future__ import annotations
 
 from repro.cache.config import BASELINE_CONFIG
 from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.experiments.grid import TableSpec
 from repro.heuristic.classes import (AGGREGATE_CLASSES,
                                      frequency_category)
 from repro.pipeline.session import Session
+
+SPEC = TableSpec(number=15, names=ALL_NAMES, analytic=True)
 
 
 def _class_members(measurement, class_totals, pred_misses):

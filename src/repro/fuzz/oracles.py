@@ -375,6 +375,13 @@ def check_pipeline(case, ctx: OracleContext) -> None:
                    warm_stats.load_misses)
     _require_equal(name, "load_accesses", cold_stats.load_accesses,
                    warm_stats.load_accesses)
+    _require_equal(name, "store_misses", cold_stats.store_misses,
+                   warm_stats.store_misses)
+    _require_equal(name, "store_accesses", cold_stats.store_accesses,
+                   warm_stats.store_accesses)
+    _require_equal(name, "prefetch",
+                   (cold_stats.prefetch_ops, cold_stats.prefetch_fills),
+                   (warm_stats.prefetch_ops, warm_stats.prefetch_fills))
     _require_equal(name, "block_counts", cold_profile.block_counts,
                    warm_profile.block_counts)
     _require_equal(name, "block_sizes", cold_profile.block_sizes,

@@ -28,8 +28,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 from repro.asm.program import Program
 from repro.cache.config import (BASELINE_CONFIG, TRAINING_CONFIG,
-                                CacheConfig, associativity_sweep,
-                                size_sweep)
+                                CacheConfig)
 from repro.cache.model import CacheStats, TraceSource
 from repro.cache.stackdist import ProfileStore, simulate_sweep
 from repro.compiler.driver import compile_source
@@ -39,10 +38,9 @@ from repro.profiling.profile import BlockProfile
 from repro.store.tracestore import (TraceStore, TraceStoreCorrupt,
                                     trace_key)
 from repro.workloads.base import Workload
-from repro.workloads.registry import (ALL_WORKLOADS, get as get_workload,
-                                      training_workloads)
+from repro.workloads.registry import get as get_workload
 
-_SCHEMA_VERSION = 3
+_SCHEMA_VERSION = 4
 _TRACE_LRU = 2
 
 #: A warm() work item: a RunKey, a (workload, input, optimize) triple, or
@@ -442,8 +440,16 @@ class Session:
                             stats.load_misses.items()},
             "load_accesses": {str(a): m for a, m in
                               stats.load_accesses.items()},
-            "store_misses": sum(stats.store_misses.values()),
-            "store_accesses": sum(stats.store_accesses.values()),
+            # Store and prefetch columns round-trip per PC (schema 4):
+            # earlier schemas persisted only their sums and absorbed
+            # neither, so a disk-warm session silently lost store
+            # misses — Table 2 rendered differently warm vs. cold.
+            "store_misses": {str(a): m for a, m in
+                             stats.store_misses.items()},
+            "store_accesses": {str(a): m for a, m in
+                               stats.store_accesses.items()},
+            "prefetch_ops": stats.prefetch_ops,
+            "prefetch_fills": stats.prefetch_fills,
             "block_counts": {str(a): c for a, c in
                              profile.block_counts.items()},
             "block_sizes": {str(a): s for a, s in
@@ -478,6 +484,12 @@ class Session:
                                  payload["load_accesses"].items()}
                 load_misses = {int(a): m for a, m in
                                payload["load_misses"].items()}
+                store_accesses = {int(a): m for a, m in
+                                  payload["store_accesses"].items()}
+                store_misses = {int(a): m for a, m in
+                                payload["store_misses"].items()}
+                prefetch_ops = int(payload["prefetch_ops"])
+                prefetch_fills = int(payload["prefetch_fills"])
         except (AttributeError, KeyError, TypeError, ValueError):
             return False
         program = self.program(key.workload, key.input_name, key.optimize)
@@ -493,6 +505,10 @@ class Session:
             config=config,
             load_accesses=load_accesses,
             load_misses=load_misses,
+            store_accesses=store_accesses,
+            store_misses=store_misses,
+            prefetch_ops=prefetch_ops,
+            prefetch_fills=prefetch_fills,
         )
         return True
 
@@ -623,21 +639,13 @@ def _warm_worker(task: tuple) -> list[Optional[dict]]:
 def standard_warm_plan() -> list[tuple[str, str, bool, tuple]]:
     """Every (run, cache-config) combination the table suite consumes.
 
-    Mirrors Tables 1-14: all eighteen workloads at the baseline and
-    training caches (unoptimized, input 1), the training set on its
-    second input, and the training set optimized under the
+    Derived from the table modules' declarative ``SPEC`` grids (see
+    :mod:`repro.experiments.grid`): all eighteen workloads at the
+    baseline and training caches (unoptimized, input 1), the training
+    set on its second input, and the training set optimized under the
     associativity and size sweeps (which include Table 13's 16KB
     cache).
     """
-    training = [workload.name for workload in training_workloads()]
-    sweep_configs = tuple(dict.fromkeys(associativity_sweep()
-                                        + size_sweep()))
-    plan: list[tuple[str, str, bool, tuple]] = []
-    for workload in ALL_WORKLOADS:
-        plan.append((workload.name, "input1", False,
-                     (BASELINE_CONFIG, TRAINING_CONFIG)))
-    for name in training:
-        plan.append((name, "input2", False, (TRAINING_CONFIG,)))
-    for name in training:
-        plan.append((name, "input1", True, sweep_configs))
-    return plan
+    # Imported here: the experiments package imports this module.
+    from repro.experiments.grid import warm_plan
+    return warm_plan()

@@ -92,7 +92,8 @@ class ServiceMetrics:
 
     def snapshot(self, cache_stats: Optional[dict] = None,
                  queue_depth: int = 0, queue_capacity: int = 0,
-                 workers: int = 0, pool_mode: str = "") -> dict[str, Any]:
+                 workers: int = 0, pool_mode: str = "",
+                 profile_store: Optional[dict] = None) -> dict[str, Any]:
         return {
             "uptime_s": round(time.time() - self.started_at, 3),
             "requests": {
@@ -107,6 +108,9 @@ class ServiceMetrics:
             },
             "latency": self.latency_summary(),
             "cache": cache_stats or {},
+            # Stackdist/analytic ProfileStore lookups (sweep + an-
+            # keyspaces); campaign cache effectiveness in one glance.
+            "profile_store": profile_store or {},
             "batching": {
                 "computations": self.computations,
                 "batches": self.batches,

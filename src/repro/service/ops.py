@@ -132,12 +132,27 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
                             sorted(stats.load_misses.items())},
             "load_accesses": {f"{a:#x}": m for a, m in
                               sorted(stats.load_accesses.items())},
+            # Full per-PC store and prefetch columns: remote campaign
+            # cells rebuild a complete CacheStats from this response.
+            "store_misses": {f"{a:#x}": m for a, m in
+                             sorted(stats.store_misses.items())},
+            "store_accesses": {f"{a:#x}": m for a, m in
+                               sorted(stats.store_accesses.items())},
+            "prefetch_ops": stats.prefetch_ops,
+            "prefetch_fills": stats.prefetch_fills,
         })
-    return {
+    response = {
         "steps": steps,
         "num_loads": program.num_loads(),
         "results": results,
     }
+    # The stored block profile lets remote callers reconstruct the
+    # BlockProfile (hotspot loads, exec counts) without executing.
+    meta = _TRACE_STORE.meta(key)
+    if meta and meta.get("block_counts"):
+        response["block_counts"] = {str(a): int(c) for a, c in
+                                    meta["block_counts"].items()}
+    return response
 
 
 def run_predict(params: dict[str, Any]) -> dict[str, Any]:

@@ -229,12 +229,12 @@ class BatchScheduler:
         by_config = {canonical_json(entry["config"]): entry
                      for entry in result["results"]}
         for job in jobs:
-            self._finish(job, result={
-                "steps": result["steps"],
-                "num_loads": result["num_loads"],
-                "results": [by_config[canonical_json(c)] for c in
-                            job.request.params["configs"]],
-            })
+            # Copy every top-level field, not a fixed allowlist, so
+            # additions to the simulate schema survive merged requests.
+            split = {k: v for k, v in result.items() if k != "results"}
+            split["results"] = [by_config[canonical_json(c)] for c in
+                                job.request.params["configs"]]
+            self._finish(job, result=split)
 
     def _finish(self, job: _Job, result: Any = None,
                 error: Optional[Exception] = None) -> None:

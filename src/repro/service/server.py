@@ -162,12 +162,17 @@ class AnalysisServer:
         if request.op == "health":
             return self._health(), None
         if request.op == "metrics":
+            # The profile-store counters are exact under the thread
+            # pool; under a process pool they cover only lookups made
+            # in this process (each worker owns its own store).
+            from repro.service import ops
             return self.metrics.snapshot(
                 cache_stats=self.cache.stats(),
                 queue_depth=self.scheduler.queue_depth,
                 queue_capacity=self.config.queue_size,
                 workers=self.scheduler.workers,
-                pool_mode=self.scheduler.pool_mode), None
+                pool_mode=self.scheduler.pool_mode,
+                profile_store=ops._PROFILE_STORE.stats()), None
         if request.op == "shutdown":
             self.request_stop()
             return {"stopping": True}, None
@@ -209,11 +214,13 @@ def run_server(config: Optional[ServerConfig] = None,
         try:
             await server.serve_until_shutdown()
         finally:
+            from repro.service import ops
             holder["snapshot"] = server.metrics.snapshot(
                 cache_stats=server.cache.stats(),
                 queue_capacity=config.queue_size,
                 workers=server.scheduler.workers,
-                pool_mode=server.scheduler.pool_mode)
+                pool_mode=server.scheduler.pool_mode,
+                profile_store=ops._PROFILE_STORE.stats())
 
     try:
         asyncio.run(main())

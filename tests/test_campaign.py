@@ -1,0 +1,333 @@
+"""Campaign engine: grid specs, manifest, resume, and the tripwire.
+
+The crash-resume test is the load-bearing one: a campaign subprocess is
+SIGKILLed mid-run, then resumed with every completed cell id listed in
+the ``REPRO_CAMPAIGN_FORBID`` tripwire file — if the engine ever
+*decides to compute* a completed cell, the run raises instead of
+silently redoing work — and the final tables must be byte-identical to
+an uninterrupted campaign in a separate cache directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cache.config import (BASELINE_CONFIG, TRAINING_CONFIG,
+                                CacheConfig, associativity_sweep,
+                                size_sweep)
+from repro.campaign import Campaign, Manifest, campaign_dir, code_digest
+from repro.cluster.metrics import aggregate_worker_metrics
+from repro.experiments.grid import (CACHE_16K, GridCell, TableSpec,
+                                    campaign_cells, merge_cells,
+                                    sweep_configs, table_specs,
+                                    warm_plan)
+from repro.experiments.runner import run_tables
+from repro.pipeline.session import Session, standard_warm_plan
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SCALE = 0.02
+TABLES = (6, 10)        # static-only + one simulated table: fast
+
+
+def _session(tmp_path: Path) -> Session:
+    return Session(scale=SCALE, cache_dir=tmp_path / "cache")
+
+
+# ---------------------------------------------------------------------
+# canonical grid
+# ---------------------------------------------------------------------
+class TestGrid:
+    def test_warm_plan_is_the_historical_forty(self):
+        plan = warm_plan()
+        assert len(plan) == 40
+        assert plan == standard_warm_plan()
+
+    def test_cache_16k_dedups_into_sweep_union(self):
+        assert CACHE_16K == size_sweep()[1]
+        union = sweep_configs()
+        assert len(union) == len(set(union))
+        assert len(union) == (len(associativity_sweep())
+                              + len(size_sweep()) - 1)
+        assert CACHE_16K in union
+
+    def test_every_table_declares_a_spec(self):
+        specs = table_specs()
+        assert sorted(specs) == list(range(1, 16))
+        for number, spec in specs.items():
+            assert isinstance(spec, TableSpec)
+            assert spec.number == number
+
+    def test_merge_unions_configs_and_ors_analytic(self):
+        base = GridCell("129.compress")
+        training = GridCell("129.compress",
+                            configs=(TRAINING_CONFIG,), analytic=True)
+        other = GridCell("181.mcf")
+        merged = merge_cells([base, training, other])
+        assert [cell.workload for cell in merged] \
+            == ["129.compress", "181.mcf"]
+        assert merged[0].configs == (BASELINE_CONFIG, TRAINING_CONFIG)
+        assert merged[0].analytic is True
+        assert merged[1].configs == (BASELINE_CONFIG,)
+
+    def test_merge_dedups_equal_configs(self):
+        again = CacheConfig(size=16 * 1024, assoc=4, block_size=32)
+        merged = merge_cells([GridCell("099.go", configs=(CACHE_16K,)),
+                              GridCell("099.go", configs=(again,))])
+        assert len(merged) == 1
+        assert merged[0].configs == (CACHE_16K,)
+
+    def test_subset_expansion(self):
+        cells = campaign_cells([10])
+        assert len(cells) == 7           # the test set on input1
+        assert all(cell.configs == (TRAINING_CONFIG,)
+                   for cell in cells)
+        assert campaign_cells([6]) == []  # static metadata only
+
+
+# ---------------------------------------------------------------------
+# manifest
+# ---------------------------------------------------------------------
+class TestManifest:
+    def test_record_round_trips(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        entry = manifest.record("run:a:input1:base", "run", "d1",
+                                "c1", 1.25, "computed", "camp1",
+                                scale=0.02)
+        (loaded,) = list(manifest.entries())
+        assert loaded == entry
+        assert loaded["scale"] == 0.02
+
+    def test_latest_is_last_wins(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.record("cell", "run", "old", "c", 1.0, "computed", "x")
+        manifest.record("cell", "run", "new", "c", 2.0, "disk", "y")
+        view = manifest.latest()
+        assert view["cell"]["digest"] == "new"
+        assert view["cell"]["tier"] == "disk"
+
+    def test_truncated_tail_is_tolerated(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.record("cell", "run", "d", "c", 1.0, "computed", "x")
+        with open(manifest.path, "a") as handle:
+            handle.write('{"cell": "half", "digest": "tru')  # killed
+        assert [e["cell"] for e in manifest.entries()] == ["cell"]
+
+    def test_status_counts_stale_cells(self, tmp_path):
+        manifest = Manifest(tmp_path)
+        manifest.record("a", "run", "d", "old-code", 1.0,
+                        "computed", "x")
+        manifest.record("b", "table", "d", "new-code", 2.0,
+                        "computed", "x")
+        status = manifest.status(current_code="new-code")
+        assert status["cells"] == 2
+        assert status["stale_cells"] == 1
+        assert status["by_kind"] == {"run": 1, "table": 1}
+        assert status["recorded_wall_s"] == 3.0
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Manifest(tmp_path / "nope").latest() == {}
+
+    def test_campaign_dir_layout(self, tmp_path):
+        assert campaign_dir(tmp_path) == tmp_path / "campaign"
+
+
+def test_code_digest_is_stable():
+    first = code_digest()
+    assert len(first) == 40
+    assert first == code_digest()
+
+
+# ---------------------------------------------------------------------
+# end-to-end campaign (inline jobs=1; small tables, tiny scale)
+# ---------------------------------------------------------------------
+class TestCampaign:
+    def test_matches_serial_runner_byte_for_byte(self, tmp_path):
+        session = _session(tmp_path)
+        result = Campaign(session, numbers=TABLES).run(jobs=1)
+        serial = Session(scale=SCALE, cache_dir=tmp_path / "serial")
+        expected = {n: t.render() for n, t in
+                    run_tables(serial, list(TABLES),
+                               echo=False).items()}
+        assert result.tables == expected
+        assert sorted(result.tables) == list(TABLES)
+        assert result.computed > 0
+
+    def test_resume_recomputes_nothing(self, tmp_path):
+        session = _session(tmp_path)
+        campaign = Campaign(session, numbers=TABLES)
+        first = campaign.run(jobs=1)
+        resumed = Campaign(_session(tmp_path), numbers=TABLES)
+        second = resumed.run(resume=True)
+        assert second.computed == 0
+        assert second.cached == 0
+        assert second.skipped == len(resumed.plan())
+        assert second.tables == first.tables
+
+    def test_resume_survives_tripwire_on_completed_cells(
+            self, tmp_path, monkeypatch):
+        session = _session(tmp_path)
+        Campaign(session, numbers=TABLES).run(jobs=1)
+        resumed = Campaign(_session(tmp_path), numbers=TABLES)
+        forbid = tmp_path / "forbid.txt"
+        forbid.write_text("\n".join(p.id for p in resumed.plan()) + "\n")
+        monkeypatch.setenv("REPRO_CAMPAIGN_FORBID", str(forbid))
+        result = resumed.run(resume=True)  # must not trip
+        assert result.computed == 0
+
+    def test_code_change_invalidates_the_ledger(self, tmp_path,
+                                                monkeypatch):
+        session = _session(tmp_path)
+        Campaign(session, numbers=TABLES).run(jobs=1)
+        stale = Campaign(_session(tmp_path), numbers=TABLES)
+        stale.code = "0" * 40       # as if src/repro changed
+        forbid = tmp_path / "forbid.txt"
+        forbid.write_text("\n".join(p.id for p in stale.plan()) + "\n")
+        monkeypatch.setenv("REPRO_CAMPAIGN_FORBID", str(forbid))
+        with pytest.raises(RuntimeError, match="tripwire"):
+            stale.run(resume=True)
+
+    def test_without_resume_cells_recompute_from_disk_tier(
+            self, tmp_path):
+        session = _session(tmp_path)
+        Campaign(session, numbers=TABLES).run(jobs=1)
+        fresh = Campaign(_session(tmp_path), numbers=TABLES)
+        result = fresh.run(jobs=1)   # no resume: replans every cell
+        assert result.skipped == 0
+        assert result.cached > 0     # but the disk caches are warm
+
+    def test_unknown_table_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown"):
+            Campaign(_session(tmp_path), numbers=[99])
+
+    def test_profile_store_counters_surface(self, tmp_path):
+        session = _session(tmp_path)
+        result = Campaign(session, numbers=(10,)).run(jobs=1)
+        store = result.profile_store
+        assert store.get("sweep_misses", 0) \
+            + store.get("sweep_memory_hits", 0) \
+            + store.get("sweep_disk_hits", 0) > 0
+        stats = session._profile_store.stats()
+        assert 0.0 <= stats["hit_rate"] <= 1.0
+
+
+# ---------------------------------------------------------------------
+# crash-resume: SIGKILL mid-campaign, resume with the tripwire armed
+# ---------------------------------------------------------------------
+_CHILD = """
+import sys
+from pathlib import Path
+from repro.campaign import Campaign
+from repro.pipeline.session import Session
+
+cache_dir = Path(sys.argv[1])
+session = Session(scale={scale}, cache_dir=cache_dir)
+Campaign(session, numbers=(10,)).run(jobs=1)
+"""
+
+
+class TestCrashResume:
+    def test_sigkill_then_resume_recomputes_zero_completed_cells(
+            self, tmp_path, monkeypatch):
+        cache = tmp_path / "killed"
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"))
+        child = subprocess.Popen(
+            [sys.executable, "-c", _CHILD.format(scale=SCALE),
+             str(cache)],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+        manifest = Manifest(campaign_dir(cache))
+        try:
+            # wait until at least one cell has landed, then kill hard
+            deadline = time.time() + 120
+            while time.time() < deadline:
+                if child.poll() is not None:
+                    break               # finished before we could kill
+                if len(manifest.latest()) >= 1:
+                    child.send_signal(signal.SIGKILL)
+                    break
+                time.sleep(0.05)
+            child.wait(timeout=60)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait()
+
+        completed = manifest.latest()
+        assert completed, "child was killed before any cell landed"
+
+        # arm the tripwire with every completed cell: resuming must
+        # never decide to compute one of them
+        forbid = tmp_path / "forbid.txt"
+        forbid.write_text("\n".join(sorted(completed)) + "\n")
+        monkeypatch.setenv("REPRO_CAMPAIGN_FORBID", str(forbid))
+        session = Session(scale=SCALE, cache_dir=cache)
+        result = Campaign(session, numbers=(10,)).run(resume=True,
+                                                      jobs=1)
+        assert result.skipped >= len([
+            cell for cell, entry in completed.items()
+            if entry.get("code") == code_digest()])
+        assert sorted(result.tables) == [10]
+
+        # byte-identical to a never-interrupted campaign
+        monkeypatch.delenv("REPRO_CAMPAIGN_FORBID")
+        clean = Session(scale=SCALE, cache_dir=tmp_path / "clean")
+        uninterrupted = Campaign(clean, numbers=(10,)).run(jobs=1)
+        assert result.tables == uninterrupted.tables
+
+
+# ---------------------------------------------------------------------
+# metrics plumbing: service snapshot + cluster aggregation + simulate
+# ---------------------------------------------------------------------
+class TestMetricsPlumbing:
+    def test_cluster_aggregation_sums_profile_store(self):
+        def row(sweep_hits: int, misses: int) -> dict:
+            return {"address": "w", "healthy": True,
+                    "draining": False, "metrics": {
+                "profile_store": {
+                    "sweep_memory_hits": sweep_hits,
+                    "sweep_disk_hits": 0,
+                    "sweep_misses": misses,
+                    "sweep_puts": misses,
+                    "analytic_memory_hits": 0,
+                    "analytic_disk_hits": 0,
+                    "analytic_misses": 0,
+                    "analytic_puts": 0,
+                    "hit_rate": 0.5,
+                },
+            }}
+        totals = aggregate_worker_metrics([row(3, 1), row(1, 3)])
+        store = totals["profile_store"]
+        assert store["sweep_memory_hits"] == 4
+        assert store["sweep_misses"] == 4
+        assert store["sweep_puts"] == 4
+        assert store["hit_rate"] == 0.5
+
+    def test_simulate_response_carries_full_columns(self):
+        from repro.service.ops import run_simulate
+
+        source = ("int a[64]; int main() { int i; "
+                  "for (i = 0; i < 64; i = i + 1) a[i] = a[i] + 1; "
+                  "print_int(a[5]); return 0; }")
+        response = run_simulate({
+            "source": source, "optimize": False,
+            "max_steps": 200000,
+            "configs": [{"size": 1024, "assoc": 2, "block_size": 32}],
+        })
+        entry = response["results"][0]
+        for column in ("store_misses", "store_accesses",
+                       "prefetch_ops", "prefetch_fills"):
+            assert column in entry
+        assert sum(int(v) for v in entry["store_accesses"].values()) > 0
+        assert response["block_counts"], \
+            "trace-store block profile missing from response"
+        assert all(int(k) >= 0 for k in response["block_counts"])
