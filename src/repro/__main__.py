@@ -3,6 +3,8 @@
     python -m repro run PROG.c [--optimize] [--args N ...]
     python -m repro analyze PROG.c [--optimize] [--static] [--delta D]
                                    [--json [FILE]] [--remote HOST:PORT]
+    python -m repro tlb PROG.c [--geometry P,E[,A] ...] [--threshold T]
+    python -m repro redundancy PROG.c [--top N] [--json [FILE]]
     python -m repro disasm PROG.c [--optimize]
     python -m repro asm PROG.c [--optimize]
     python -m repro verify PROG.c [--optimize]
@@ -246,6 +248,127 @@ def cmd_predict(args: argparse.Namespace) -> int:
         for pc, misses in top:
             accesses = entry["load_accesses"].get(pc, 0)
             print(f"  {pc}: {misses} / {accesses}")
+    return 0
+
+
+def _tlb_geometries(args: argparse.Namespace) -> list:
+    """TLB geometries from ``--geometry`` / the single-geometry flags."""
+    from repro.tlb import TlbConfig
+    configs = []
+    for text in args.geometry:
+        parts = [int(p) for p in text.split(",")]
+        if not 2 <= len(parts) <= 3:
+            raise ValueError(f"bad --geometry {text!r}; expected "
+                             "PAGE_SIZE,ENTRIES[,ASSOC]")
+        configs.append(TlbConfig(
+            page_size=parts[0], entries=parts[1],
+            assoc=parts[2] if len(parts) > 2 else 0))
+    if not configs:
+        configs.append(TlbConfig(page_size=args.page_size,
+                                 entries=args.entries,
+                                 assoc=args.assoc))
+    return configs
+
+
+def cmd_tlb(args: argparse.Namespace) -> int:
+    """Page-granular dTLB simulation plus the PCAX cross-tab."""
+    import json
+
+    source = _read(args.source)
+    try:
+        geometries = [c.to_dict() for c in _tlb_geometries(args)]
+    except ValueError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    request = {"source": source, "optimize": args.optimize,
+               "geometries": geometries, "threshold": args.threshold}
+    if args.remote:
+        from repro.service.client import ServiceClient, ServiceError
+        try:
+            with ServiceClient.connect(args.remote) as client:
+                payload = client.tlb(source, optimize=args.optimize,
+                                     geometries=geometries,
+                                     threshold=args.threshold)
+        except (ValueError, ServiceError, ConnectionError,
+                OSError) as exc:
+            print(f"repro: service error: {exc}", file=sys.stderr)
+            return 3
+    else:
+        # same compute path the service runs, so local and remote
+        # answers are byte-identical (and share the trace store)
+        from repro.service.ops import run_tlb
+        from repro.service.protocol import (ProtocolError,
+                                            _normalize_tlb)
+        try:
+            payload = run_tlb(_normalize_tlb(request))
+        except ProtocolError as exc:
+            print(f"repro: error: {exc.message}", file=sys.stderr)
+            return 2
+    if args.json is not None:
+        _emit_json(json.dumps(payload, indent=2), args.json)
+        return 0
+    for entry in payload["results"]:
+        print(f"{entry['description']}: "
+              f"{entry['total_misses']} misses / "
+              f"{entry['total_accesses']} accesses "
+              f"({entry['miss_rate']:.2%})")
+        top = sorted(entry["load_misses"].items(),
+                     key=lambda kv: -kv[1])[:args.top]
+        for pc, misses in top:
+            accesses = entry["load_accesses"].get(pc, 0)
+            print(f"  {pc}: {misses} / {accesses}")
+    pcax = payload["pcax"]
+    print()
+    print(f"PCAX @ {pcax['page_size']}B pages "
+          f"(threshold {pcax['threshold']:.0%}): "
+          f"{len(pcax['friendly'])} translation-predictable loads, "
+          f"{len(pcax['delinquent'])} delinquent")
+    cross = pcax["crosstab"]
+    print(f"  both: {cross['both']}  "
+          f"delinquent-only: {cross['delinquent_only']}  "
+          f"friendly-only: {cross['friendly_only']}  "
+          f"neither: {cross['neither']}")
+    return 0
+
+
+def cmd_redundancy(args: argparse.Namespace) -> int:
+    """Per-PC redundant-load counts plus the AG-class cross-tab."""
+    import json
+
+    source = _read(args.source)
+    if args.remote:
+        from repro.service.client import ServiceClient, ServiceError
+        try:
+            with ServiceClient.connect(args.remote) as client:
+                payload = client.redundancy(source,
+                                            optimize=args.optimize)
+        except (ValueError, ServiceError, ConnectionError,
+                OSError) as exc:
+            print(f"repro: service error: {exc}", file=sys.stderr)
+            return 3
+    else:
+        from repro.service.ops import run_redundancy
+        from repro.service.protocol import _normalize_redundancy
+        payload = run_redundancy(_normalize_redundancy(
+            {"source": source, "optimize": args.optimize}))
+    if args.json is not None:
+        _emit_json(json.dumps(payload, indent=2), args.json)
+        return 0
+    print(f"{payload['total_redundant']} redundant loads / "
+          f"{payload['total_loads']} total ({payload['ratio']:.2%}); "
+          f"{payload['total_reload_after_store']} reload after store")
+    ranked = sorted(payload["loads"].items(),
+                    key=lambda kv: -kv[1]["redundant"])[:args.top]
+    for pc, row in ranked:
+        print(f"  {pc}: {row['redundant']} / {row['accesses']} "
+              f"redundant ({row['reload_after_store']} after store)")
+    classes = {name: row for name, row in payload["classes"].items()
+               if row["loads"]}
+    if classes:
+        print()
+        for name, row in sorted(classes.items()):
+            print(f"  {name}: {row['redundant']} / {row['loads']} "
+                  f"redundant across {row['pcs']} loads")
     return 0
 
 
@@ -538,6 +661,55 @@ def build_parser() -> argparse.ArgumentParser:
                         help="send the request to a running "
                              "'repro serve' instance")
     p_pred.set_defaults(func=cmd_predict)
+
+    p_tlb = sub.add_parser(
+        "tlb",
+        help="simulate dTLB geometries at page granularity and "
+             "cross-tabulate delinquent vs PCAX-friendly loads")
+    add_source(p_tlb)
+    p_tlb.add_argument("--geometry", action="append", default=[],
+                       metavar="PAGE_SIZE,ENTRIES[,ASSOC]",
+                       help="TLB geometry to evaluate (repeatable; "
+                            "ASSOC 0 = fully associative)")
+    p_tlb.add_argument("--page-size", type=int, default=4096,
+                       help="page size in bytes when no --geometry is "
+                            "given (default 4096)")
+    p_tlb.add_argument("--entries", type=int, default=64,
+                       help="TLB entries when no --geometry is given "
+                            "(default 64)")
+    p_tlb.add_argument("--assoc", type=int, default=0,
+                       help="TLB associativity when no --geometry is "
+                            "given (default 0 = fully associative)")
+    p_tlb.add_argument("--threshold", type=float, default=0.9,
+                       help="PCAX friendliness bar: minimum predicted "
+                            "fraction of page translations "
+                            "(default 0.9)")
+    p_tlb.add_argument("--top", type=int, default=5,
+                       help="per-geometry loads to print (default 5)")
+    p_tlb.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="emit the result as JSON to stdout, or to "
+                            "FILE when given")
+    p_tlb.add_argument("--remote", default=None, metavar="HOST:PORT",
+                       help="send the request to a running "
+                            "'repro serve' instance")
+    p_tlb.set_defaults(func=cmd_tlb)
+
+    p_red = sub.add_parser(
+        "redundancy",
+        help="count same-address reloads (and reloads after stores) "
+             "per load PC, cross-tabulated against the AG classes")
+    add_source(p_red)
+    p_red.add_argument("--top", type=int, default=5,
+                       help="loads to print (default 5)")
+    p_red.add_argument("--json", nargs="?", const="-", default=None,
+                       metavar="FILE",
+                       help="emit the result as JSON to stdout, or to "
+                            "FILE when given")
+    p_red.add_argument("--remote", default=None, metavar="HOST:PORT",
+                       help="send the request to a running "
+                            "'repro serve' instance")
+    p_red.set_defaults(func=cmd_redundancy)
 
     p_dis = sub.add_parser("disasm", help="show the disassembly")
     add_source(p_dis)

@@ -643,9 +643,17 @@ class FunctionComposer:
             clock.advance(footprint.total(), pure=footprint.pure)
             for site in unit_sites:
                 if site.walk is not None and not site.walk.zero:
-                    clock.touch(self._region_id(site),
-                                exact=(site.walk.exact
-                                       and site.kind_conf == HIGH))
+                    region = self._region_id(site)
+                    exact = (site.walk.exact
+                             and site.kind_conf == HIGH)
+                    if exact and region[0] == "abs":
+                        # A sparse walk (pitch beyond the block size, or
+                        # a wrapped lattice) leaves holes in its extent:
+                        # a later phase crediting "covered" blocks
+                        # against this touch would overstate its warmth.
+                        extent = region[2] - region[1] + 1
+                        exact = site.walk.fresh >= extent - 0.5
+                    clock.touch(region, exact=exact)
         return out
 
     def _units(self) -> list[list[_OpSite]]:

@@ -152,6 +152,14 @@ def _chunk_columns(source: TraceSource
         yield chunk.pcs, chunk.addresses, chunk.kinds
 
 
+#: Public spelling of the column iterator for the scenario families
+#: (``repro.tlb``, ``repro.redundancy``): any analysis that folds state
+#: over the access sequence should consume this, never the raw chunks,
+#: so materialized and streamed inputs stay bit-identical by
+#: construction.
+chunk_columns = _chunk_columns
+
+
 class _AccessTally:
     """Per-PC access counts accumulated while chunks flow past.
 

@@ -15,7 +15,7 @@ from typing import Callable, Optional
 from repro.experiments import (
     table01, table02, table03, table04, table05, table06, table07,
     table08, table09, table10, table11, table12, table13, table14,
-    table15,
+    table15, table16, table17,
 )
 from repro.experiments.common import Table
 from repro.pipeline.session import Session
@@ -26,6 +26,7 @@ TABLE_MODULES = {
     1: table01, 2: table02, 3: table03, 4: table04, 5: table05,
     6: table06, 7: table07, 8: table08, 9: table09, 10: table10,
     11: table11, 12: table12, 13: table13, 14: table14, 15: table15,
+    16: table16, 17: table17,
 }
 
 EXPERIMENTS: dict[int, Callable[[Session], Table]] = {

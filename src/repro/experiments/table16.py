@@ -1,0 +1,92 @@
+"""Table 16 (beyond the paper): dTLB behaviour of delinquent loads.
+
+The paper identifies delinquent loads against a data *cache*; this
+exhibit asks how the same loads behave against the data *TLB*.  Each
+workload is replayed at page granularity through the shared sweep
+engine (:mod:`repro.tlb`) for a micro geometry sized to the suite's
+footprints, and every static load is scored by the PCAX predictor —
+PC-indexed data-address translation, which deems a load "friendly"
+when its next page is a fixed stride from its last one.  The cross-tab
+against the heuristic's delinquent set separates loads whose cache
+misses come with hard-to-predict translations (both) from delinquent
+loads whose pages a PCAX-style prefetcher would cover (delinquent
+only).
+
+Per workload: the dTLB miss rate at the micro and a 4x-reach geometry,
+the fraction of loads PCAX finds friendly, and the two interesting
+cross-tab cells.  The notes aggregate the full cross-tab over the
+suite.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ALL_NAMES, Table, mean, pct
+from repro.experiments.evalutil import run_heuristic
+from repro.experiments.grid import TableSpec
+from repro.pipeline.session import Session
+from repro.tlb import TlbConfig
+
+SPEC = TableSpec(number=16, names=ALL_NAMES)
+
+#: Geometries sized to the scaled suite (reach 2KB and 8KB): large
+#: enough that streaming code fits, small enough that strided and
+#: pointer-chasing code actually misses.
+MICRO_TLB = TlbConfig(page_size=256, entries=8)
+LARGE_TLB = TlbConfig(page_size=1024, entries=8)
+
+#: PCAX page size matches the micro geometry, so "friendly" means
+#: predictable at exactly the granularity the micro TLB translates.
+PCAX_PAGE_SIZE = MICRO_TLB.page_size
+
+
+def run(session: Session,
+        names: tuple[str, ...] = ALL_NAMES) -> Table:
+    table = Table(
+        exhibit="Table 16",
+        title="dTLB miss rates and PCAX translation predictability "
+              "of delinquent loads (beyond the paper)",
+        headers=["Benchmark", f"miss {MICRO_TLB.describe()}",
+                 f"miss {LARGE_TLB.describe()}", "PCAX-friendly",
+                 "delq+friendly", "delq only"],
+    )
+    micro_rates: list[float] = []
+    large_rates: list[float] = []
+    friendly_fracs: list[float] = []
+    totals = {"both": 0, "delinquent_only": 0, "friendly_only": 0,
+              "neither": 0}
+    from repro.tlb import pcax_crosstab
+    for name in names:
+        micro, large = session.tlb_stats(
+            name, configs=(MICRO_TLB, LARGE_TLB))
+        profile = session.pcax(name, page_size=PCAX_PAGE_SIZE)
+        m = session.measurement(name)
+        delinquent = run_heuristic(m).delinquent_set
+        friendly = profile.friendly_set()
+        universe = set(profile.loads)
+        cross = pcax_crosstab(friendly, delinquent, universe)
+        for cell, count in cross.items():
+            totals[cell] += count
+        friendly_frac = len(friendly) / max(len(universe), 1)
+        micro_rates.append(micro.miss_rate)
+        large_rates.append(large.miss_rate)
+        friendly_fracs.append(friendly_frac)
+        table.add_row(name, pct(micro.miss_rate, 2),
+                      pct(large.miss_rate, 2), pct(friendly_frac, 1),
+                      cross["both"], cross["delinquent_only"])
+    table.add_row("AVERAGE", pct(mean(micro_rates), 2),
+                  pct(mean(large_rates), 2),
+                  pct(mean(friendly_fracs), 1), "", "")
+    flagged = totals["both"] + totals["delinquent_only"]
+    if flagged:
+        share = totals["both"] / flagged
+        table.notes.append(
+            f"suite cross-tab: {totals['both']} delinquent loads are "
+            f"PCAX-friendly, {totals['delinquent_only']} are not "
+            f"({pct(share, 0)} of delinquent loads have predictable "
+            f"translations); {totals['friendly_only']} friendly-only, "
+            f"{totals['neither']} neither")
+    table.notes.append(
+        f"PCAX evaluated at {PCAX_PAGE_SIZE}B pages (the micro "
+        f"geometry's); friendly = >=90% of a load's page translations "
+        f"follow its per-PC stride")
+    return table

@@ -25,6 +25,7 @@ from typing import Optional
 from repro.asm.program import TEXT_BASE
 from repro.cache.config import CacheConfig
 from repro.machine.trace import LOAD, PREFETCH, STORE, MemoryTrace
+from repro.tlb import TlbConfig
 
 #: The generator families; ``generate_case`` round-robins over these.
 CASE_KINDS = ("minic", "asm", "trace")
@@ -65,6 +66,19 @@ class FuzzCase:
                 for entry in self.spec.get("configs", [])] \
             or [CacheConfig()]
 
+    def tlb_configs(self) -> list[TlbConfig]:
+        """dTLB geometries for the tlb oracle and invariants.
+
+        Corpus specs predating the ``tlb`` key (and shrunk specs that
+        dropped it) fall back to two small defaults chosen so the tiny
+        generated footprints still produce capacity misses.
+        """
+        entries = self.spec.get("tlb", [])
+        if entries:
+            return [TlbConfig(**entry) for entry in entries]
+        return [TlbConfig(page_size=64, entries=4),
+                TlbConfig(page_size=256, entries=8, assoc=2)]
+
     def replaced(self, spec: dict) -> "FuzzCase":
         """A copy with a different spec (shrinker steps)."""
         return FuzzCase(kind=self.kind, spec=spec, label=self.label)
@@ -92,6 +106,30 @@ def gen_configs(rng: random.Random, max_configs: int = 4) -> list[dict]:
         if entry not in configs:
             configs.append(entry)
     return configs
+
+
+def gen_tlb_geometries(rng: random.Random,
+                       max_geoms: int = 3) -> list[dict]:
+    """1..max_geoms dTLB geometries, biased small and fully associative.
+
+    Page sizes start at 64 B because the generated footprints are a few
+    KB: a realistic 4 KiB page would make every geometry all-compulsory
+    and the oracle would never see an eviction.  ``assoc=0`` is the
+    fully-associative spelling (see :class:`repro.tlb.TlbConfig`).
+    """
+    geoms: list[dict] = []
+    for _ in range(rng.randint(1, max_geoms)):
+        page = rng.choice((64, 64, 128, 256, 512, 4096))
+        entries = 1 << rng.randint(1, 6)
+        if rng.random() < 0.7:
+            assoc = 0
+        else:
+            sets = 1 << rng.randint(0, min(3, entries.bit_length() - 1))
+            assoc = entries // sets
+        entry = {"page_size": page, "entries": entries, "assoc": assoc}
+        if entry not in geoms:
+            geoms.append(entry)
+    return geoms
 
 
 # -- MiniC generation --------------------------------------------------
@@ -140,8 +178,18 @@ def _gen_cond(rng: random.Random, arrays: list[dict]) -> dict:
             "mask": rng.choice((1, 3, 7))}
 
 
+def _gen_reload(rng: random.Random, arrays: list[dict]) -> dict:
+    # Reload-heavy chains: the same few slots are re-read back to back,
+    # optionally with a store in between (the reload-after-store shape
+    # the redundancy analyzer must classify).
+    return {"op": "reload", "array": rng.randrange(len(arrays)),
+            "count": rng.randint(8, 120),
+            "span": rng.choice((1, 2, 4, 8)),
+            "store": rng.random() < 0.6}
+
+
 _SEGMENT_GENS = (_gen_stride, _gen_stride, _gen_nest, _gen_indirect,
-                 _gen_chain, _gen_cond)
+                 _gen_chain, _gen_cond, _gen_reload)
 
 
 def gen_minic_spec(rng: random.Random) -> dict:
@@ -150,7 +198,8 @@ def gen_minic_spec(rng: random.Random) -> dict:
     segments = [rng.choice(_SEGMENT_GENS)(rng, arrays)
                 for _ in range(rng.randint(1, 4))]
     return {"version": SPEC_VERSION, "arrays": arrays,
-            "segments": segments, "configs": gen_configs(rng)}
+            "segments": segments, "configs": gen_configs(rng),
+            "tlb": gen_tlb_geometries(rng)}
 
 
 def _render_segment(index: int, seg: dict, arrays: list[dict]) -> str:
@@ -208,6 +257,17 @@ def _render_segment(index: int, seg: dict, arrays: list[dict]) -> str:
                 f"        else\n"
                 f"            acc = acc + {a}[i & {mask}] + i;\n"
                 f"    }}\n")
+    if op == "reload":
+        a = name_of(seg["array"])
+        mask = (seg["span"] - 1) & (size_of(seg["array"]) - 1)
+        lines = [f"    for (i = 0; i < {seg['count']}; i = i + 1) {{\n",
+                 f"        acc = acc + {a}[i & {mask}];\n",
+                 f"        acc = acc + {a}[i & {mask}];\n"]
+        if seg["store"]:
+            lines += [f"        {a}[i & {mask}] = acc;\n",
+                      f"        acc = acc + {a}[i & {mask}];\n"]
+        lines.append("    }\n")
+        return "".join(lines)
     raise ValueError(f"unknown segment op {op!r}")
 
 
@@ -275,7 +335,8 @@ def gen_asm_spec(rng: random.Random) -> dict:
             "words": rng.choice((64, 128, 256)),
             "loops": loops,
             "computed_jump": rng.random() < 0.5,
-            "configs": gen_configs(rng)}
+            "configs": gen_configs(rng),
+            "tlb": gen_tlb_geometries(rng)}
 
 
 def render_asm(spec: dict) -> str:
@@ -355,13 +416,38 @@ def gen_trace_spec(rng: random.Random) -> dict:
     base = 0x1000_0000
     for _ in range(rng.randint(2, 8)):
         pattern = rng.choice(("seq", "seq", "conflict", "random",
-                              "hot", "chase"))
+                              "hot", "chase", "pagestraddle",
+                              "pagestraddle", "reload", "reload"))
         kind_pool = ([(pc, LOAD) for pc in load_pcs]
                      + [(pc, STORE) for pc in store_pcs]
                      + [(pc, PREFETCH) for pc in prefetch_pcs])
         pc, kind = rng.choice(kind_pool)
         n = rng.randint(10, 400)
-        if pattern == "seq":
+        if pattern == "pagestraddle":
+            # strides a few bytes off a page size: consecutive accesses
+            # keep straddling page boundaries, the edge the TLB model's
+            # set mapping and the coarsening invariant must get right
+            page = rng.choice((64, 128, 256, 512, 4096))
+            stride = page + rng.choice((-8, -4, 4, 8, page - 4))
+            start = base + page - rng.choice((4, 8, 12))
+            rows += [[pc, (start + i * stride) & 0xFFFF_FFFF, kind]
+                     for i in range(n)]
+        elif pattern == "reload":
+            # a few hot words re-read back to back, with stores from a
+            # store pc splicing in when the spec has one: redundant
+            # reload and reload-after-store chains
+            span = rng.randint(1, 6)
+            hot = [base + rng.randrange(0, 1 << 12, 4)
+                   for _ in range(span)]
+            store_pc = rng.choice(store_pcs) if store_pcs else None
+            for i in range(n):
+                address = hot[i % span]
+                rows.append([pc, address, kind])
+                rows.append([pc, address, kind])
+                if store_pc is not None and rng.random() < 0.4:
+                    rows.append([store_pc, address, STORE])
+                    rows.append([pc, address, kind])
+        elif pattern == "seq":
             start = base + rng.randrange(0, 1 << 16, 4)
             stride = rng.choice((4, 4, 8, 16, 32, 64, 128))
             rows += [[pc, (start + i * stride) & 0xFFFF_FFFF, kind]
@@ -389,7 +475,8 @@ def gen_trace_spec(rng: random.Random) -> dict:
             rows += [[pc, start + order[i % span] * 16, kind]
                      for i in range(n)]
     return {"version": SPEC_VERSION, "rows": rows,
-            "configs": gen_configs(rng)}
+            "configs": gen_configs(rng),
+            "tlb": gen_tlb_geometries(rng)}
 
 
 def build_trace(spec: dict) -> MemoryTrace:

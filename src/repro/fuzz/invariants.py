@@ -17,7 +17,17 @@ assert properties that any *one* correct result must satisfy:
 * **weight monotonicity** — raising a single class weight never lowers
   any phi(i);
 * **frequency monotonicity** — H5's frequency category climbs the
-  rare -> seldom -> fair ladder as E(i) grows, it never falls back.
+  rare -> seldom -> fair ladder as E(i) grows, it never falls back;
+* **TLB monotonicity** — a fully-associative LRU TLB never misses more
+  per PC when entries double (inclusion) or when pages coarsen (every
+  reuse window holds at most as many distinct coarse pages as fine
+  ones); conservation and the compulsory floor hold at page
+  granularity through the same ``check_conservation``;
+* **redundancy accounting** — per PC, redundant reloads never exceed
+  loads and reload-after-store never exceeds redundant; totals match
+  the trace's own kind counts; a store-free trace has no
+  reload-after-store; the first load of every address is never
+  redundant, bounding total redundancy from above.
 
 Violations raise :class:`~repro.fuzz.oracles.DivergenceError` with
 oracle name ``invariants`` so the runner and shrinker treat them like
@@ -33,7 +43,7 @@ from repro.cache.model import CacheStats, simulate_trace
 from repro.heuristic.classes import (FREQ_FAIR, FREQ_RARE, FREQ_SELDOM,
                                      frequency_category)
 from repro.heuristic.classifier import DelinquencyClassifier
-from repro.machine.trace import MemoryTrace
+from repro.machine.trace import PREFETCH, MemoryTrace
 
 _NAME = "invariants"
 
@@ -106,6 +116,81 @@ def check_lru_inclusion(trace: MemoryTrace,
                   f"{bigger.describe()} has {count} store misses, "
                   f"{config.describe()} has "
                   f"{stats.store_misses.get(pc, 0)}")
+
+
+# -- TLB model ---------------------------------------------------------
+
+def check_tlb_monotonicity(trace: MemoryTrace, tlb_config) -> None:
+    """Fully-associative LRU TLB miss counts are monotone per PC.
+
+    Doubling the entry count is LRU inclusion at page granularity;
+    doubling the page size coarsens the address map, and any reuse
+    window spans at most as many distinct coarse pages as fine ones,
+    so every hit stays a hit.  Both comparisons run fully associative
+    (where the proofs hold — set mappings can legitimately invert
+    either trend) and come from one sweep pass per page size.
+    """
+    from repro.tlb import TlbConfig, simulate_tlb
+    base = TlbConfig(page_size=tlb_config.page_size,
+                     entries=tlb_config.entries, assoc=0)
+    doubled = TlbConfig(page_size=base.page_size,
+                        entries=base.entries * 2, assoc=0)
+    coarser = TlbConfig(page_size=base.page_size * 2,
+                        entries=base.entries, assoc=0)
+    small, more_entries, bigger_pages = \
+        simulate_tlb(trace, [base, doubled, coarser])
+    for label, grown in (("doubling entries", more_entries),
+                         ("doubling the page size", bigger_pages)):
+        for accesses, misses, grown_misses in (
+                (small.load_accesses, small.load_misses,
+                 grown.load_misses),
+                (small.store_accesses, small.store_misses,
+                 grown.store_misses)):
+            for pc, count in grown_misses.items():
+                if count > misses.get(pc, 0):
+                    _fail(f"{base.describe()}: {label} raised misses "
+                          f"at {pc:#x} from {misses.get(pc, 0)} to "
+                          f"{count}")
+            for pc, count in misses.items():
+                if count > accesses.get(pc, 0):
+                    _fail(f"{base.describe()}: {count} misses > "
+                          f"{accesses.get(pc, 0)} accesses at {pc:#x}")
+
+
+# -- redundancy accounting ---------------------------------------------
+
+def check_redundancy_accounting(trace: MemoryTrace) -> None:
+    """One-implementation bounds on the redundancy analyzer."""
+    from repro.machine.trace import LOAD
+    from repro.redundancy import analyze_redundancy
+    stats = analyze_redundancy(trace)
+    for pc, load in stats.loads.items():
+        if not 0 <= load.redundant <= load.accesses:
+            _fail(f"redundant {load.redundant} outside "
+                  f"[0, {load.accesses}] at {pc:#x}")
+        if not 0 <= load.reload_after_store <= load.redundant:
+            _fail(f"reload-after-store {load.reload_after_store} > "
+                  f"redundant {load.redundant} at {pc:#x}")
+    if stats.total_loads != trace.load_count:
+        _fail(f"analyzer saw {stats.total_loads} loads, trace has "
+              f"{trace.load_count}")
+    if trace.store_count == 0 and stats.total_reload_after_store:
+        _fail(f"{stats.total_reload_after_store} reload-after-store "
+              f"events in a store-free trace")
+    # The first load of each address never has a previous access to
+    # reload from, so redundancy is bounded by loads minus the number
+    # of addresses whose first non-prefetch access is a load.
+    first_kind: dict[int, int] = {}
+    for address, kind in zip(trace.addresses, trace.kinds):
+        if kind != PREFETCH and address not in first_kind:
+            first_kind[address] = kind
+    first_loads = sum(1 for kind in first_kind.values()
+                      if kind == LOAD)
+    ceiling = stats.total_loads - first_loads
+    if stats.total_redundant > ceiling:
+        _fail(f"{stats.total_redundant} redundant loads exceed the "
+              f"{ceiling} ceiling ({stats.total_loads} loads, "
+              f"{first_loads} first-touch loads)")
 
 
 # -- classifier properties ---------------------------------------------
@@ -194,6 +279,13 @@ def check_case(case) -> None:
         stats = simulate_trace(trace, config)
         check_conservation(trace, config, stats)
         check_lru_inclusion(trace, config, stats)
+    for tlb_config in case.tlb_configs():
+        # Conservation (and its compulsory floor) holds verbatim at
+        # page granularity through the cache-model mapping.
+        mapped = tlb_config.as_cache_config()
+        check_conservation(trace, mapped, simulate_trace(trace, mapped))
+        check_tlb_monotonicity(trace, tlb_config)
+    check_redundancy_accounting(trace)
     check_frequency_monotonicity()
     if case.kind in ("minic", "asm"):
         from repro.patterns.builder import build_load_infos

@@ -33,6 +33,15 @@ contract, raising :class:`DivergenceError` on any mismatch:
     exact access counts and tolerance-gated per-PC misses on sites the
     engine marks HIGH confidence, plus an honesty check that pointer
     chases surface LOW confidence instead of confident wrong numbers;
+``tlb``
+    the page-granular dTLB model (:mod:`repro.tlb`) — the sweep-served
+    stats vs. a direct per-geometry replay, bit-identical across
+    materialized / chunked / store-round-tripped inputs, and the PCAX
+    predictor profile independent of chunking;
+``redundancy``
+    the streaming redundant-load analyzer (:mod:`repro.redundancy`)
+    vs. a naive backward-scanning reference sharing no code with it,
+    again across all trace input shapes;
 ``invariants``
     the single-implementation checkers from
     :mod:`repro.fuzz.invariants`.
@@ -481,6 +490,99 @@ def check_analytic(case, ctx: OracleContext) -> None:
                      "load", "all loads confident", "expected LOW")
 
 
+# -- tlb oracle --------------------------------------------------------
+
+def check_tlb(case, ctx: OracleContext) -> None:
+    """TLB sweep vs. direct replay, streamed vs. materialized.
+
+    Every geometry's sweep-served page-granular stats must equal a
+    direct per-config replay; the whole sweep must be bit-identical
+    across materialized, in-memory-chunked and store-round-tripped
+    inputs (cold and profile-store-warmed); and the PCAX predictor
+    profile must not depend on chunking either.
+    """
+    from repro.store import TraceStore
+    from repro.tlb import pcax_profile, simulate_tlb
+    trace = case_trace(case)
+    tlb_configs = case.tlb_configs()
+    name = "tlb"
+
+    profile_store = ProfileStore()
+    swept = simulate_tlb(trace, tlb_configs, store=profile_store)
+    for tlb_config, stats in zip(tlb_configs, swept):
+        mapped = tlb_config.as_cache_config()
+        direct = simulate_trace(trace, mapped)
+        _require_stats_equal(name, mapped, "sweep-vs-direct",
+                             stats.cache, direct)
+
+    for chunk_accesses in (7, 1024):
+        streamed = simulate_tlb(trace.chunk_stream(chunk_accesses),
+                                tlb_configs)
+        for tlb_config, a, b in zip(tlb_configs, swept, streamed):
+            _require_stats_equal(name, tlb_config.as_cache_config(),
+                                 f"chunk{chunk_accesses}-vs-"
+                                 f"materialized", b.cache, a.cache)
+
+    store = TraceStore(ctx.scratch_dir() / "traces")
+    store.put_trace("case", trace, chunk_accesses=64)
+    cold = simulate_tlb(store.open("case"), tlb_configs,
+                        store=profile_store)
+    warm = simulate_tlb(store.open("case"), tlb_configs,
+                        store=profile_store)
+    for tlb_config, reference, a, b in zip(tlb_configs, swept, cold,
+                                           warm):
+        mapped = tlb_config.as_cache_config()
+        _require_stats_equal(name, mapped, "store-sweep", a.cache,
+                             reference.cache)
+        _require_stats_equal(name, mapped, "store-warmed-sweep",
+                             b.cache, reference.cache)
+
+    page_size = tlb_configs[0].page_size
+    materialized = pcax_profile(trace, page_size=page_size)
+    chunked = pcax_profile(trace.chunk_stream(7), page_size=page_size)
+    stored = pcax_profile(store.open("case"), page_size=page_size)
+    _require_equal(name, "pcax chunked-vs-materialized",
+                   chunked.loads, materialized.loads)
+    _require_equal(name, "pcax store-vs-materialized",
+                   stored.loads, materialized.loads)
+
+
+# -- redundancy oracle -------------------------------------------------
+
+#: The naive reference scans backwards per load (quadratic); beyond
+#: this many rows only the streamed-vs-materialized comparison runs.
+NAIVE_REDUNDANCY_LIMIT = 100_000
+
+
+def check_redundancy(case, ctx: OracleContext) -> None:
+    """Streaming analyzer vs. the naive backward-scan reference.
+
+    The production analyzer folds per-address state over chunk
+    columns; the reference re-derives every load's classification by
+    scanning backwards through the materialized rows.  Both must agree
+    exactly, and the analyzer must not care whether its input is
+    materialized, chunked small, or store-round-tripped.
+    """
+    from repro.redundancy import analyze_redundancy, naive_redundancy
+    from repro.store import TraceStore
+    trace = case_trace(case)
+    name = "redundancy"
+    stats = analyze_redundancy(trace)
+    for chunk_accesses in (7, 1024):
+        chunked = analyze_redundancy(trace.chunk_stream(chunk_accesses))
+        _require_equal(name, f"chunk{chunk_accesses}-vs-materialized",
+                       chunked.loads, stats.loads)
+    store = TraceStore(ctx.scratch_dir() / "traces")
+    store.put_trace("case", trace, chunk_accesses=64)
+    stored = analyze_redundancy(store.open("case"))
+    _require_equal(name, "store-vs-materialized", stored.loads,
+                   stats.loads)
+    if len(trace) <= NAIVE_REDUNDANCY_LIMIT:
+        reference = naive_redundancy(trace)
+        _require_equal(name, "analyzer-vs-naive", stats.loads,
+                       reference.loads)
+
+
 # -- invariants oracle -------------------------------------------------
 
 def check_invariants(case, ctx: OracleContext) -> None:
@@ -517,6 +619,14 @@ ORACLES: dict[str, Oracle] = {
         Oracle("analytic", ("minic",), check_analytic,
                "analytic per-PC prediction vs. the measured sweep "
                "(tolerance-gated on HIGH sites, honesty on the rest)"),
+        Oracle("tlb", ("minic", "asm", "trace"), check_tlb,
+               "page-granular TLB sweep vs. direct replay, streamed "
+               "vs. materialized vs. store-warmed, plus the PCAX "
+               "predictor profile"),
+        Oracle("redundancy", ("minic", "asm", "trace"),
+               check_redundancy,
+               "streaming redundant-load analyzer vs. the naive "
+               "backward-scan reference, across trace inputs"),
         Oracle("invariants", ("minic", "asm", "trace"), check_invariants,
                "conservation/stability/monotonicity invariants"),
     )

@@ -134,6 +134,8 @@ class Session:
         self._steps: dict[RunKey, int] = {}
         self._traces: OrderedDict = OrderedDict()
         self._stats: dict[tuple[RunKey, CacheConfig], CacheStats] = {}
+        self._pcax: dict[tuple, object] = {}
+        self._redundancy: dict[RunKey, object] = {}
         # Stack-distance profiles (see cache.stackdist) share the
         # session's cache directory so warmed sweeps survive restarts.
         self._profile_store = ProfileStore(
@@ -329,6 +331,63 @@ class Session:
               cache_config: CacheConfig = BASELINE_CONFIG) -> CacheStats:
         return self.stats_multi(workload, input_name, optimize,
                                 (cache_config,))[0]
+
+    # -- scenario families (TLB, PCAX, redundancy) --------------------
+    def _over_trace(self, key: RunKey, compute):
+        """Run ``compute(source)`` with the corrupt-store fallback
+        stats_multi uses: a stored trace that fails to decode
+        mid-stream is dropped and the workload re-executed
+        materialized."""
+        source = self._trace_source(key)
+        try:
+            return compute(source)
+        except TraceStoreCorrupt:
+            self._trace_store.delete(self._trace_key(key))
+            self._execute(key, streaming=False)
+            return compute(self._traces[key])
+
+    def tlb_stats(self, workload: str, input_name: str = "input1",
+                  optimize: bool = False,
+                  configs: Sequence["TlbConfig"] = ()
+                  ) -> list["TlbStats"]:
+        """Per-geometry dTLB stats through the shared sweep engine.
+
+        Geometries with one page size cost at most one trace pass, and
+        the per-PC distance histograms land in the session's profile
+        store (keyed by trace digest and page size), so re-sweeps never
+        touch the trace.
+        """
+        from repro.tlb import TlbConfig, simulate_tlb
+        configs = list(configs) or [TlbConfig()]
+        key = RunKey(workload, input_name, optimize)
+        return self._over_trace(
+            key, lambda source: simulate_tlb(
+                source, configs, store=self._profile_store))
+
+    def pcax(self, workload: str, input_name: str = "input1",
+             optimize: bool = False, page_size: int = 4096,
+             threshold: Optional[float] = None) -> "PcaxProfile":
+        """PC-indexed translation predictability, one streaming pass."""
+        from repro.tlb import DEFAULT_THRESHOLD, pcax_profile
+        if threshold is None:
+            threshold = DEFAULT_THRESHOLD
+        key = RunKey(workload, input_name, optimize)
+        memo = (key, page_size, threshold)
+        if memo not in self._pcax:
+            self._pcax[memo] = self._over_trace(
+                key, lambda source: pcax_profile(
+                    source, page_size=page_size, threshold=threshold))
+        return self._pcax[memo]
+
+    def redundancy(self, workload: str, input_name: str = "input1",
+                   optimize: bool = False) -> "RedundancyStats":
+        """Per-PC redundant-load counts, one streaming pass."""
+        from repro.redundancy import analyze_redundancy
+        key = RunKey(workload, input_name, optimize)
+        if key not in self._redundancy:
+            self._redundancy[key] = self._over_trace(
+                key, analyze_redundancy)
+        return self._redundancy[key]
 
     # -- analytic (trace-free) prediction -----------------------------
     def _program_digest(self, key: RunKey) -> str:

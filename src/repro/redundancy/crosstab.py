@@ -1,0 +1,50 @@
+"""Cross-tabulating redundancy against the paper's AG classes.
+
+The paper's aggregate classes (AG1..AG9, see
+:mod:`repro.heuristic.classes`) partition loads by *static* address
+features and execution frequency; redundancy is a purely *dynamic*
+property.  Attributing each load PC's dynamic redundancy counts to the
+classes it belongs to asks the paper's question sideways: are the
+loads the heuristic's features single out also the ones reloading
+values they already had?
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.heuristic.classes import AGGREGATE_CLASSES, \
+    frequency_category
+from repro.redundancy.analyzer import RedundancyStats
+
+
+def ag_crosstab(stats: RedundancyStats,
+                load_infos: Mapping[int, object],
+                load_exec: Mapping[int, int]) -> dict[str, dict]:
+    """Per-class dynamic load / redundant / reload-after-store totals.
+
+    A load PC can belong to several classes (the classes overlap by
+    design), so columns do not sum to the trace totals.  PCs absent
+    from ``load_infos`` (e.g. synthetic trace cases with no program)
+    are skipped.
+    """
+    totals = {cls.name: {"loads": 0, "redundant": 0,
+                         "reload_after_store": 0, "pcs": 0}
+              for cls in AGGREGATE_CLASSES}
+    for pc, load in stats.loads.items():
+        info = load_infos.get(pc)
+        if info is None:
+            continue
+        category = frequency_category(load_exec.get(pc, 0))
+        for cls in AGGREGATE_CLASSES:
+            member = (any(cls.matches_pattern(f) for f in info.features)
+                      if cls.pattern_member is not None
+                      else cls.matches_frequency(category))
+            if not member:
+                continue
+            row = totals[cls.name]
+            row["loads"] += load.accesses
+            row["redundant"] += load.redundant
+            row["reload_after_store"] += load.reload_after_store
+            row["pcs"] += 1
+    return totals

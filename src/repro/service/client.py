@@ -203,6 +203,12 @@ class ServiceClient:
     def predict(self, source: str, **options: Any) -> dict[str, Any]:
         return self.call("predict", {"source": source, **options})
 
+    def tlb(self, source: str, **options: Any) -> dict[str, Any]:
+        return self.call("tlb", {"source": source, **options})
+
+    def redundancy(self, source: str, **options: Any) -> dict[str, Any]:
+        return self.call("redundancy", {"source": source, **options})
+
     def health(self) -> dict[str, Any]:
         return self.call("health")
 

@@ -57,43 +57,48 @@ def run_analysis(params: dict[str, Any]) -> dict[str, Any]:
     return report_to_dict(report)
 
 
-def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
-    """``simulate``: at most one execution ever, streamed replays.
+class _TraceHandle:
+    """One workload's trace, acquired store-first, replayed many ways.
 
-    Routes through the dispatching sweep engine
-    (:func:`repro.cache.stackdist.simulate_sweep`): a request for N
-    configs — or N batched requests for one config each — costs at most
-    one trace pass, and LRU geometry sweeps collapse to one pass per
-    set mapping with the per-PC distance profile cached on disk.  The
-    trace itself lives in the chunked trace store: a repeat request for
-    the same (source, optimize, max_steps) skips execution and streams
-    the stored chunks, a cold request streams its execution into the
-    store, and a corrupt entry is dropped and re-executed.
+    Shared by every op that needs an access trace (``simulate``,
+    ``tlb``, ``redundancy``): a repeat request for the same (source,
+    optimize, max_steps) skips execution and streams the stored
+    chunks, a cold request streams its execution into the store, and a
+    corrupt entry is dropped and re-executed materialized.  The
+    ``block_counts`` come from the stored meta on a store hit and from
+    the execution itself otherwise, so callers see identical profile
+    facts either way.
     """
-    program = compile_source(params["source"],
-                             optimize=params["optimize"])
-    configs = [CacheConfig(**entry) for entry in params["configs"]]
-    key = trace_key(params["source"], params["optimize"],
-                    params["max_steps"])
 
-    def execute(streaming: bool):
+    def __init__(self, params: dict[str, Any]):
+        self.program = compile_source(params["source"],
+                                      optimize=params["optimize"])
+        self._params = params
+        self._key = trace_key(params["source"], params["optimize"],
+                              params["max_steps"])
+        self.steps = 0
+        self.block_counts: dict[int, int] = {}
+        self._source = None
+
+    def _execute(self, streaming: bool):
         """One execution; streamed into the store when possible."""
         # The engine knob is an operator-side switch (params may carry
         # it, e.g. from $REPRO_ENGINE on the server); it is absent from
         # request/cache/store keys because both engines are
         # bit-identical.
-        machine = Machine(program, trace_memory=True,
-                          max_steps=params["max_steps"],
-                          engine=params.get("engine"))
+        machine = Machine(self.program, trace_memory=True,
+                          max_steps=self._params["max_steps"],
+                          engine=self._params.get("engine"))
         writer = None
         if streaming:
             try:
-                writer = _TRACE_STORE.writer(key)
+                writer = _TRACE_STORE.writer(self._key)
             except OSError:
                 writer = None
         if writer is None:
             execution = machine.run()
-            return execution.steps, execution.trace
+            self._adopt(execution)
+            return execution.trace
         try:
             execution = machine.run_streaming(writer)
         except BaseException:
@@ -105,22 +110,59 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
                          exit_code=execution.exit_code,
                          output=execution.output)
         except OSError:
-            _TRACE_STORE.delete(key)
-        return execution.steps, _TRACE_STORE.open(key)
+            _TRACE_STORE.delete(self._key)
+        self._adopt(execution)
+        return _TRACE_STORE.open(self._key)
 
-    source = _TRACE_STORE.open(key)
-    if source is not None:
-        steps = int(_TRACE_STORE.meta(key)["steps"])
-    else:
-        steps, source = execute(streaming=True)
-        if source is None:
-            steps, source = execute(streaming=False)
-    try:
-        sweep = simulate_sweep(source, configs, store=_PROFILE_STORE)
-    except TraceStoreCorrupt:
-        _TRACE_STORE.delete(key)
-        steps, source = execute(streaming=False)
-        sweep = simulate_sweep(source, configs, store=_PROFILE_STORE)
+    def _adopt(self, execution) -> None:
+        self.steps = execution.steps
+        self.block_counts = dict(execution.block_counts)
+
+    def source(self):
+        """The cheapest replayable trace source (store stream first)."""
+        if self._source is None:
+            self._source = _TRACE_STORE.open(self._key)
+            if self._source is not None:
+                meta = _TRACE_STORE.meta(self._key)
+                self.steps = int(meta["steps"])
+                self.block_counts = {
+                    int(a): int(c)
+                    for a, c in (meta.get("block_counts")
+                                 or {}).items()}
+            else:
+                self._source = self._execute(streaming=True)
+                if self._source is None:
+                    self._source = self._execute(streaming=False)
+        return self._source
+
+    def replay(self, compute):
+        """``compute(source)`` with the corrupt-store fallback."""
+        try:
+            return compute(self.source())
+        except TraceStoreCorrupt:
+            _TRACE_STORE.delete(self._key)
+            self._source = self._execute(streaming=False)
+            return compute(self._source)
+
+
+def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
+    """``simulate``: at most one execution ever, streamed replays.
+
+    Routes through the dispatching sweep engine
+    (:func:`repro.cache.stackdist.simulate_sweep`): a request for N
+    configs — or N batched requests for one config each — costs at most
+    one trace pass, and LRU geometry sweeps collapse to one pass per
+    set mapping with the per-PC distance profile cached on disk.  The
+    trace itself comes from the shared :class:`_TraceHandle` (chunked
+    trace store, one execution ever).
+    """
+    configs = [CacheConfig(**entry) for entry in params["configs"]]
+    handle = _TraceHandle(params)
+    program = handle.program
+    sweep = handle.replay(
+        lambda source: simulate_sweep(source, configs,
+                                      store=_PROFILE_STORE))
+    steps = handle.steps
     results = []
     for config, stats in zip(configs, sweep):
         results.append({
@@ -146,12 +188,11 @@ def run_simulate(params: dict[str, Any]) -> dict[str, Any]:
         "num_loads": program.num_loads(),
         "results": results,
     }
-    # The stored block profile lets remote callers reconstruct the
+    # The block profile lets remote callers reconstruct the
     # BlockProfile (hotspot loads, exec counts) without executing.
-    meta = _TRACE_STORE.meta(key)
-    if meta and meta.get("block_counts"):
+    if handle.block_counts:
         response["block_counts"] = {str(a): int(c) for a, c in
-                                    meta["block_counts"].items()}
+                                    handle.block_counts.items()}
     return response
 
 
@@ -224,6 +265,121 @@ def run_predict(params: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def _delinquent_set(handle: _TraceHandle) -> set[int]:
+    """The heuristic's delinquent set for one traced workload.
+
+    Exec counts and hotspots come from the block profile the
+    :class:`_TraceHandle` guarantees (stored meta or the execution
+    itself), so the set is identical on cold and store-warmed paths.
+    """
+    from repro.heuristic.classifier import DelinquencyClassifier
+    from repro.patterns.builder import build_load_infos
+    from repro.profiling.profile import BlockProfile
+    load_infos = build_load_infos(handle.program)
+    exec_counts = None
+    hotspots = None
+    if handle.block_counts:
+        profile = BlockProfile.from_block_counts(handle.program,
+                                                 handle.block_counts)
+        exec_counts = profile.load_exec_counts()
+        hotspots = profile.hotspot_loads()
+    classifier = DelinquencyClassifier()
+    return classifier.classify(load_infos, exec_counts,
+                               hotspots).delinquent_set
+
+
+def run_tlb(params: dict[str, Any]) -> dict[str, Any]:
+    """``tlb``: per-geometry dTLB stats plus the PCAX cross-tab.
+
+    Rides the same sweep engine and trace store as ``simulate`` — the
+    per-PC distance histograms for each page size persist beside the
+    cache sweeps' — and evaluates the PCAX predictor at the first
+    geometry's page size, cross-tabulating PCAX-friendly loads against
+    the paper's delinquent set.
+    """
+    from repro.tlb import (TlbConfig, pcax_crosstab, pcax_profile,
+                           simulate_tlb)
+    configs = [TlbConfig(**entry) for entry in params["geometries"]]
+    handle = _TraceHandle(params)
+    sweep = handle.replay(
+        lambda source: simulate_tlb(source, configs,
+                                    store=_PROFILE_STORE))
+    results = []
+    for stats in sweep:
+        results.append({
+            "geometry": stats.config.to_dict(),
+            "description": stats.config.describe(),
+            "total_accesses": stats.total_accesses,
+            "total_misses": stats.total_misses,
+            "miss_rate": stats.miss_rate,
+            "load_misses": {f"{a:#x}": m for a, m in
+                            sorted(stats.load_misses.items())},
+            "load_accesses": {f"{a:#x}": m for a, m in
+                              sorted(stats.load_accesses.items())},
+            "store_misses": {f"{a:#x}": m for a, m in
+                             sorted(stats.store_misses.items())},
+            "store_accesses": {f"{a:#x}": m for a, m in
+                               sorted(stats.store_accesses.items())},
+        })
+    page_size = configs[0].page_size
+    profile = handle.replay(
+        lambda source: pcax_profile(source, page_size=page_size,
+                                    threshold=params["threshold"]))
+    friendly = profile.friendly_set()
+    delinquent = _delinquent_set(handle)
+    universe = set(profile.loads)
+    return {
+        "steps": handle.steps,
+        "num_loads": handle.program.num_loads(),
+        "results": results,
+        "pcax": {
+            "page_size": page_size,
+            "threshold": params["threshold"],
+            "loads": {f"{pc:#x}": {"accesses": load.accesses,
+                                   "predicted": load.predicted,
+                                   "ratio": load.ratio}
+                      for pc, load in sorted(profile.loads.items())},
+            "friendly": [f"{pc:#x}" for pc in sorted(friendly)],
+            "delinquent": [f"{pc:#x}" for pc in sorted(delinquent)],
+            "crosstab": pcax_crosstab(friendly, delinquent, universe),
+        },
+    }
+
+
+def run_redundancy(params: dict[str, Any]) -> dict[str, Any]:
+    """``redundancy``: per-PC redundant-load counts plus AG cross-tab.
+
+    One streaming pass over the stored (or freshly streamed) trace;
+    the AG-class attribution uses the same exec counts the heuristic
+    sees, so the cross-tab matches what the tables print.
+    """
+    from repro.patterns.builder import build_load_infos
+    from repro.profiling.profile import BlockProfile
+    from repro.redundancy import ag_crosstab, analyze_redundancy
+    handle = _TraceHandle(params)
+    stats = handle.replay(analyze_redundancy)
+    load_infos = build_load_infos(handle.program)
+    load_exec: dict[int, int] = {}
+    if handle.block_counts:
+        profile = BlockProfile.from_block_counts(handle.program,
+                                                 handle.block_counts)
+        load_exec = profile.load_exec_counts()
+    return {
+        "steps": handle.steps,
+        "num_loads": handle.program.num_loads(),
+        "total_loads": stats.total_loads,
+        "total_redundant": stats.total_redundant,
+        "total_reload_after_store": stats.total_reload_after_store,
+        "ratio": stats.ratio,
+        "loads": {f"{pc:#x}": {
+                      "accesses": load.accesses,
+                      "redundant": load.redundant,
+                      "reload_after_store": load.reload_after_store}
+                  for pc, load in sorted(stats.loads.items())},
+        "classes": ag_crosstab(stats, load_infos, load_exec),
+    }
+
+
 def run_sleep(params: dict[str, Any]) -> dict[str, Any]:
     """Diagnostic op: hold a worker slot for ``seconds``."""
     time.sleep(params["seconds"])
@@ -236,6 +392,8 @@ COMPUTE = {
     "classify": run_analysis,
     "simulate": run_simulate,
     "predict": run_predict,
+    "tlb": run_tlb,
+    "redundancy": run_redundancy,
     "sleep": run_sleep,
 }
 

@@ -35,14 +35,16 @@ MAX_REQUEST_BYTES = 32 * 1024 * 1024
 
 #: Operations the server accepts.  ``sleep`` is a diagnostic op used by
 #: the tests and benchmarks to exercise backpressure and timeouts.
-OPS = ("analyze", "classify", "simulate", "predict", "health", "metrics",
-       "shutdown", "sleep")
+OPS = ("analyze", "classify", "simulate", "predict", "tlb",
+       "redundancy", "health", "metrics", "shutdown", "sleep")
 
 #: Ops that run through the scheduler (queue, batching, worker pool).
-SCHEDULED_OPS = ("analyze", "classify", "simulate", "predict", "sleep")
+SCHEDULED_OPS = ("analyze", "classify", "simulate", "predict", "tlb",
+                 "redundancy", "sleep")
 
 #: Scheduled ops whose results are cacheable.
-CACHEABLE_OPS = ("analyze", "classify", "simulate", "predict")
+CACHEABLE_OPS = ("analyze", "classify", "simulate", "predict", "tlb",
+                 "redundancy")
 
 # error codes
 BAD_REQUEST = "bad_request"
@@ -216,6 +218,62 @@ def _normalize_predict(params: dict) -> dict[str, Any]:
     return normalized
 
 
+def _tlb_config(entry: Any) -> "TlbConfig":
+    from repro.tlb import TlbConfig
+    _require(isinstance(entry, dict),
+             "each TLB geometry must be an object")
+    unknown = set(entry) - {"page_size", "entries", "assoc"}
+    _require(not unknown,
+             f"unknown TLB geometry field(s): "
+             f"{', '.join(sorted(unknown))}")
+    try:
+        return TlbConfig(**entry)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(BAD_REQUEST, f"bad TLB geometry: {exc}")
+
+
+def _normalize_tlb(params: dict) -> dict[str, Any]:
+    """``tlb``: per-geometry dTLB stats plus the PCAX cross-tab.
+
+    ``geometries`` mirrors ``simulate``'s ``configs`` (validated,
+    deduped, defaults spelled out); ``threshold`` is the PCAX
+    friendliness bar, evaluated at the first geometry's page size.
+    """
+    from repro.tlb import DEFAULT_THRESHOLD, TlbConfig
+    source = params.get("source")
+    _require(isinstance(source, str) and source.strip() != "",
+             "param 'source' (MiniC text) is required")
+    raw = params.get("geometries")
+    if raw is None:
+        configs = [TlbConfig()]
+    else:
+        _require(isinstance(raw, list) and raw,
+                 "param 'geometries' must be a non-empty list")
+        configs = [_tlb_config(entry) for entry in raw]
+    configs = list(dict.fromkeys(configs))
+    threshold = _field(params, "threshold", float, DEFAULT_THRESHOLD)
+    _require(0.0 < threshold <= 1.0,
+             "param 'threshold' must be in (0, 1]")
+    return {
+        "source": source,
+        "optimize": _field(params, "optimize", bool, False),
+        "geometries": [c.to_dict() for c in configs],
+        "threshold": threshold,
+        "max_steps": _field(params, "max_steps", int, 300_000_000),
+    }
+
+
+def _normalize_redundancy(params: dict) -> dict[str, Any]:
+    source = params.get("source")
+    _require(isinstance(source, str) and source.strip() != "",
+             "param 'source' (MiniC text) is required")
+    return {
+        "source": source,
+        "optimize": _field(params, "optimize", bool, False),
+        "max_steps": _field(params, "max_steps", int, 300_000_000),
+    }
+
+
 def _normalize_sleep(params: dict) -> dict[str, Any]:
     seconds = _field(params, "seconds", float, 0.05)
     _require(0.0 <= seconds <= 60.0,
@@ -261,6 +319,10 @@ def parse_request(line: bytes) -> Request:
         params = _normalize_simulate(params)
     elif op == "predict":
         params = _normalize_predict(params)
+    elif op == "tlb":
+        params = _normalize_tlb(params)
+    elif op == "redundancy":
+        params = _normalize_redundancy(params)
     elif op == "sleep":
         params = _normalize_sleep(params)
     return Request(id=obj.get("id"), op=op, params=params,

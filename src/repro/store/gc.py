@@ -22,8 +22,16 @@ tier re-creates missing entries on demand, so removal is always safe.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+
+#: Minimum age (seconds) before a ``*.tmp`` file counts as stale.
+#: Writers publish via per-PID temp files renamed into place; a gc
+#: pass racing a live writer must not delete the temp out from under
+#: it.  Anything older than this grace window belongs to a dead
+#: writer.
+TMP_GRACE_SECONDS = 900.0
 
 
 @dataclass
@@ -84,12 +92,15 @@ def _json_ok(path: Path) -> bool:
         return False
 
 
-def scan_entries(root: Path) -> tuple[list[GcEntry],
-                                      list[tuple[str, str, str, tuple]]]:
+def scan_entries(root: Path, tmp_grace: float = TMP_GRACE_SECONDS
+                 ) -> tuple[list[GcEntry],
+                            list[tuple[str, str, str, tuple]]]:
     """Every live entry plus every corrupt/stale item under ``root``.
 
     Corrupt items come back as ``(tier, name, reason, paths)`` so the
     caller can delete them (or just report, under ``--dry-run``).
+    ``*.tmp`` files younger than ``tmp_grace`` seconds are a concurrent
+    writer's work in progress and are left alone.
     """
     root = Path(root)
     entries: list[GcEntry] = []
@@ -138,8 +149,14 @@ def scan_entries(root: Path) -> tuple[list[GcEntry],
             corrupt.append(("traces", bin_path.name, "bin without meta",
                             (bin_path,)))
 
+    fresh_after = time.time() - tmp_grace
     for pattern in ("*.tmp", "stackdist/*.tmp", "traces/*.tmp"):
         for path in root.glob(pattern):
+            try:
+                if path.stat().st_mtime > fresh_after:
+                    continue         # a live writer's work in progress
+            except OSError:
+                continue             # renamed/removed mid-scan
             corrupt.append((path.parent.name if path.parent != root
                             else "pipeline", path.name,
                             "stale temp file", (path,)))
@@ -155,14 +172,15 @@ def _remove(paths: tuple[Path, ...]) -> None:
 
 
 def collect_garbage(root: Path, limit: int,
-                    dry_run: bool = False) -> GcReport:
+                    dry_run: bool = False,
+                    tmp_grace: float = TMP_GRACE_SECONDS) -> GcReport:
     """Bound the cache directory to ``limit`` bytes, oldest-first.
 
     Corrupt items are always (reported and, unless ``dry_run``)
     removed; live entries are then evicted in LRU order until the
     total size fits the budget.
     """
-    entries, corrupt_items = scan_entries(root)
+    entries, corrupt_items = scan_entries(root, tmp_grace=tmp_grace)
     report = GcReport(limit=limit, dry_run=dry_run)
     for tier, name, reason, paths in corrupt_items:
         report.corrupt.append((tier, name, reason))

@@ -89,6 +89,25 @@ class TestAnalyzeProgram:
         for address in report.load_infos:
             assert f"{address:#x}" in message
 
+    def test_describe_load_error_is_complete_and_sorted(self):
+        """The ValueError names *every* valid load, in address order,
+        and never raises a secondary error while formatting."""
+        report = analyze_program(POINTER_SRC, execute=False)
+        with pytest.raises(ValueError) as err:
+            report.describe_load(-1)
+        message = str(err.value)
+        listed = message.split("valid load addresses: ")[1]
+        expected = ", ".join(f"{a:#x}"
+                             for a in sorted(report.load_infos))
+        assert listed == expected
+
+    def test_describe_load_with_no_loads_says_none(self):
+        report = analyze_program(POINTER_SRC, execute=False)
+        report.load_infos = {}
+        with pytest.raises(ValueError) as err:
+            report.describe_load(0x400000)
+        assert "valid load addresses: (none)" in str(err.value)
+
     def test_sample_program(self):
         report = analyze_program(SAMPLE_SOURCE)
         assert set(report.load_infos) \

@@ -77,9 +77,21 @@ class TestMissingSource:
         assert "Traceback" not in captured.err
 
     def test_missing_file_other_commands(self, capsys):
-        for command in ("run", "disasm", "asm", "verify"):
+        for command in ("run", "disasm", "asm", "verify", "tlb",
+                        "redundancy"):
             assert main([command, "/no/such/file.c"]) == 2
             assert "repro: error:" in capsys.readouterr().err
+
+    def test_oserror_during_output_is_exit_2(self, source_file,
+                                             capsys):
+        """main() maps *any* OSError — not just a missing source — to
+        a tracebackless diagnostic and exit code 2."""
+        code = main(["analyze", str(source_file), "--static",
+                     "--json", "/no/such/dir/out.json"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("repro: error:")
+        assert "Traceback" not in captured.err
 
 
 class TestCodeViews:

@@ -99,6 +99,113 @@ class TestHashRing:
         assert ring.nodes_for("anything") == []
 
 
+class TestHashRingProperties:
+    """Randomized join/leave sequences against the ring's contracts.
+
+    Three properties hold for any membership history: placement
+    depends only on the final node set (never on arrival order or
+    intermediate churn), a join steals keys only for the new node,
+    and a leave moves only the departed node's keys.  The seeded
+    random walks below exercise them across many ring sizes.
+    """
+
+    KEYS = [f"key-{i}" for i in range(1500)]
+
+    @staticmethod
+    def _churn(rng, ring, pool, live):
+        """One random membership step; returns the op performed."""
+        if live and (len(live) >= len(pool) or rng.random() < 0.4):
+            node = rng.choice(sorted(live))
+            ring.remove(node)
+            live.discard(node)
+            return ("remove", node)
+        node = rng.choice([n for n in pool if n not in live])
+        ring.add(node)
+        live.add(node)
+        return ("add", node)
+
+    def test_placement_depends_only_on_final_membership(self):
+        import random
+        rng = random.Random(0xC1C0)
+        pool = [f"10.1.0.{i}:8642" for i in range(1, 13)]
+        for _ in range(10):
+            ring = HashRing()
+            live: set = set()
+            for _ in range(rng.randint(3, 25)):
+                self._churn(rng, ring, pool, live)
+            if not live:
+                ring.add(pool[0])
+                live.add(pool[0])
+            fresh = HashRing(sorted(live))
+            shuffled = sorted(live)
+            rng.shuffle(shuffled)
+            reordered = HashRing(shuffled)
+            assert ring.nodes == fresh.nodes
+            assert ring.vnodes == fresh.vnodes
+            for key in self.KEYS[:300]:
+                owner = ring.node_for(key)
+                assert fresh.node_for(key) == owner
+                assert reordered.node_for(key) == owner
+
+    def test_join_remaps_exactly_the_stolen_keys(self):
+        import random
+        rng = random.Random(0xADD)
+        pool = [f"10.2.0.{i}:8642" for i in range(1, 11)]
+        for _ in range(8):
+            size = rng.randint(2, 8)
+            members = rng.sample(pool, size)
+            ring = HashRing(members)
+            before = {key: ring.node_for(key) for key in self.KEYS}
+            joiner = rng.choice([n for n in pool if n not in members])
+            ring.add(joiner)
+            moved = 0
+            for key in self.KEYS:
+                owner = ring.node_for(key)
+                if owner != before[key]:
+                    # every remapped key belongs to the joiner now
+                    assert owner == joiner
+                    moved += 1
+            # expect ~K/N = 1/(size+1); generous slack for variance
+            expected = 1.0 / (size + 1)
+            assert 0.2 * expected <= moved / len(self.KEYS) \
+                <= 3.0 * expected
+
+    def test_leave_remaps_only_the_departed_nodes_keys(self):
+        import random
+        rng = random.Random(0xDEAD)
+        pool = [f"10.3.0.{i}:8642" for i in range(1, 11)]
+        for _ in range(8):
+            members = rng.sample(pool, rng.randint(3, 9))
+            ring = HashRing(members)
+            before = {key: ring.node_for(key) for key in self.KEYS}
+            victim = rng.choice(members)
+            ring.remove(victim)
+            for key in self.KEYS:
+                if before[key] != victim:
+                    assert ring.node_for(key) == before[key]
+                else:
+                    assert ring.node_for(key) != victim
+
+    def test_successor_lists_stay_consistent_under_churn(self):
+        import random
+        rng = random.Random(0x5EED)
+        pool = [f"10.4.0.{i}:8642" for i in range(1, 9)]
+        ring = HashRing()
+        live: set = set()
+        for _ in range(30):
+            self._churn(rng, ring, pool, live)
+            assert ring.nodes == sorted(live)
+            assert ring.vnodes == len(live) * ring.replicas
+            for key in ("alpha", "beta", "gamma"):
+                owners = ring.nodes_for(key)
+                if not live:
+                    assert owners == []
+                    continue
+                assert owners[0] == ring.node_for(key)
+                assert sorted(owners) == sorted(set(owners))
+                assert set(owners) == live
+
+
 # -- a live 3-worker cluster ---------------------------------------------
 
 @pytest.fixture(scope="module")

@@ -67,7 +67,8 @@ class TestGenerators:
 class TestOracleRegistry:
     def test_selection_by_kind(self):
         names = {o.name for o in oracles_for("trace")}
-        assert names == {"replay", "streaming", "invariants"}
+        assert names == {"replay", "streaming", "tlb", "redundancy",
+                         "invariants"}
         assert {o.name for o in oracles_for("minic")} == set(ORACLES)
 
     def test_unknown_oracle_rejected(self):

@@ -326,7 +326,9 @@ class TestCacheGc:
         (tmp_path / "traces" / "tr-dead.json").write_text("{oops")
         (tmp_path / "traces" / "tr-orphan.bin").write_bytes(b"x")
         (tmp_path / "bad.json").write_text("not json")
-        (tmp_path / "x.json.99.tmp").write_text("")
+        stale_tmp = tmp_path / "x.json.99.tmp"
+        stale_tmp.write_text("")
+        os.utime(stale_tmp, (1_000, 1_000))   # dead writer, aged out
         report = collect_garbage(tmp_path, 1 << 30, dry_run=True)
         assert len(report.corrupt) == 4
         assert not report.evicted          # budget is huge
@@ -335,6 +337,49 @@ class TestCacheGc:
         assert not (tmp_path / "bad.json").exists()
         assert not (tmp_path / "traces" / "tr-orphan.bin").exists()
         assert not scan_entries(tmp_path)[1]
+
+    def test_gc_spares_a_concurrent_writers_temp_files(self, tmp_path):
+        """A fresh per-PID ``*.tmp`` belongs to a live writer mid-
+        publish; a racing gc pass must leave it alone in every tier."""
+        self.populate(tmp_path)
+        fresh = [tmp_path / f"res.json.{os.getpid()}.tmp",
+                 tmp_path / "traces" / f"tr-w.bin.{os.getpid()}.tmp",
+                 tmp_path / "stackdist" / f"sd-w.json.{os.getpid()}.tmp"]
+        for path in fresh:
+            path.write_bytes(b"partial")
+        report = collect_garbage(tmp_path, 1 << 30)
+        assert not report.corrupt
+        assert all(path.exists() for path in fresh)
+        # once aged past the grace window the same files are stale
+        for path in fresh:
+            os.utime(path, (1_000, 1_000))
+        report = collect_garbage(tmp_path, 1 << 30)
+        assert len(report.corrupt) == 3
+        assert all(reason == "stale temp file"
+                   for _, _, reason in report.corrupt)
+        assert not any(path.exists() for path in fresh)
+        # tmp_grace=0 treats every temp file as immediately stale
+        orphan = tmp_path / f"y.json.{os.getpid()}.tmp"
+        orphan.write_text("")
+        report = collect_garbage(tmp_path, 1 << 30, tmp_grace=0)
+        assert [name for _, name, _ in report.corrupt] == [orphan.name]
+        assert not orphan.exists()
+
+    def test_meta_without_bin_is_an_orphan(self, tmp_path):
+        """A published meta sidecar whose bin never landed (writer died
+        between the two renames) is corrupt, not a live entry."""
+        self.populate(tmp_path)
+        orphan = tmp_path / "traces" / "tr-nobin.json"
+        orphan.write_text(json.dumps({"version": 1, "chunks": []}))
+        entries, corrupt = scan_entries(tmp_path)
+        assert ("traces", "tr-nobin.json", "meta without bin") \
+            in [(t, n, r) for t, n, r, _ in corrupt]
+        assert all("tr-nobin" not in e.name for e in entries)
+        collect_garbage(tmp_path, 1 << 30)
+        assert not orphan.exists()
+        # the paired live entries survived the orphan sweep
+        assert len([e for e in scan_entries(tmp_path)[0]
+                    if e.tier == "traces"]) == 2
 
     def test_lru_eviction_bounds_size(self, tmp_path):
         self.populate(tmp_path)
